@@ -1,0 +1,151 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (Tables 1-3, Figures 1-2, the Firefox/Docker/BOLT experiments, and the
+   Diogenes case study), then runs one bechamel micro-benchmark per
+   table/figure measuring the corresponding pipeline stage.
+
+   Usage:
+     bench/main.exe                 -- everything
+     bench/main.exe table3 bolt ... -- selected experiments
+     bench/main.exe micro           -- only the bechamel micro-benchmarks *)
+
+open Icfg_isa
+module Experiments = Icfg_harness.Experiments
+
+let experiments =
+  [
+    ("table1", Experiments.table1);
+    ("figure1", Experiments.figure1);
+    ("figure2", Experiments.figure2);
+    ("table2", Experiments.table2);
+    ("table3", fun () -> Experiments.table3 ());
+    ("table3-detail", fun () -> Experiments.table3_detail ());
+    ("firefox", Experiments.firefox);
+    ("docker", Experiments.docker);
+    ("bolt", Experiments.bolt);
+    ("diogenes", Experiments.diogenes);
+    ("ablation", Experiments.ablation);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per table/figure                     *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let arch = Arch.X86_64 in
+  let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+  let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+  let parse = Icfg_analysis.Parse.parse bin in
+  let rw = Icfg_core.Rewriter.rewrite parse in
+  let classify =
+    Option.get (Icfg_analysis.Parse.func parse "switch0")
+  in
+  let fm = Icfg_analysis.Failure_model.ours in
+  let known =
+    Icfg_analysis.Jump_table.known_data bin []
+  in
+  let ra_map = rw.Icfg_core.Rewriter.rw_ra_map in
+  let probe_pc =
+    match Icfg_runtime.Runtime_lib.Ra_map.pairs ra_map with
+    | (k, _) :: _ -> k + 3
+    | [] -> 0
+  in
+  [
+    (* Table 1 is qualitative; measure the capability-table rendering. *)
+    Test.make ~name:"table1/render-capabilities"
+      (Staged.stage (fun () -> Sys.opaque_identity (Experiments.table1 ())));
+    (* Figure 1: whole-binary rewrite throughput. *)
+    Test.make ~name:"figure1/rewrite-binary"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Icfg_core.Rewriter.rewrite parse)));
+    (* Figure 2: jump-table slicing and finalization. *)
+    Test.make ~name:"figure2/jump-table-analysis"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Icfg_analysis.Jump_table.analyze bin fm ~known_data:known
+                classify.Icfg_analysis.Parse.fa_cfg)));
+    (* Table 2: trampoline selection and emission. *)
+    Test.make ~name:"table2/trampoline-emit"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Trampoline.emit arch ~at:0x400100 ~target:0x500000 ~toc:0
+                (Trampoline.Long None))));
+    (* Table 3: whole-binary parse (CFG + analyses). *)
+    Test.make ~name:"table3/parse-binary"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Icfg_analysis.Parse.parse bin)));
+    (* Firefox: RA-translation lookup (the per-unwind-step cost). *)
+    Test.make ~name:"firefox/ra-translate"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Icfg_runtime.Runtime_lib.Ra_map.translate ra_map probe_pc)));
+    (* Docker: compile the Go analogue. *)
+    Test.make ~name:"docker/compile-go-binary"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Icfg_workloads.Apps.docker arch)));
+    (* BOLT: block-reversed relocation. *)
+    Test.make ~name:"bolt/reverse-blocks-rewrite"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Icfg_core.Rewriter.rewrite
+                ~options:
+                  {
+                    Icfg_core.Rewriter.default_options with
+                    Icfg_core.Rewriter.order = `Reverse_blocks;
+                  }
+                parse)));
+    (* Diogenes: partial instrumentation of the driver analogue. *)
+    Test.make ~name:"diogenes/partial-rewrite"
+      (Staged.stage (fun () ->
+           let bin, _ = Icfg_workloads.Apps.libcuda arch in
+           let only = Icfg_workloads.Apps.libcuda_api_subset bin in
+           Sys.opaque_identity
+             (Icfg_baselines.Baseline.ours_partial ~mode:Icfg_core.Mode.Jt
+                ~only bin)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "== Micro-benchmarks (bechamel; one per table/figure) ==";
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let tests = micro_tests () in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun t ->
+          let raw = Benchmark.run cfg [ instance ] t in
+          let ols =
+            Analyze.ols ~bootstrap:0 ~r_square:false
+              ~predictors:[| Measure.run |]
+          in
+          let est = Analyze.one ols instance raw in
+          let nanos =
+            match Analyze.OLS.estimates est with
+            | Some [ n ] -> n
+            | _ -> nan
+          in
+          Printf.printf "  %-32s %12.0f ns/run\n%!" (Test.Elt.name t) nanos)
+        (Test.elements test))
+    tests
+
+let () =
+  let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  let selected =
+    match args with
+    | [] -> List.map fst experiments @ [ "micro" ]
+    | l -> l
+  in
+  List.iter
+    (fun name ->
+      if name = "micro" then run_micro ()
+      else
+        match List.assoc_opt name experiments with
+        | Some f ->
+            print_string (f ());
+            print_newline ()
+        | None ->
+            Printf.eprintf "unknown experiment %s (have: %s, micro)\n" name
+              (String.concat ", " (List.map fst experiments));
+            exit 1)
+    selected

@@ -1,0 +1,298 @@
+(* The icfg command-line tool: inspect, analyze, rewrite and run the
+   workspace's synthetic binaries, and regenerate the paper's experiments.
+
+     icfg inspect  --workload docker --arch x86-64
+     icfg analyze  --workload spec:602.gcc_s --arch ppc64le
+     icfg rewrite  --workload libxul --mode jt
+     icfg run      --workload quickstart --mode func-ptr
+     icfg bench table3 diogenes *)
+
+open Cmdliner
+open Icfg_isa
+module Binary = Icfg_obj.Binary
+module Parse = Icfg_analysis.Parse
+module Rewriter = Icfg_core.Rewriter
+module Mode = Icfg_core.Mode
+module Vm = Icfg_runtime.Vm
+
+(* ------------------------------------------------------------------ *)
+(* Workload selection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let quickstart arch pie =
+  let spec =
+    { Icfg_workloads.Gen.default_spec with Icfg_workloads.Gen.name = "quickstart"; iters = 50 }
+  in
+  Icfg_codegen.Compile.compile ~pie arch (Icfg_workloads.Gen.build spec)
+
+let load_workload name arch pie =
+  match name with
+  | _ when String.length name > 5 && String.sub name 0 5 = "file:" ->
+      let path = String.sub name 5 (String.length name - 5) in
+      (Icfg_obj.Binfile.load path, Icfg_codegen.Debug.empty)
+  | "quickstart" -> quickstart arch pie
+  | "libxul" -> Icfg_workloads.Apps.libxul arch
+  | "docker" -> Icfg_workloads.Apps.docker arch
+  | "libcuda" -> Icfg_workloads.Apps.libcuda arch
+  | _ when String.length name > 5 && String.sub name 0 5 = "spec:" ->
+      let bname = String.sub name 5 (String.length name - 5) in
+      let bench =
+        List.find_opt
+          (fun b -> b.Icfg_workloads.Spec_suite.bench_name = bname)
+          (Icfg_workloads.Spec_suite.benchmarks arch)
+      in
+      (match bench with
+      | Some b -> Icfg_workloads.Spec_suite.compile ~pie arch b
+      | None ->
+          Printf.eprintf "unknown SPEC-like benchmark %s; names:\n%s\n" bname
+            (String.concat "\n"
+               (List.map
+                  (fun b -> "  " ^ b.Icfg_workloads.Spec_suite.bench_name)
+                  (Icfg_workloads.Spec_suite.benchmarks arch)));
+          exit 1)
+  | _ ->
+      Printf.eprintf
+        "unknown workload %s (quickstart | libxul | docker | libcuda | \
+         spec:<name> | file:<path>)\n"
+        name;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let arch_conv =
+  let parse s =
+    match Arch.of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown architecture %s" s))
+  in
+  Arg.conv (parse, Arch.pp)
+
+let mode_conv =
+  let parse s =
+    match Mode.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown mode %s" s))
+  in
+  Arg.conv (parse, Mode.pp)
+
+let workload_t =
+  Arg.(value & opt string "quickstart" & info [ "w"; "workload" ] ~doc:"Workload name.")
+
+let arch_t =
+  Arg.(value & opt arch_conv Arch.X86_64 & info [ "a"; "arch" ] ~doc:"Architecture.")
+
+let pie_t = Arg.(value & flag & info [ "pie" ] ~doc:"Compile as PIE.")
+
+let mode_t =
+  Arg.(value & opt mode_conv Mode.Jt & info [ "m"; "mode" ] ~doc:"Rewriting mode.")
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let inspect workload arch pie =
+  let bin, dbg = load_workload workload arch pie in
+  Format.printf "%a" Binary.pp bin;
+  Format.printf "%a" Icfg_codegen.Debug.pp dbg
+
+let analyze workload arch pie =
+  let bin, _ = load_workload workload arch pie in
+  let p = Parse.parse bin in
+  Format.printf "%a" Parse.pp_summary p;
+  List.iter
+    (fun fa ->
+      Format.printf "  %-24s blocks %3d, tables %d, tail jumps %d%s@."
+        fa.Parse.fa_sym.Icfg_obj.Symbol.name
+        (List.length fa.Parse.fa_cfg.Icfg_analysis.Cfg.blocks)
+        (List.length fa.Parse.fa_tables)
+        (List.length fa.Parse.fa_tail_jumps)
+        (if fa.Parse.fa_instrumentable then "" else "  [UNINSTRUMENTABLE]"))
+    p.Parse.funcs
+
+let rewrite_cmd workload arch pie mode output =
+  let bin, _ = load_workload workload arch pie in
+  let p = Parse.parse bin in
+  let rw =
+    Rewriter.rewrite ~options:{ Rewriter.default_options with Rewriter.mode } p
+  in
+  Format.printf "%a@." Rewriter.pp_stats rw.Rewriter.rw_stats;
+  Format.printf "%a" Binary.pp rw.Rewriter.rw_binary;
+  match output with
+  | Some path ->
+      Icfg_obj.Binfile.save path rw.Rewriter.rw_binary;
+      Format.printf "wrote %s@." path
+  | None -> ()
+
+let verify_cmd workload arch pie mode =
+  let bin, _ = load_workload workload arch pie in
+  let options = { Icfg_core.Rewriter.default_options with Icfg_core.Rewriter.mode } in
+  let report = Icfg_core.Verify.strong_test ~options bin in
+  Format.printf "%a" Icfg_core.Verify.pp_report report;
+  if not report.Icfg_core.Verify.ok then exit 1
+
+let run_cmd workload arch pie mode =
+  let bin, _ = load_workload workload arch pie in
+  let cfg = Icfg_harness.Runner.measure_config ~pie in
+  let orig = Vm.run ~config:cfg ~routines:(Icfg_runtime.Runtime_lib.standard ()) bin in
+  let show label (r : Vm.result) =
+    Format.printf "%-10s %-8s cycles %10d, steps %9d, traps %5d, output [%s]@."
+      label
+      (match r.Vm.outcome with Vm.Halted -> "ok" | Vm.Crashed m -> "CRASH: " ^ m)
+      r.Vm.cycles r.Vm.steps r.Vm.trap_hits
+      (String.concat "; " (List.map string_of_int r.Vm.output))
+  in
+  show "original" orig;
+  let p = Parse.parse bin in
+  let rw =
+    Rewriter.rewrite ~options:{ Rewriter.default_options with Rewriter.mode } p
+  in
+  let counters = Hashtbl.create 16 in
+  let cfg = Rewriter.vm_config_for rw cfg in
+  let r =
+    Vm.run ~config:cfg ~routines:(Rewriter.routines_for rw ~counters)
+      rw.Rewriter.rw_binary
+  in
+  show (Mode.name mode) r;
+  if r.Vm.outcome = Vm.Halted && r.Vm.output = orig.Vm.output then
+    Format.printf "outputs match; overhead %+.2f%%@."
+      (100. *. float_of_int (r.Vm.cycles - orig.Vm.cycles)
+      /. float_of_int (max 1 orig.Vm.cycles))
+
+let source workload =
+  let prog =
+    match workload with
+    | "quickstart" ->
+        Icfg_workloads.Gen.build
+          { Icfg_workloads.Gen.default_spec with Icfg_workloads.Gen.name = "quickstart"; iters = 50 }
+    | "docker" ->
+        Icfg_workloads.Gen.build_go (Icfg_workloads.Gen.go_spec ~seed:1903 ~name:"docker" ~iters:150)
+    | _ when String.length workload > 5 && String.sub workload 0 5 = "spec:" ->
+        let bname = String.sub workload 5 (String.length workload - 5) in
+        (match
+           List.find_opt
+             (fun b -> b.Icfg_workloads.Spec_suite.bench_name = bname)
+             (Icfg_workloads.Spec_suite.benchmarks Arch.X86_64)
+         with
+        | Some b -> b.Icfg_workloads.Spec_suite.prog
+        | None ->
+            Printf.eprintf "unknown benchmark %s\n" bname;
+            exit 1)
+    | _ ->
+        Printf.eprintf "source: supported workloads are quickstart, docker, spec:<name>\n";
+        exit 1
+  in
+  Format.printf "%a" Icfg_codegen.Ir.pp_program prog
+
+let disasm workload arch pie func =
+  let bin, _ = load_workload workload arch pie in
+  match func with
+  | None -> print_string (Icfg_analysis.Listing.binary_listing bin)
+  | Some name -> (
+      let p = Parse.parse bin in
+      match Parse.func p name with
+      | Some fa -> print_string (Icfg_analysis.Listing.function_listing bin fa.Parse.fa_cfg)
+      | None ->
+          Printf.eprintf "no function %s\n" name;
+          exit 1)
+
+let dot workload arch pie func =
+  let bin, _ = load_workload workload arch pie in
+  let p = Parse.parse bin in
+  match Parse.func p func with
+  | Some fa -> print_string (Icfg_analysis.Listing.cfg_to_dot fa.Parse.fa_cfg)
+  | None ->
+      Printf.eprintf "no function %s\n" func;
+      exit 1
+
+let bench_cmd names =
+  let all =
+    [
+      ("table1", Icfg_harness.Experiments.table1);
+      ("figure1", Icfg_harness.Experiments.figure1);
+      ("figure2", Icfg_harness.Experiments.figure2);
+      ("table2", Icfg_harness.Experiments.table2);
+      ("table3", fun () -> Icfg_harness.Experiments.table3 ());
+      ("table3-detail", fun () -> Icfg_harness.Experiments.table3_detail ());
+      ("firefox", Icfg_harness.Experiments.firefox);
+      ("docker", Icfg_harness.Experiments.docker);
+      ("bolt", Icfg_harness.Experiments.bolt);
+      ("diogenes", Icfg_harness.Experiments.diogenes);
+      ("ablation", Icfg_harness.Experiments.ablation);
+    ]
+  in
+  let names = if names = [] then List.map fst all else names in
+  List.iter
+    (fun n ->
+      match List.assoc_opt n all with
+      | Some f -> print_string (f ())
+      | None -> Printf.eprintf "unknown experiment %s\n" n)
+    names
+
+let cmd_inspect =
+  Cmd.v (Cmd.info "inspect" ~doc:"Compile a workload and print its layout.")
+    Term.(const inspect $ workload_t $ arch_t $ pie_t)
+
+let cmd_analyze =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Parse a workload: CFGs, jump tables, coverage.")
+    Term.(const analyze $ workload_t $ arch_t $ pie_t)
+
+let output_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~doc:"Write the rewritten binary to this file.")
+
+let cmd_rewrite =
+  Cmd.v (Cmd.info "rewrite" ~doc:"Rewrite a workload and print the statistics.")
+    Term.(const rewrite_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ output_t)
+
+let cmd_verify =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run the paper's strong correctness test: per-block counting,           original bytes destroyed, output and counts compared.")
+    Term.(const verify_cmd $ workload_t $ arch_t $ pie_t $ mode_t)
+
+let cmd_run =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a workload before and after rewriting and compare.")
+    Term.(const run_cmd $ workload_t $ arch_t $ pie_t $ mode_t)
+
+let func_opt_t =
+  Arg.(value & opt (some string) None & info [ "f"; "function" ] ~doc:"Function name.")
+
+let cmd_source =
+  Cmd.v
+    (Cmd.info "source" ~doc:"Print a workload's generated IR as C-like source.")
+    Term.(const source $ workload_t)
+
+let cmd_disasm =
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Disassemble a workload (control-flow traversal listing).")
+    Term.(const disasm $ workload_t $ arch_t $ pie_t $ func_opt_t)
+
+let cmd_dot =
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a function's CFG as Graphviz dot.")
+    Term.(
+      const dot $ workload_t $ arch_t $ pie_t
+      $ Arg.(required & opt (some string) None & info [ "f"; "function" ] ~doc:"Function name."))
+
+let cmd_bench =
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(
+      const bench_cmd
+      $ Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"))
+
+let () =
+  let info =
+    Cmd.info "icfg" ~version:"1.0.0"
+      ~doc:"Incremental CFG patching for binary rewriting (ASPLOS 2021)"
+  in
+  exit (Cmd.eval (Cmd.group info [ cmd_inspect; cmd_analyze; cmd_rewrite; cmd_run; cmd_verify; cmd_source; cmd_disasm; cmd_dot; cmd_bench ]))

@@ -1,0 +1,1 @@
+examples/exception_tracer.ml: Arch Compile Format Hashtbl Icfg_analysis Icfg_codegen Icfg_core Icfg_isa Icfg_obj Icfg_runtime Insn Ir List Printf String

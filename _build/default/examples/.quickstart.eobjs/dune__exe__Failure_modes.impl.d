@@ -1,0 +1,1 @@
+examples/failure_modes.ml: Arch Format Icfg_analysis Icfg_codegen Icfg_core Icfg_isa Icfg_workloads List

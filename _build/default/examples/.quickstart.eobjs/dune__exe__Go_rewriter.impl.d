@@ -1,0 +1,1 @@
+examples/go_rewriter.ml: Arch Format Hashtbl Icfg_analysis Icfg_core Icfg_isa Icfg_runtime Icfg_workloads List

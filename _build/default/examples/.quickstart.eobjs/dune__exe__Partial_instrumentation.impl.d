@@ -1,0 +1,1 @@
+examples/partial_instrumentation.ml: Arch Format Hashtbl Icfg_analysis Icfg_core Icfg_isa Icfg_obj Icfg_runtime Icfg_workloads List Option

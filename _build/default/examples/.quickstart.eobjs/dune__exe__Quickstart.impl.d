@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arch Compile Format Hashtbl Icfg_analysis Icfg_codegen Icfg_core Icfg_isa Icfg_obj Icfg_runtime Ir List String

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Format Hashtbl Icfg_isa Icfg_obj Insn List Option Printf String

@@ -1,0 +1,1 @@
+lib/analysis/cfg.mli: Format Hashtbl Icfg_isa Icfg_obj

@@ -1,0 +1,1 @@
+lib/analysis/failure_model.ml:

@@ -1,0 +1,1 @@
+lib/analysis/func_ptr.ml: Cfg Failure_model Format Hashtbl Icfg_isa Icfg_obj Insn List Option Printf Reg String

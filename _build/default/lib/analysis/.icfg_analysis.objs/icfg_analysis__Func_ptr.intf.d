@@ -1,0 +1,1 @@
+lib/analysis/func_ptr.mli: Cfg Failure_model Format Icfg_obj

@@ -1,0 +1,1 @@
+lib/analysis/jump_table.ml: Cfg Failure_model Icfg_isa Icfg_obj Insn List Option Reg

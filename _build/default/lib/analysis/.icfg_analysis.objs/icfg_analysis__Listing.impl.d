@@ -1,0 +1,1 @@
+lib/analysis/listing.ml: Buffer Cfg Failure_model Icfg_isa Icfg_obj Insn Jump_table List Parse Printf String

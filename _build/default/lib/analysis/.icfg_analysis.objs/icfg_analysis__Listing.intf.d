@@ -1,0 +1,1 @@
+lib/analysis/listing.mli: Cfg Failure_model Icfg_obj

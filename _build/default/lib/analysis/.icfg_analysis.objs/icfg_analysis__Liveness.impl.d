@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Cfg Hashtbl Icfg_isa Insn List Option Reg

@@ -1,0 +1,1 @@
+lib/analysis/parse.ml: Cfg Failure_model Format Func_ptr Icfg_isa Icfg_obj Insn Jump_table List Liveness

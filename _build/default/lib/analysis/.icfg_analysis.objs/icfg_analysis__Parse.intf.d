@@ -1,0 +1,1 @@
+lib/analysis/parse.mli: Cfg Failure_model Format Func_ptr Icfg_obj Jump_table Liveness

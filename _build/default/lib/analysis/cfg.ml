@@ -1,0 +1,230 @@
+open Icfg_isa
+module Binary = Icfg_obj.Binary
+module Symbol = Icfg_obj.Symbol
+
+type edge_kind = E_fallthrough | E_branch | E_jump_table of int
+
+type block = {
+  b_start : int;
+  b_end : int;
+  b_insns : (int * Insn.t * int) list;
+}
+
+type t = {
+  fsym : Symbol.t;
+  blocks : block list;
+  succs : (int, (int * edge_kind) list) Hashtbl.t;
+  preds : (int, int list) Hashtbl.t;
+  calls : (int * int option) list;
+  ind_jumps : int list;
+  tail_targets : int list;
+}
+
+let build ?(extra_targets = []) ?(jump_table_edges = []) bin (fsym : Symbol.t) =
+  let lo = fsym.addr and hi = fsym.addr + fsym.size in
+  let in_range a = a >= lo && a < hi in
+  let jt_tbl = Hashtbl.create 4 in
+  List.iter (fun (j, ts) -> Hashtbl.replace jt_tbl j ts) jump_table_edges;
+  let decoded : (int, Insn.t * int) Hashtbl.t = Hashtbl.create 64 in
+  let leaders : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let add_leader a = if in_range a then Hashtbl.replace leaders a () in
+  let insn_edges : (int, (int * edge_kind) list) Hashtbl.t = Hashtbl.create 16 in
+  let add_edge src dst kind =
+    if in_range dst then (
+      add_leader dst;
+      let existing = Option.value ~default:[] (Hashtbl.find_opt insn_edges src) in
+      if not (List.mem (dst, kind) existing) then
+        Hashtbl.replace insn_edges src ((dst, kind) :: existing))
+  in
+  let calls = ref [] in
+  let ind_jumps = ref [] in
+  let tail_targets = ref [] in
+  let rec traverse addr =
+    if in_range addr && not (Hashtbl.mem decoded addr) then (
+      let insn, len = Binary.decode_at bin addr in
+      Hashtbl.replace decoded addr (insn, len);
+      let next = addr + len in
+      match insn with
+      | Jmp d ->
+          let target = addr + d in
+          if in_range target then (
+            add_edge addr target E_branch;
+            traverse target)
+          else tail_targets := target :: !tail_targets
+      | Jcc (_, d) ->
+          let target = addr + d in
+          (if in_range target then (
+             add_edge addr target E_branch;
+             traverse target)
+           else tail_targets := target :: !tail_targets);
+          add_edge addr next E_fallthrough;
+          add_leader next;
+          traverse next
+      | Call d ->
+          calls := (addr, Some (addr + d)) :: !calls;
+          add_edge addr next E_fallthrough;
+          add_leader next;
+          traverse next
+      | IndCall _ | IndCallMem _ ->
+          calls := (addr, None) :: !calls;
+          add_edge addr next E_fallthrough;
+          add_leader next;
+          traverse next
+      | CallRt _ ->
+          add_edge addr next E_fallthrough;
+          add_leader next;
+          traverse next
+      | IndJmp _ ->
+          ind_jumps := addr :: !ind_jumps;
+          List.iter
+            (fun t ->
+              if in_range t then (
+                add_edge addr t (E_jump_table addr);
+                traverse t))
+            (Option.value ~default:[] (Hashtbl.find_opt jt_tbl addr))
+      | Ret | Halt | Throw | Trap | Illegal | Btar -> ()
+      | _ -> traverse next)
+  in
+  add_leader lo;
+  traverse lo;
+  List.iter
+    (fun a ->
+      if in_range a then (
+        add_leader a;
+        traverse a))
+    extra_targets;
+  List.iter
+    (fun (j, ts) ->
+      if Hashtbl.mem decoded j then
+        List.iter
+          (fun t ->
+            if in_range t then (
+              add_leader t;
+              add_edge j t (E_jump_table j);
+              traverse t))
+          ts)
+    jump_table_edges;
+  (* Landing pads are reached by the unwinder; make them leaders too. *)
+  (match Icfg_obj.Ehframe.find bin.Binary.eh_frame lo with
+  | Some fde ->
+      List.iter
+        (fun (_, _, h) ->
+          if in_range h then (
+            add_leader h;
+            traverse h))
+        fde.Icfg_obj.Ehframe.landing_pads
+  | None -> ());
+  (* Form blocks by walking decode chains from each leader. *)
+  let leader_list = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) leaders []) in
+  let blocks =
+    List.filter_map
+      (fun start ->
+        if not (Hashtbl.mem decoded start) then None
+        else
+          let rec collect addr acc =
+            match Hashtbl.find_opt decoded addr with
+            | None -> (List.rev acc, addr)
+            | Some (insn, len) ->
+                let acc = (addr, insn, len) :: acc in
+                let next = addr + len in
+                if Insn.is_terminator insn then (List.rev acc, next)
+                else if Hashtbl.mem leaders next then (List.rev acc, next)
+                else collect next acc
+          in
+          let insns, b_end = collect start [] in
+          Some { b_start = start; b_end; b_insns = insns })
+      leader_list
+  in
+  (* Map instruction-level edges to block-level ones. *)
+  let succs = Hashtbl.create 16 and preds = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let out =
+        List.concat_map
+          (fun (addr, insn, len) ->
+            let direct = Option.value ~default:[] (Hashtbl.find_opt insn_edges addr) in
+            (* Fall-through off the end of a block into the next leader. *)
+            let fall =
+              if
+                addr + len = b.b_end
+                && (not (Insn.is_terminator insn))
+                && Hashtbl.mem decoded b.b_end
+              then [ (b.b_end, E_fallthrough) ]
+              else []
+            in
+            direct @ fall)
+          b.b_insns
+      in
+      Hashtbl.replace succs b.b_start out;
+      List.iter
+        (fun (dst, _) ->
+          Hashtbl.replace preds dst
+            (b.b_start :: Option.value ~default:[] (Hashtbl.find_opt preds dst)))
+        out)
+    blocks;
+  {
+    fsym;
+    blocks;
+    succs;
+    preds;
+    calls = List.rev !calls;
+    ind_jumps = List.rev !ind_jumps;
+    tail_targets = List.sort_uniq compare !tail_targets;
+  }
+
+let block_at t a = List.find_opt (fun b -> b.b_start = a) t.blocks
+let block_containing t a =
+  List.find_opt (fun b -> a >= b.b_start && a < b.b_end) t.blocks
+
+let entry_block t =
+  match block_at t t.fsym.Symbol.addr with
+  | Some b -> b
+  | None -> invalid_arg ("Cfg: no entry block for " ^ t.fsym.Symbol.name)
+
+let successors t a = Option.value ~default:[] (Hashtbl.find_opt t.succs a)
+let predecessors t a = Option.value ~default:[] (Hashtbl.find_opt t.preds a)
+
+let covered_ranges t =
+  let ranges =
+    List.concat_map
+      (fun b -> List.map (fun (a, _, l) -> (a, a + l)) b.b_insns)
+      t.blocks
+  in
+  let sorted = List.sort compare ranges in
+  let rec merge = function
+    | (a1, e1) :: (a2, e2) :: rest when a2 <= e1 ->
+        merge ((a1, max e1 e2) :: rest)
+    | r :: rest -> r :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let gaps t =
+  let lo = t.fsym.Symbol.addr and hi = t.fsym.Symbol.addr + t.fsym.Symbol.size in
+  let covered = covered_ranges t in
+  let rec go pos = function
+    | [] -> if pos < hi then [ (pos, hi) ] else []
+    | (a, e) :: rest ->
+        let before = if pos < a then [ (pos, a) ] else [] in
+        before @ go (max pos e) rest
+  in
+  go lo covered
+
+let terminator b =
+  match List.rev b.b_insns with
+  | ((_, insn, _) as last) :: _ when Insn.is_terminator insn -> Some last
+  | _ -> None
+
+let pp ppf t =
+  Format.fprintf ppf "CFG %s [0x%x, 0x%x): %d blocks@." t.fsym.Symbol.name
+    t.fsym.Symbol.addr
+    (t.fsym.Symbol.addr + t.fsym.Symbol.size)
+    (List.length t.blocks);
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "  block [0x%x, 0x%x) -> %s@." b.b_start b.b_end
+        (String.concat ", "
+           (List.map
+              (fun (d, _) -> Printf.sprintf "0x%x" d)
+              (successors t b.b_start))))
+    t.blocks

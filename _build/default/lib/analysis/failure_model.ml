@@ -1,0 +1,35 @@
+type bound_policy = Bound_guard | Bound_under of int | Bound_over of int
+
+type t = {
+  track_spills : bool;
+  layout_tail_call_heuristic : bool;
+  bound_policy : bound_policy;
+  extend_to_known_data : bool;
+  reloc_fptrs : bool;
+  value_match_fptrs : bool;
+  forward_slice_fptrs : bool;
+}
+
+let ours =
+  {
+    track_spills = true;
+    layout_tail_call_heuristic = true;
+    bound_policy = Bound_guard;
+    extend_to_known_data = true;
+    reloc_fptrs = true;
+    value_match_fptrs = true;
+    forward_slice_fptrs = true;
+  }
+
+let srbi =
+  {
+    track_spills = false;
+    layout_tail_call_heuristic = false;
+    bound_policy = Bound_guard;
+    extend_to_known_data = false;
+    reloc_fptrs = true;
+    value_match_fptrs = true;
+    forward_slice_fptrs = false;
+  }
+
+let with_bounds t bound_policy = { t with bound_policy }

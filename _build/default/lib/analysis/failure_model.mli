@@ -1,0 +1,50 @@
+(** Configuration of analysis strength and injected failures.
+
+    The paper's central methodological claim (section 4.3, Figure 2) is that
+    binary-analysis failures have {e graded} impact on rewriting: graceful
+    analysis failure only lowers coverage, over-approximation only wastes
+    trampoline space, and under-approximation is catastrophic. This module
+    makes analysis strength explicit so the baselines (weaker settings) and
+    the failure-mode experiments (forced mis-approximations) run through the
+    same pipeline as the full system. *)
+
+type bound_policy =
+  | Bound_guard  (** read the bound from the range-check guard (precise) *)
+  | Bound_under of int
+      (** drop this many trailing entries (forced under-approximation) *)
+  | Bound_over of int
+      (** add this many phantom entries (forced over-approximation); the
+          extension stops early at known non-table data when
+          [extend_to_known_data] is also set *)
+
+type t = {
+  track_spills : bool;
+      (** follow values spilled to and reloaded from the stack during
+          backward slicing (section 5.1: a major source of real jump-table
+          analysis failures when absent) *)
+  layout_tail_call_heuristic : bool;
+      (** treat unresolved indirect jumps as tail calls when the function
+          has no non-nop gaps (the paper's new heuristic); without it, an
+          unresolved jump marks the function uninstrumentable *)
+  bound_policy : bound_policy;
+  extend_to_known_data : bool;
+      (** trim table extension at the nearest known data access or next
+          table (Assumption 2 handling) *)
+  reloc_fptrs : bool;  (** discover function pointers from relocations *)
+  value_match_fptrs : bool;
+      (** discover function pointers by scanning data words for values that
+          equal function entries (needed for position-dependent code; unsafe
+          in the presence of forged pointers) *)
+  forward_slice_fptrs : bool;
+      (** track pointer arithmetic from loads of known pointer slots to
+          stores (handles Go's [&runtime.goexit + 1], Listing 1) *)
+}
+
+val ours : t
+(** The paper's full system. *)
+
+val srbi : t
+(** Dyninst-10.2 / SRBI-era analysis: no spill tracking, no layout
+    heuristic, no table extension, no forward slicing. *)
+
+val with_bounds : t -> bound_policy -> t

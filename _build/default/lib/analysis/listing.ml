@@ -1,0 +1,122 @@
+open Icfg_isa
+module Binary = Icfg_obj.Binary
+module Section = Icfg_obj.Section
+module Symbol = Icfg_obj.Symbol
+
+let edge_arrow = function
+  | Cfg.E_fallthrough -> "fall"
+  | Cfg.E_branch -> "branch"
+  | Cfg.E_jump_table _ -> "jt"
+
+let function_listing ?(with_blocks = true) bin (cfg : Cfg.t) =
+  let b = Buffer.create 1024 in
+  let sym = cfg.Cfg.fsym in
+  Buffer.add_string b
+    (Printf.sprintf "%08x <%s>:  (%d bytes, %d blocks)\n" sym.Symbol.addr
+       sym.Symbol.name sym.Symbol.size
+       (List.length cfg.Cfg.blocks));
+  List.iter
+    (fun (blk : Cfg.block) ->
+      if with_blocks then begin
+        let succs =
+          String.concat ", "
+            (List.map
+               (fun (d, k) -> Printf.sprintf "0x%x (%s)" d (edge_arrow k))
+               (Cfg.successors cfg blk.Cfg.b_start))
+        in
+        Buffer.add_string b
+          (Printf.sprintf "  ; block [0x%x, 0x%x) -> %s\n" blk.Cfg.b_start
+             blk.Cfg.b_end
+             (if succs = "" then "(exit)" else succs))
+      end;
+      List.iter
+        (fun (addr, insn, len) ->
+          Buffer.add_string b
+            (Printf.sprintf "  %8x:  (%2d)  %s\n" addr len (Insn.to_string insn)))
+        blk.Cfg.b_insns)
+    cfg.Cfg.blocks;
+  (* gaps: nop padding or embedded data *)
+  List.iter
+    (fun (lo, hi) ->
+      Buffer.add_string b
+        (Printf.sprintf "  ; gap [0x%x, 0x%x): %d bytes not reached by control flow\n"
+           lo hi (hi - lo)))
+    (Cfg.gaps cfg);
+  ignore bin;
+  Buffer.contents b
+
+let binary_listing ?(fm = Failure_model.ours) bin =
+  let b = Buffer.create 4096 in
+  let parse = Parse.parse ~fm bin in
+  List.iter
+    (fun fa ->
+      Buffer.add_string b (function_listing bin fa.Parse.fa_cfg);
+      List.iter
+        (fun (t : Jump_table.table) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "  ; jump table @0x%x: %d x %dB entries, %s, jump @0x%x%s\n"
+               t.Jump_table.t_table t.Jump_table.t_count
+               (Insn.width_bytes t.Jump_table.t_width)
+               (match t.Jump_table.t_base with
+               | None -> "absolute"
+               | Some base -> Printf.sprintf "base 0x%x" base)
+               t.Jump_table.t_jump
+               (if t.Jump_table.t_in_code then " (embedded in code)" else "")))
+        fa.Parse.fa_tables;
+      (match fa.Parse.fa_fail_reason with
+      | Some r -> Buffer.add_string b (Printf.sprintf "  ; UNINSTRUMENTABLE: %s\n" r)
+      | None -> ());
+      Buffer.add_char b '\n')
+    parse.Parse.funcs;
+  Buffer.contents b
+
+let dot_escape s =
+  String.concat "\\n"
+    (String.split_on_char '\n' (String.map (fun c -> if c = '"' then '\'' else c) s))
+
+let cfg_to_dot (cfg : Cfg.t) =
+  let b = Buffer.create 1024 in
+  let name = cfg.Cfg.fsym.Symbol.name in
+  Buffer.add_string b (Printf.sprintf "digraph \"%s\" {\n  node [shape=box, fontname=monospace];\n" name);
+  List.iter
+    (fun (blk : Cfg.block) ->
+      let body =
+        String.concat "\n"
+          (List.map
+             (fun (a, i, _) -> Printf.sprintf "%x: %s" a (Insn.to_string i))
+             blk.Cfg.b_insns)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  b%x [label=\"%s\"];\n" blk.Cfg.b_start
+           (dot_escape body)))
+    cfg.Cfg.blocks;
+  List.iter
+    (fun (blk : Cfg.block) ->
+      List.iter
+        (fun (dst, kind) ->
+          let style =
+            match kind with
+            | Cfg.E_fallthrough -> "style=dashed"
+            | Cfg.E_branch -> "style=solid"
+            | Cfg.E_jump_table _ -> "style=bold, color=blue"
+          in
+          Buffer.add_string b
+            (Printf.sprintf "  b%x -> b%x [%s];\n" blk.Cfg.b_start dst style))
+        (Cfg.successors cfg blk.Cfg.b_start))
+    cfg.Cfg.blocks;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let section_summary (bin : Binary.t) =
+  String.concat "\n"
+    (List.map
+       (fun (s : Section.t) ->
+         Printf.sprintf "%-14s 0x%08x..0x%08x %c%c%c %8d bytes" s.Section.name
+           s.Section.vaddr (Section.end_vaddr s)
+           (if s.Section.perm.Section.read then 'r' else '-')
+           (if s.Section.perm.Section.write then 'w' else '-')
+           (if s.Section.perm.Section.execute then 'x' else '-')
+           (Section.size s))
+       bin.Binary.sections)
+  ^ "\n"

@@ -1,0 +1,22 @@
+(** Disassembly listings and CFG export — the toolbox views a user of the
+    library reaches for first (objdump/dot-style output).
+
+    Listings follow control-flow traversal, so embedded jump tables render
+    as data, not as bogus instructions. *)
+
+val function_listing :
+  ?with_blocks:bool -> Icfg_obj.Binary.t -> Cfg.t -> string
+(** An objdump-like listing of one function: addresses, raw byte counts,
+    mnemonics, block boundaries and edge annotations. *)
+
+val binary_listing : ?fm:Failure_model.t -> Icfg_obj.Binary.t -> string
+(** Listings for every function of the binary, with gaps and in-code jump
+    tables marked. *)
+
+val cfg_to_dot : Cfg.t -> string
+(** Graphviz rendering of one function's CFG: one node per basic block
+    (labelled with its instructions), solid edges for branches, dashed for
+    fall-through, bold for jump-table dispatch. *)
+
+val section_summary : Icfg_obj.Binary.t -> string
+(** One line per section: name, range, permissions, size. *)

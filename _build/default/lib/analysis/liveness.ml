@@ -1,0 +1,86 @@
+open Icfg_isa
+
+type t = { live_in_tbl : (int, Reg.Set.t) Hashtbl.t }
+
+let all_regs = Reg.Set.of_list Reg.all
+
+(* Registers live across a return or an edge we cannot see: the return value
+   plus every callee-saved register, conservatively extended by argument
+   registers (a tail call consumes them). *)
+let exit_live =
+  Reg.Set.of_list ((Reg.ret :: Reg.callee_saved) @ Reg.arg_regs @ [ Reg.toc ])
+
+(* Transfer over one instruction, backwards. Calls define caller-saved
+   registers (they may clobber them) and use argument registers. *)
+let transfer insn live =
+  match insn with
+  | Insn.Call _ | Insn.IndCall _ | Insn.IndCallMem _ | Insn.CallRt _ ->
+      let after_defs =
+        Reg.Set.diff live (Reg.Set.of_list (Reg.ret :: Reg.arg_regs))
+      in
+      let uses = Insn.uses insn in
+      Reg.Set.union (Reg.Set.union after_defs uses) (Reg.Set.of_list Reg.arg_regs)
+  | _ ->
+      let defs = Insn.defs insn and uses = Insn.uses insn in
+      Reg.Set.union (Reg.Set.diff live defs) uses
+
+let analyze (cfg : Cfg.t) =
+  let live_in_tbl = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace live_in_tbl b.Cfg.b_start Reg.Set.empty) cfg.Cfg.blocks;
+  let changed = ref true in
+  let iter = ref 0 in
+  while !changed && !iter < 100 do
+    incr iter;
+    changed := false;
+    List.iter
+      (fun b ->
+        let out =
+          let succs = Cfg.successors cfg b.Cfg.b_start in
+          let term = Cfg.terminator b in
+          let leaves_function =
+            match term with
+            | Some (_, Insn.Ret, _)
+            | Some (_, Insn.IndJmp _, _)
+            | Some (_, Insn.Throw, _)
+            | Some (_, Insn.Halt, _)
+            | Some (_, Insn.Btar, _) ->
+                true
+            | Some (_, Insn.Jmp _, _) when succs = [] -> true (* tail call *)
+            | _ -> false
+          in
+          let from_succs =
+            List.fold_left
+              (fun acc (dst, _) ->
+                Reg.Set.union acc
+                  (Option.value ~default:all_regs
+                     (Hashtbl.find_opt live_in_tbl dst)))
+              Reg.Set.empty succs
+          in
+          if leaves_function || succs = [] then Reg.Set.union from_succs exit_live
+          else from_succs
+        in
+        let inn =
+          List.fold_left
+            (fun live (_, insn, _) -> transfer insn live)
+            out
+            (List.rev b.Cfg.b_insns)
+        in
+        let old =
+          Option.value ~default:Reg.Set.empty
+            (Hashtbl.find_opt live_in_tbl b.Cfg.b_start)
+        in
+        if not (Reg.Set.equal old inn) then (
+          Hashtbl.replace live_in_tbl b.Cfg.b_start inn;
+          changed := true))
+      cfg.Cfg.blocks
+  done;
+  { live_in_tbl }
+
+let live_in t addr =
+  Option.value ~default:all_regs (Hashtbl.find_opt t.live_in_tbl addr)
+
+let dead_in arch t addr =
+  let live = live_in t addr in
+  Reg.Set.filter
+    (fun r -> not (Reg.Set.mem r live))
+    (Reg.Set.of_list (Reg.caller_saved arch))

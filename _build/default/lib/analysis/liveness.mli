@@ -1,0 +1,19 @@
+(** Register liveness over a function CFG.
+
+    Used by trampoline instruction selection (section 7): the ppc64le and
+    aarch64 long trampoline sequences need a scratch register that is dead
+    at the patch point. The analysis is a standard backward may-live
+    fixpoint; anything unknown (indirect control flow leaving the function,
+    calls) conservatively treats the calling convention's live set as live. *)
+
+type t
+
+val analyze : Cfg.t -> t
+
+val live_in : t -> int -> Icfg_isa.Reg.Set.t
+(** Registers possibly live at a block's start address. Unknown blocks
+    report every register live (fully conservative). *)
+
+val dead_in : Icfg_isa.Arch.t -> t -> int -> Icfg_isa.Reg.Set.t
+(** Caller-saved registers that are definitely dead at the block start —
+    candidates for trampoline scratch registers. *)

@@ -1,0 +1,191 @@
+open Icfg_isa
+module Binary = Icfg_obj.Binary
+module Symbol = Icfg_obj.Symbol
+
+type func_analysis = {
+  fa_sym : Symbol.t;
+  fa_cfg : Cfg.t;
+  fa_tables : Jump_table.table list;
+  fa_tail_jumps : int list;
+  fa_instrumentable : bool;
+  fa_fail_reason : string option;
+  fa_liveness : Liveness.t;
+}
+
+type t = {
+  bin : Binary.t;
+  fm : Failure_model.t;
+  funcs : func_analysis list;
+  fptrs : Func_ptr.site list;
+  pointer_targets : int list;
+}
+
+(* Do the bytes of [lo, hi) decode as pure nop padding? *)
+let nop_only bin lo hi =
+  let rec go a =
+    if a >= hi then true
+    else
+      match Binary.decode_at bin a with
+      | Insn.Nop, len -> go (a + len)
+      | _ -> false
+      | exception Invalid_argument _ -> false
+  in
+  go lo
+
+(* SRBI-era tail-call heuristic: frame-teardown instructions appear right
+   before the indirect jump. *)
+let teardown_before_jump (cfg : Cfg.t) jump =
+  match Cfg.block_containing cfg jump with
+  | None -> false
+  | Some b ->
+      List.exists
+        (fun (a, insn, _) ->
+          a < jump && (match insn with Insn.AddSp n -> n > 0 | _ -> false))
+        b.Cfg.b_insns
+
+let analyze_function bin fm (sym : Symbol.t) =
+  (* Pass 1: initial CFG and jump-table slices. *)
+  let cfg0 = Cfg.build bin sym in
+  let slices = List.map (fun j -> (j, Jump_table.slice_jump bin fm cfg0 j)) cfg0.Cfg.ind_jumps in
+  let pres =
+    List.filter_map
+      (fun (_, s) -> match s with Jump_table.S_table p -> Some p | _ -> None)
+      slices
+  in
+  (cfg0, slices, pres)
+
+let finalize_function bin (fm : Failure_model.t) ~known_data fptr_targets
+    ((sym : Symbol.t), (cfg0 : Cfg.t), slices) =
+  let results =
+    List.map
+      (fun (j, s) ->
+        match s with
+        | Jump_table.S_table p ->
+            (j, Jump_table.finalize bin fm ~known_data cfg0 p)
+        | Jump_table.S_pointer_load -> (j, Jump_table.Unresolved "pointer-load")
+        | Jump_table.S_unresolved m -> (j, Jump_table.Unresolved m))
+      slices
+  in
+  let tables =
+    List.filter_map
+      (fun (_, r) ->
+        match r with Jump_table.Resolved t -> Some t | _ -> None)
+      results
+  in
+  let unresolved =
+    List.filter_map
+      (fun (j, r) ->
+        match r with Jump_table.Unresolved m -> Some (j, m) | _ -> None)
+      results
+  in
+  let jump_table_edges =
+    List.map (fun (t : Jump_table.table) -> (t.t_jump, t.t_targets)) tables
+  in
+  let extra_targets =
+    List.filter
+      (fun a -> a >= sym.Symbol.addr && a < sym.Symbol.addr + sym.Symbol.size)
+      fptr_targets
+  in
+  let cfg1 = Cfg.build ~extra_targets ~jump_table_edges bin sym in
+  (* Classify unresolved jumps. *)
+  let table_ranges =
+    List.map
+      (fun (t : Jump_table.table) ->
+        ( t.Jump_table.t_table,
+          t.Jump_table.t_table
+          + (t.Jump_table.t_count * Insn.width_bytes t.Jump_table.t_width) ))
+      (List.filter (fun (t : Jump_table.table) -> t.Jump_table.t_in_code) tables)
+  in
+  let gap_is_benign (lo, hi) =
+    (* Known in-code table data is not a gap; nop padding is benign. *)
+    List.exists (fun (tlo, thi) -> lo >= tlo && hi <= thi) table_ranges
+    || nop_only bin lo hi
+  in
+  let tail_jumps, fail_reason =
+    if unresolved = [] then ([], None)
+    else if fm.layout_tail_call_heuristic then
+      if List.for_all gap_is_benign (Cfg.gaps cfg1) then
+        (List.map fst unresolved, None)
+      else ([], Some (snd (List.hd unresolved) ^ " (function has code gaps)"))
+    else
+      (* Baseline heuristic: frame tear-down right before the jump. *)
+      let tails, fails =
+        List.partition (fun (j, _) -> teardown_before_jump cfg1 j) unresolved
+      in
+      if fails = [] then (List.map fst tails, None)
+      else ([], Some (snd (List.hd fails)))
+  in
+  let instrumentable = fail_reason = None in
+  {
+    fa_sym = sym;
+    fa_cfg = cfg1;
+    fa_tables = tables;
+    fa_tail_jumps = tail_jumps;
+    fa_instrumentable = instrumentable;
+    fa_fail_reason = fail_reason;
+    fa_liveness = Liveness.analyze cfg1;
+  }
+
+let parse ?(fm = Failure_model.ours) bin =
+  let syms = Binary.func_symbols bin in
+  (* Pass 1 over every function: slices for global known-data collection. *)
+  let pass1 =
+    List.map
+      (fun sym ->
+        let cfg0, slices, pres = analyze_function bin fm sym in
+        ((sym, cfg0, slices), pres))
+      syms
+  in
+  let all_pres = List.concat_map snd pass1 in
+  let known_data = Jump_table.known_data bin all_pres in
+  (* Function pointers need CFGs; use the pass-1 CFGs (pointer creation
+     sites live in code reachable without jump-table edges, and case-body
+     sites are found after the final CFG rebuild below if needed). *)
+  let cfg0s = List.map (fun ((_, c, _), _) -> c) pass1 in
+  let fptrs = Func_ptr.analyze bin fm cfg0s in
+  let pointer_targets = Func_ptr.derived_block_targets fptrs in
+  let funcs =
+    List.map
+      (fun ((sym, cfg0, slices), _) ->
+        finalize_function bin fm ~known_data pointer_targets (sym, cfg0, slices))
+      pass1
+  in
+  (* Second function-pointer pass over the final CFGs (covers pointer
+     materializations inside switch-case blocks). *)
+  let fptrs =
+    Func_ptr.analyze bin fm (List.map (fun f -> f.fa_cfg) funcs)
+  in
+  let pointer_targets = Func_ptr.derived_block_targets fptrs in
+  { bin; fm; funcs; fptrs; pointer_targets }
+
+let func t name =
+  List.find_opt (fun f -> f.fa_sym.Symbol.name = name) t.funcs
+
+let func_at t addr =
+  List.find_opt
+    (fun f ->
+      addr >= f.fa_sym.Symbol.addr
+      && addr < f.fa_sym.Symbol.addr + f.fa_sym.Symbol.size)
+    t.funcs
+
+let instrumentable_count t =
+  List.length (List.filter (fun f -> f.fa_instrumentable) t.funcs)
+
+let total_funcs t = List.length t.funcs
+
+let coverage t =
+  if t.funcs = [] then 1.0
+  else float_of_int (instrumentable_count t) /. float_of_int (total_funcs t)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: %d/%d functions instrumentable (%.2f%%), %d fptr sites@."
+    t.bin.Binary.name (instrumentable_count t) (total_funcs t)
+    (100. *. coverage t)
+    (List.length t.fptrs);
+  List.iter
+    (fun f ->
+      match f.fa_fail_reason with
+      | Some r ->
+          Format.fprintf ppf "  uninstrumentable %s: %s@." f.fa_sym.Symbol.name r
+      | None -> ())
+    t.funcs

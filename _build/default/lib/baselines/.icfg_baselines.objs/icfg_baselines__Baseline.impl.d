@@ -1,0 +1,1 @@
+lib/baselines/baseline.ml: Arch Bytes Icfg_analysis Icfg_core Icfg_isa Icfg_obj Insn List Option Printf

@@ -1,0 +1,1 @@
+lib/baselines/baseline.mli: Icfg_core Icfg_obj

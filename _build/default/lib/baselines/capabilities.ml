@@ -1,0 +1,95 @@
+type rewrites = R_none | R_direct | R_indirect
+type reloc_use = Rel_none | Rel_runtime | Rel_linktime | Rel_unspecified
+type unmodified_cf = U_na | U_patching | U_dynamic_translation | U_unspecified
+
+type unwinding =
+  | W_na
+  | W_call_emulation
+  | W_update_dwarf
+  | W_dynamic_translation
+  | W_unspecified
+
+type row = {
+  approach : string;
+  rewrites : rewrites;
+  reloc_use : reloc_use;
+  unmodified : unmodified_cf;
+  unwinding : unwinding;
+}
+
+let table1 =
+  [
+    {
+      approach = "BOLT";
+      rewrites = R_indirect;
+      reloc_use = Rel_linktime;
+      unmodified = U_unspecified;
+      unwinding = W_update_dwarf;
+    };
+    {
+      approach = "Egalito";
+      rewrites = R_indirect;
+      reloc_use = Rel_runtime;
+      unmodified = U_na;
+      unwinding = W_na;
+    };
+    {
+      approach = "E9Patch";
+      rewrites = R_none;
+      reloc_use = Rel_none;
+      unmodified = U_patching;
+      unwinding = W_na;
+    };
+    {
+      approach = "Multiverse";
+      rewrites = R_direct;
+      reloc_use = Rel_none;
+      unmodified = U_dynamic_translation;
+      unwinding = W_call_emulation;
+    };
+    {
+      approach = "RetroWrite";
+      rewrites = R_indirect;
+      reloc_use = Rel_runtime;
+      unmodified = U_na;
+      unwinding = W_na;
+    };
+    {
+      approach = "SRBI";
+      rewrites = R_direct;
+      reloc_use = Rel_none;
+      unmodified = U_patching;
+      unwinding = W_call_emulation;
+    };
+    {
+      approach = "Our work";
+      rewrites = R_indirect;
+      reloc_use = Rel_none;
+      unmodified = U_patching;
+      unwinding = W_dynamic_translation;
+    };
+  ]
+
+let rewrites_name = function
+  | R_none -> "No"
+  | R_direct -> "Direct"
+  | R_indirect -> "Indirect"
+
+let reloc_name = function
+  | Rel_none -> "None"
+  | Rel_runtime -> "Run time"
+  | Rel_linktime -> "Link time"
+  | Rel_unspecified -> ""
+
+let unmodified_name = function
+  | U_na -> "NA"
+  | U_patching -> "Patching"
+  | U_dynamic_translation -> "Dynamic translation"
+  | U_unspecified -> ""
+
+let unwinding_name = function
+  | W_na -> "NA"
+  | W_call_emulation -> "Call emulation"
+  | W_update_dwarf -> "Update DWARF"
+  | W_dynamic_translation -> "Dynamic translation"
+  | W_unspecified -> ""

@@ -1,0 +1,29 @@
+(** The qualitative comparison of binary rewriting approaches (Table 1). *)
+
+type rewrites = R_none | R_direct | R_indirect
+type reloc_use = Rel_none | Rel_runtime | Rel_linktime | Rel_unspecified
+type unmodified_cf = U_na | U_patching | U_dynamic_translation | U_unspecified
+
+type unwinding =
+  | W_na
+  | W_call_emulation
+  | W_update_dwarf
+  | W_dynamic_translation
+  | W_unspecified
+
+type row = {
+  approach : string;
+  rewrites : rewrites;
+  reloc_use : reloc_use;
+  unmodified : unmodified_cf;
+  unwinding : unwinding;
+}
+
+val table1 : row list
+(** BOLT, Egalito, E9Patch, Multiverse, RetroWrite, SRBI, and this work, in
+    the paper's order. *)
+
+val rewrites_name : rewrites -> string
+val reloc_name : reloc_use -> string
+val unmodified_name : unmodified_cf -> string
+val unwinding_name : unwinding -> string

@@ -1,0 +1,1 @@
+lib/codegen/asm.ml: Arch Bytes Encode Hashtbl Icfg_isa Icfg_obj Insn Int32 Int64 List Mater Printf Reg String

@@ -1,0 +1,1 @@
+lib/codegen/asm.mli: Bytes Hashtbl Icfg_isa Icfg_obj

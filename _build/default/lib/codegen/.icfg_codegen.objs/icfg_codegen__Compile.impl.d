@@ -1,0 +1,1 @@
+lib/codegen/compile.ml: Arch Array Asm Bytes Char Debug Hashtbl Icfg_isa Icfg_obj Insn Ir List Printf Reg String

@@ -1,0 +1,1 @@
+lib/codegen/compile.mli: Debug Icfg_isa Icfg_obj Ir

@@ -1,0 +1,1 @@
+lib/codegen/debug.ml: Format Icfg_isa Ir List

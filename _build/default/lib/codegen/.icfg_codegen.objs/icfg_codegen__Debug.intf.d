@@ -1,0 +1,1 @@
+lib/codegen/debug.mli: Format Icfg_isa Ir

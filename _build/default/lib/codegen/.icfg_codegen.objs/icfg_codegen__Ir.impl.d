@@ -1,0 +1,1 @@
+lib/codegen/ir.ml: Array Format Hashtbl Icfg_isa Icfg_obj List Option String

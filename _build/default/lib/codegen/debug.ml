@@ -1,0 +1,45 @@
+type jump_table = {
+  jt_func : string;
+  jt_jump_addr : int;
+  jt_table_addr : int;
+  jt_entry_width : Icfg_isa.Insn.width;
+  jt_count : int;
+  jt_targets : int list;
+  jt_base : int;
+  jt_scale : int;
+  jt_style : Ir.switch_style;
+  jt_in_code : bool;
+}
+
+type fptr =
+  | Fp_slot of { slot : int; func : string; target : int; adjust : int }
+  | Fp_mater of { at : int; len : int; func : string; target : int }
+
+type func_info = {
+  fi_name : string;
+  fi_start : int;
+  fi_end : int;
+  fi_leaf : bool;
+}
+
+type t = {
+  jump_tables : jump_table list;
+  fptrs : fptr list;
+  funcs : func_info list;
+}
+
+let empty = { jump_tables = []; fptrs = []; funcs = [] }
+let jump_tables_of t f = List.filter (fun jt -> jt.jt_func = f) t.jump_tables
+let func_info t name = List.find_opt (fun f -> f.fi_name = name) t.funcs
+
+let pp ppf t =
+  Format.fprintf ppf "%d functions, %d jump tables, %d function pointers@."
+    (List.length t.funcs)
+    (List.length t.jump_tables)
+    (List.length t.fptrs);
+  List.iter
+    (fun jt ->
+      Format.fprintf ppf "  jt in %s: jump@0x%x table@0x%x %d entries x %dB@."
+        jt.jt_func jt.jt_jump_addr jt.jt_table_addr jt.jt_count
+        (Icfg_isa.Insn.width_bytes jt.jt_entry_width))
+    t.jump_tables

@@ -1,0 +1,49 @@
+(** Compiler ground truth.
+
+    The synthetic compilers record exactly where they emitted jump tables and
+    function pointers. This information is {e never} given to the rewriter —
+    the analyses in [icfg_analysis] must rediscover it from the bytes — but
+    the test suite uses it to validate analysis precision, and the failure
+    model uses construct styles to reason about which analyses should
+    struggle. *)
+
+type jump_table = {
+  jt_func : string;  (** containing function *)
+  jt_jump_addr : int;  (** address of the indirect jump *)
+  jt_table_addr : int;
+  jt_entry_width : Icfg_isa.Insn.width;
+  jt_count : int;
+  jt_targets : int list;  (** resolved case addresses *)
+  jt_base : int;  (** 0 when entries are absolute *)
+  jt_scale : int;  (** target = base + scale * entry (scale 1 for absolute) *)
+  jt_style : Ir.switch_style;
+  jt_in_code : bool;  (** table embedded in [.text] (ppc64le) *)
+}
+
+(** A function-pointer creation site. *)
+type fptr =
+  | Fp_slot of { slot : int; func : string; target : int; adjust : int }
+      (** a data word at address [slot] holding [target + adjust] where
+          [target] is the entry of [func] *)
+  | Fp_mater of { at : int; len : int; func : string; target : int }
+      (** an address-materialization instruction sequence in code *)
+
+type func_info = {
+  fi_name : string;
+  fi_start : int;
+  fi_end : int;
+  fi_leaf : bool;
+}
+
+type t = {
+  jump_tables : jump_table list;
+  fptrs : fptr list;
+  funcs : func_info list;
+}
+
+val empty : t
+val jump_tables_of : t -> string -> jump_table list
+(** Ground-truth tables of one function. *)
+
+val func_info : t -> string -> func_info option
+val pp : Format.formatter -> t -> unit

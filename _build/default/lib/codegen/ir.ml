@@ -1,0 +1,262 @@
+type binop = Badd | Bsub | Bmul | Band | Bor | Bxor | Bshl | Bshr
+
+type expr =
+  | Int of int
+  | Var of string
+  | Global of string
+  | Bin of binop * expr * expr
+  | Func_addr of string
+  | Addr_of of string
+  | Load_mem of Icfg_isa.Insn.width * expr
+  | Table_elt of string * expr
+
+type lvalue =
+  | Lvar of string
+  | Lglobal of string
+  | Ltable of string * expr
+  | Lmem of Icfg_isa.Insn.width * expr
+
+type callee = Direct of string | Via_ptr of expr | Via_table of string * int
+
+type stmt =
+  | Let of string * expr
+  | Set of lvalue * expr
+  | If of Icfg_isa.Insn.cond * expr * expr * stmt list * stmt list
+  | For of string * int * int * stmt list
+  | Switch of switch_style * expr * stmt list array * stmt list
+  | Call of string option * callee * expr list
+  | Tail_call of callee
+  | Return of expr
+  | Print of expr
+  | Throw of expr
+  | Try of stmt list * string * stmt list
+  | Go_traceback
+  | Nops of int
+
+and switch_style = Jt_plain | Jt_spilled_base | Jt_data_table
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+  exported : bool;
+}
+
+type data =
+  | Word of string * int
+  | Word_addr of string * string
+  | Func_table of string * string list
+  | Word_array of string * int list
+  | Cstring of string * string
+
+type program = {
+  name : string;
+  funcs : func list;
+  data : data list;
+  main : string;
+  features : Icfg_obj.Binary.features;
+  go_functab : bool;
+}
+
+let func ?(exported = false) fname params body = { fname; params; body; exported }
+
+let program ?(data = []) ?(features = Icfg_obj.Binary.no_features)
+    ?(go_functab = false) ~name ~main funcs =
+  { name; funcs; data; main; features; go_functab }
+
+let locals_of_func f =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let bind v =
+    if not (Hashtbl.mem seen v) then (
+      Hashtbl.add seen v ();
+      out := v :: !out)
+  in
+  List.iter bind f.params;
+  let rec stmt = function
+    | Let (v, _) -> bind v
+    | Set (_, _) | Return _ | Print _ | Throw _ | Go_traceback | Nops _
+    | Tail_call _ ->
+        ()
+    | If (_, _, _, a, b) ->
+        List.iter stmt a;
+        List.iter stmt b
+    | For (v, _, _, body) ->
+        bind v;
+        List.iter stmt body
+    | Switch (_, _, cases, default) ->
+        Array.iter (List.iter stmt) cases;
+        List.iter stmt default
+    | Call (res, _, _) -> Option.iter bind res
+    | Try (body, v, handler) ->
+        List.iter stmt body;
+        bind v;
+        List.iter stmt handler
+  in
+  List.iter stmt f.body;
+  List.rev !out
+
+let check p =
+  let fail fmt = Format.kasprintf invalid_arg fmt in
+  let have_func n = List.exists (fun f -> f.fname = n) p.funcs in
+  if not (have_func p.main) then fail "Ir.check: main %s undefined" p.main;
+  let check_callee where = function
+    | Direct n when not (have_func n) ->
+        fail "Ir.check: %s calls undefined %s" where n
+    | Direct _ | Via_ptr _ | Via_table _ -> ()
+  in
+  let rec check_stmts where stmts =
+    let rec go = function
+      | [] -> ()
+      | [ Tail_call c ] -> check_callee where c
+      | Tail_call _ :: _ ->
+          fail "Ir.check: %s has a non-final Tail_call" where
+      | s :: rest ->
+          (match s with
+          | Call (_, c, args) ->
+              check_callee where c;
+              if List.length args > 4 then
+                fail "Ir.check: %s passes more than 4 arguments" where
+          | If (_, _, _, a, b) ->
+              check_stmts where a;
+              check_stmts where b
+          | For (_, _, _, body) -> check_stmts where body
+          | Switch (_, _, cases, default) ->
+              Array.iter (check_stmts where) cases;
+              check_stmts where default
+          | Try (body, _, handler) ->
+              check_stmts where body;
+              check_stmts where handler
+          | Let _ | Set _ | Return _ | Print _ | Throw _ | Go_traceback
+          | Nops _ | Tail_call _ ->
+              ());
+          go rest
+    in
+    go stmts
+  in
+  List.iter (fun f -> check_stmts f.fname f.body) p.funcs
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (C-like rendering for docs and debugging)           *)
+(* ------------------------------------------------------------------ *)
+
+let binop_symbol = function
+  | Badd -> "+"
+  | Bsub -> "-"
+  | Bmul -> "*"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Bshl -> "<<"
+  | Bshr -> ">>"
+
+let rec pp_expr ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Var v -> Format.pp_print_string ppf v
+  | Global g -> Format.fprintf ppf "%s" g
+  | Bin (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Func_addr f -> Format.fprintf ppf "&%s" f
+  | Addr_of g -> Format.fprintf ppf "&%s" g
+  | Load_mem (w, a) ->
+      Format.fprintf ppf "*(i%d*)%a" (8 * Icfg_isa.Insn.width_bytes w) pp_expr a
+  | Table_elt (t, i) -> Format.fprintf ppf "%s[%a]" t pp_expr i
+
+let pp_lvalue ppf = function
+  | Lvar v -> Format.pp_print_string ppf v
+  | Lglobal g -> Format.pp_print_string ppf g
+  | Ltable (t, i) -> Format.fprintf ppf "%s[%a]" t pp_expr i
+  | Lmem (w, a) ->
+      Format.fprintf ppf "*(i%d*)%a" (8 * Icfg_isa.Insn.width_bytes w) pp_expr a
+
+let pp_callee ppf = function
+  | Direct f -> Format.pp_print_string ppf f
+  | Via_ptr e -> Format.fprintf ppf "(*%a)" pp_expr e
+  | Via_table (t, k) -> Format.fprintf ppf "(*%s[%d])" t k
+
+let cond_symbol : Icfg_isa.Insn.cond -> string = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_expr ppf args
+
+let rec pp_stmt indent ppf stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Let (v, e) -> Format.fprintf ppf "%slet %s = %a;@." pad v pp_expr e
+  | Set (lv, e) -> Format.fprintf ppf "%s%a = %a;@." pad pp_lvalue lv pp_expr e
+  | If (c, a, b, yes, no) ->
+      Format.fprintf ppf "%sif (%a %s %a) {@." pad pp_expr a (cond_symbol c)
+        pp_expr b;
+      List.iter (pp_stmt (indent + 2) ppf) yes;
+      if no <> [] then begin
+        Format.fprintf ppf "%s} else {@." pad;
+        List.iter (pp_stmt (indent + 2) ppf) no
+      end;
+      Format.fprintf ppf "%s}@." pad
+  | For (v, lo, hi, body) ->
+      Format.fprintf ppf "%sfor (%s = %d; %s < %d; %s++) {@." pad v lo v hi v;
+      List.iter (pp_stmt (indent + 2) ppf) body;
+      Format.fprintf ppf "%s}@." pad
+  | Switch (style, e, cases, default) ->
+      Format.fprintf ppf "%sswitch%s (%a) {@." pad
+        (match style with
+        | Jt_plain -> ""
+        | Jt_spilled_base -> " /* spilled base */"
+        | Jt_data_table -> " /* writable table */")
+        pp_expr e;
+      Array.iteri
+        (fun k body ->
+          Format.fprintf ppf "%s  case %d:@." pad k;
+          List.iter (pp_stmt (indent + 4) ppf) body)
+        cases;
+      Format.fprintf ppf "%s  default:@." pad;
+      List.iter (pp_stmt (indent + 4) ppf) default;
+      Format.fprintf ppf "%s}@." pad
+  | Call (res, callee, args) ->
+      (match res with
+      | Some v -> Format.fprintf ppf "%slet %s = %a(%a);@." pad v pp_callee callee pp_args args
+      | None -> Format.fprintf ppf "%s%a(%a);@." pad pp_callee callee pp_args args)
+  | Tail_call callee -> Format.fprintf ppf "%sreturn %a();  /* tail */@." pad pp_callee callee
+  | Return e -> Format.fprintf ppf "%sreturn %a;@." pad pp_expr e
+  | Print e -> Format.fprintf ppf "%sprint(%a);@." pad pp_expr e
+  | Throw e -> Format.fprintf ppf "%sthrow %a;@." pad pp_expr e
+  | Try (body, v, handler) ->
+      Format.fprintf ppf "%stry {@." pad;
+      List.iter (pp_stmt (indent + 2) ppf) body;
+      Format.fprintf ppf "%s} catch (%s) {@." pad v;
+      List.iter (pp_stmt (indent + 2) ppf) handler;
+      Format.fprintf ppf "%s}@." pad
+  | Go_traceback -> Format.fprintf ppf "%sruntime.traceback();@." pad
+  | Nops n -> Format.fprintf ppf "%s/* %d nops */@." pad n
+
+let pp_func ppf f =
+  Format.fprintf ppf "func %s(%s) {@." f.fname (String.concat ", " f.params);
+  List.iter (pp_stmt 2 ppf) f.body;
+  Format.fprintf ppf "}@."
+
+let pp_data ppf = function
+  | Word (g, v) -> Format.fprintf ppf "var %s = %d@." g v
+  | Word_addr (g, f) -> Format.fprintf ppf "var %s = &%s@." g f
+  | Func_table (t, fs) ->
+      Format.fprintf ppf "var %s = [%s]@." t
+        (String.concat ", " (List.map (fun f -> "&" ^ f) fs))
+  | Word_array (g, vs) ->
+      Format.fprintf ppf "var %s = [%d words]@." g (List.length vs)
+  | Cstring (g, s) -> Format.fprintf ppf "const %s = %S@." g s
+
+let pp_program ppf p =
+  Format.fprintf ppf "// program %s (main = %s)@." p.name p.main;
+  List.iter (pp_data ppf) p.data;
+  List.iter
+    (fun f ->
+      Format.pp_print_newline ppf ();
+      pp_func ppf f)
+    p.funcs

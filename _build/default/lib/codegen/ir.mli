@@ -1,0 +1,124 @@
+(** A small structured IR that the synthetic compilers lower to binaries.
+
+    The IR deliberately covers exactly the source-level constructs whose
+    compiled forms the paper's analyses must handle: switches (jump tables),
+    function pointers (tables, arithmetic on pointers à la Go's
+    [&runtime.goexit + 1]), C++-style exceptions, Go-style traceback, direct
+    and indirect tail calls, and a few "hard" variants that defeat specific
+    analysis assumptions. *)
+
+type binop = Badd | Bsub | Bmul | Band | Bor | Bxor | Bshl | Bshr
+
+type expr =
+  | Int of int
+  | Var of string  (** local variable or parameter *)
+  | Global of string  (** 8-byte global data slot *)
+  | Bin of binop * expr * expr
+  | Func_addr of string  (** address of a function (a function pointer) *)
+  | Addr_of of string  (** address of a global data object *)
+  | Load_mem of Icfg_isa.Insn.width * expr  (** load from a computed address *)
+  | Table_elt of string * expr  (** [mem(global_table + 8 * index)] *)
+
+type lvalue =
+  | Lvar of string
+  | Lglobal of string
+  | Ltable of string * expr  (** 8-byte store into a global table *)
+  | Lmem of Icfg_isa.Insn.width * expr  (** store to a computed address *)
+
+type callee =
+  | Direct of string
+  | Via_ptr of expr  (** indirect call through a computed function pointer *)
+  | Via_table of string * int
+      (** [call *(table + 8*k)] — a memory-indirect call through a constant
+          slot of a function-pointer table *)
+
+type stmt =
+  | Let of string * expr  (** first assignment declares the local *)
+  | Set of lvalue * expr
+  | If of Icfg_isa.Insn.cond * expr * expr * stmt list * stmt list
+  | For of string * int * int * stmt list  (** [for v = lo; v < hi; v++] *)
+  | Switch of switch_style * expr * stmt list array * stmt list
+      (** cases 0..n-1, then default; compiles to a jump table *)
+  | Call of string option * callee * expr list
+      (** optional result variable; up to 4 arguments *)
+  | Tail_call of callee
+      (** must be the last statement of its block; compiles to a full
+          epilogue followed by a jump (direct or indirect tail call) *)
+  | Return of expr
+  | Print of expr  (** observable output *)
+  | Throw of expr
+  | Try of stmt list * string * stmt list  (** try/catch: body, var, handler *)
+  | Go_traceback  (** Go runtime: walk the stack (GC / stack growth) *)
+  | Nops of int  (** filler instructions *)
+
+(** How the switch's jump table is compiled. *)
+and switch_style =
+  | Jt_plain  (** the architecture's default jump-table idiom *)
+  | Jt_spilled_base
+      (** the table base is spilled to the stack and reloaded before use;
+          resolvable only by an analysis that tracks memory (section 5.1's
+          "values spilled to and reloaded from memory") *)
+  | Jt_data_table
+      (** dispatch through a writable in-data pointer table: genuinely
+          unresolvable statically, and not a tail call (the function has
+          real code gaps), so the function must be marked uninstrumentable *)
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+  exported : bool;
+      (** address-taken / externally visible; its entry may be reached by
+          unrewritten pointers *)
+}
+
+(** Global data definitions. *)
+type data =
+  | Word of string * int  (** one 8-byte slot with an integer value *)
+  | Word_addr of string * string
+      (** one 8-byte slot holding the address of a function — a data-resident
+          function pointer (gets an R_RELATIVE relocation under PIE) *)
+  | Func_table of string * string list  (** array of function pointers *)
+  | Word_array of string * int list
+  | Cstring of string * string  (** constant bytes in [.rodata] *)
+
+type program = {
+  name : string;
+  funcs : func list;
+  data : data list;
+  main : string;  (** name of the entry function *)
+  features : Icfg_obj.Binary.features;
+  go_functab : bool;
+      (** synthesize Go's [runtime.findfunc]/[runtime.pcvalue] over a
+          generated [.gopclntab] function table *)
+}
+
+val func : ?exported:bool -> string -> string list -> stmt list -> func
+
+val program :
+  ?data:data list ->
+  ?features:Icfg_obj.Binary.features ->
+  ?go_functab:bool ->
+  name:string ->
+  main:string ->
+  func list ->
+  program
+
+val locals_of_func : func -> string list
+(** Parameters followed by every variable bound by [Let], [For], a call
+    result, or a catch clause, in first-use order. *)
+
+val check : program -> unit
+(** Sanity checks: [main] exists, call targets exist, [Tail_call] ends its
+    statement list, argument counts are at most 4.
+    Raises [Invalid_argument]. *)
+
+(** {1 Pretty-printing}
+
+    A C-like rendering of programs, used by the CLI and for debugging
+    generated workloads. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : int -> Format.formatter -> stmt -> unit
+val pp_func : Format.formatter -> func -> unit
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,1 @@
+lib/core/rewriter.ml: Arch Array Bytes Char Encode Format Hashtbl Icfg_analysis Icfg_codegen Icfg_isa Icfg_obj Icfg_runtime Insn Int List Mode Option Printf Reg Set String

@@ -1,0 +1,1 @@
+lib/core/rewriter.mli: Format Hashtbl Icfg_analysis Icfg_isa Icfg_obj Icfg_runtime Mode

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Format Hashtbl Icfg_analysis Icfg_obj Icfg_runtime List Option Rewriter

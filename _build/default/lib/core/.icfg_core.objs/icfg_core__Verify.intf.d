@@ -1,0 +1,1 @@
+lib/core/verify.mli: Format Icfg_analysis Icfg_obj Rewriter

@@ -1,0 +1,14 @@
+type t = Dir | Jt | Func_ptr
+
+let all = [ Dir; Jt; Func_ptr ]
+let name = function Dir -> "dir" | Jt -> "jt" | Func_ptr -> "func-ptr"
+
+let of_string = function
+  | "dir" -> Some Dir
+  | "jt" -> Some Jt
+  | "func-ptr" | "funcptr" | "func_ptr" -> Some Func_ptr
+  | _ -> None
+
+let pp ppf m = Format.pp_print_string ppf (name m)
+let rewrites_jump_tables = function Dir -> false | Jt | Func_ptr -> true
+let rewrites_func_ptrs = function Dir | Jt -> false | Func_ptr -> true

@@ -1,0 +1,21 @@
+(** The three incremental rewriting modes (section 3 of the paper).
+
+    Each mode rewrites strictly more control flow than the previous one,
+    removing classes of control-flow-landing blocks and with them runtime
+    bounces between the original and relocated code:
+
+    - [Dir]: direct branches and calls only;
+    - [Jt]: also intra-procedural indirect control flow (jump tables are
+      cloned, so switch dispatch stays in the relocated code);
+    - [Func_ptr]: also inter-procedural indirect control flow (function
+      pointer definitions are rewritten to relocated entries). *)
+
+type t = Dir | Jt | Func_ptr
+
+val all : t list
+val name : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+
+val rewrites_jump_tables : t -> bool
+val rewrites_func_ptrs : t -> bool

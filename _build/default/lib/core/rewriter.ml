@@ -1,0 +1,1032 @@
+open Icfg_isa
+module Binary = Icfg_obj.Binary
+module Section = Icfg_obj.Section
+module Symbol = Icfg_obj.Symbol
+module Reloc = Icfg_obj.Reloc
+module Abi = Icfg_obj.Abi
+module Asm = Icfg_codegen.Asm
+module Parse = Icfg_analysis.Parse
+module Cfg = Icfg_analysis.Cfg
+module Jump_table = Icfg_analysis.Jump_table
+module Func_ptr = Icfg_analysis.Func_ptr
+module Liveness = Icfg_analysis.Liveness
+module Trampoline = Icfg_isa.Trampoline
+module Ra_map = Icfg_runtime.Runtime_lib.Ra_map
+
+type payload = P_empty | P_count
+
+type granularity = G_block | G_func_entry
+
+type options = {
+  mode : Mode.t;
+  payload : payload;
+  granularity : granularity;
+  only : string list option;
+  tramp_at_every_block : bool;
+  call_emulation : bool;
+  ra_translation : bool;
+  use_superblocks : bool;
+  use_scratch_pool : bool;
+  instr_gap : int;
+  overwrite_original : bool;
+  order : [ `Original | `Reverse_funcs | `Reverse_blocks ];
+  rewrite_direct : bool;
+  bounce_back : bool;
+  dyn_translate : bool;
+  sparse_placement : bool;
+}
+
+let default_options =
+  {
+    mode = Mode.Jt;
+    payload = P_empty;
+    granularity = G_block;
+    only = None;
+    tramp_at_every_block = false;
+    call_emulation = false;
+    ra_translation = true;
+    use_superblocks = true;
+    use_scratch_pool = true;
+    instr_gap = 0x1000;
+    overwrite_original = true;
+    order = `Original;
+    rewrite_direct = true;
+    bounce_back = false;
+    dyn_translate = false;
+    sparse_placement = false;
+  }
+
+let srbi_like payload =
+  {
+    mode = Mode.Dir;
+    payload;
+    granularity = G_block;
+    only = None;
+    tramp_at_every_block = true;
+    call_emulation = true;
+    ra_translation = false;
+    use_superblocks = false;
+    use_scratch_pool = false;
+    (* Legacy placement: the relocated area sits far from the original
+       image, which exhausts the ppc64le branch range. *)
+    instr_gap = 0x1000;
+    overwrite_original = true;
+    order = `Original;
+    rewrite_direct = true;
+    bounce_back = false;
+    dyn_translate = false;
+    sparse_placement = false;
+  }
+
+type stats = {
+  s_funcs_total : int;
+  s_funcs_instrumented : int;
+  s_blocks : int;
+  s_cfl_blocks : int;
+  s_trampolines : int;
+  s_short_trampolines : int;
+  s_long_trampolines : int;
+  s_multi_hop : int;
+  s_trap_trampolines : int;
+  s_cloned_tables : int;
+  s_rewritten_slots : int;
+  s_orig_size : int;
+  s_new_size : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "funcs %d/%d, blocks %d (cfl %d), trampolines %d (short %d, long %d, \
+     hop %d, trap %d), %d cloned tables, %d slots, size %d -> %d (+%.1f%%)"
+    s.s_funcs_instrumented s.s_funcs_total s.s_blocks s.s_cfl_blocks
+    s.s_trampolines s.s_short_trampolines s.s_long_trampolines s.s_multi_hop
+    s.s_trap_trampolines s.s_cloned_tables s.s_rewritten_slots s.s_orig_size
+    s.s_new_size
+    (100. *. float_of_int (s.s_new_size - s.s_orig_size)
+    /. float_of_int (max 1 s.s_orig_size))
+
+type t = {
+  rw_binary : Binary.t;
+  rw_ra_map : Ra_map.t;
+  rw_trap_map : (int, int) Hashtbl.t;
+  rw_counter_of_site : (int, int) Hashtbl.t;
+  rw_dt_sites : (int, Reg.t) Hashtbl.t;
+  rw_go_hook : bool;
+  rw_translate_hook : bool;
+  rw_stats : stats;
+  rw_relocated_entry : int -> int option;
+}
+
+let block_label a = Printf.sprintf "R$%x" a
+let table_label a = Printf.sprintf "JT$%x" a
+let align_up n a = (n + a - 1) / a * a
+
+module IntSet = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* CFL classification (section 4)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cfl_blocks opts (p : Parse.t) (fa : Parse.func_analysis) =
+  let cfg = fa.Parse.fa_cfg in
+  if
+    (* B_inst-aware refinement (the paper's section 4.2 note): when only
+       function entries are instrumented and the original code is left
+       intact, every intra-procedural path from a non-entry CFL block to an
+       instrumented block crosses a call — and the callee's entry trampoline
+       covers it. Only entry blocks need trampolines. *)
+    opts.sparse_placement
+    && opts.granularity = G_func_entry
+    && not opts.overwrite_original
+  then IntSet.singleton fa.Parse.fa_sym.Symbol.addr
+  else if opts.tramp_at_every_block then
+    IntSet.of_list (List.map (fun b -> b.Cfg.b_start) cfg.Cfg.blocks)
+  else
+    let entry = fa.Parse.fa_sym.Symbol.addr in
+    let fend = entry + fa.Parse.fa_sym.Symbol.size in
+    let in_func a = a >= entry && a < fend in
+    let pads =
+      match Icfg_obj.Ehframe.find p.Parse.bin.Binary.eh_frame entry with
+      | Some fde ->
+          List.filter_map
+            (fun (_, _, h) -> if in_func h then Some h else None)
+            fde.Icfg_obj.Ehframe.landing_pads
+      | None -> []
+    in
+    let ptr_targets = List.filter in_func p.Parse.pointer_targets in
+    (* Jump-table target blocks stay CFL until the tables are cloned. *)
+    let jt_targets =
+      if Mode.rewrites_jump_tables opts.mode then []
+      else List.concat_map (fun t -> t.Jump_table.t_targets) fa.Parse.fa_tables
+    in
+    (* Call emulation returns to the original fall-through. *)
+    let call_falls =
+      if not opts.call_emulation then []
+      else
+        List.concat_map
+          (fun b ->
+            match Cfg.terminator b with
+            | Some (a, i, len) when Insn.is_call i -> [ a + len ]
+            | _ -> [])
+          cfg.Cfg.blocks
+    in
+    let candidates = (entry :: pads) @ ptr_targets @ jt_targets @ call_falls in
+    IntSet.of_list
+      (List.filter_map
+         (fun a ->
+           match Cfg.block_at cfg a with
+           | Some b -> Some b.Cfg.b_start
+           | None -> None)
+         candidates)
+
+(* ------------------------------------------------------------------ *)
+(* Relocation context                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type rctx = {
+  p : Parse.t;
+  opts : options;
+  arch : Arch.t;
+  count_idx : int;
+  translate_idx : int;
+  dt_idx : int;
+  far : bool;  (** direct branches cannot span .text -> .instr *)
+  is_instrumented : int -> bool;  (** by function entry address *)
+  mutable items : Asm.item list;  (** .instr, reversed *)
+  mutable jt_items : Asm.item list;  (** .jtnew, reversed *)
+  mutable ra_pairs : (string * int) list;  (** label, original RA *)
+  mutable throw_pairs : (string * int) list;  (** label, original throw site *)
+  mutable block_pairs : (string * int) list;  (** label, original block *)
+  mutable counter_sites : (string * int) list;  (** label, original block *)
+  mutable pending_traps : (string * int) list;  (** label, target address *)
+  mutable dt_sites : (string * Reg.t) list;  (** dyn-translation call sites *)
+  mutable fresh : int;
+  (* per-binary stats *)
+  mutable n_cloned : int;
+}
+
+let fresh_label ctx prefix =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s$%d" prefix ctx.fresh
+
+let emit ctx its = ctx.items <- List.rev_append its ctx.items
+let emit_jt ctx its = ctx.jt_items <- List.rev_append its ctx.jt_items
+
+(* A far unconditional jump to a fixed original address, usable at any
+   point in the relocated stream without a known-dead register. *)
+let far_jump_items ctx target =
+  match ctx.arch with
+  | Arch.X86_64 -> [ Asm.Jmp_abs target ]
+  | Arch.Ppc64le ->
+      [
+        Asm.Insn (Insn.Store (W64, BSp, -8, Reg.r15));
+        Asm.Mater_const (Reg.r15, target);
+        Asm.Insn (Insn.Mttar Reg.r15);
+        Asm.Insn (Insn.Load (W64, Reg.r15, BSp, -8));
+        Asm.Insn Insn.Btar;
+      ]
+  | Arch.Aarch64 ->
+      (* No branch-target register: fall back to a trap resolved by the
+         runtime library. *)
+      let l = fresh_label ctx "TRAP" in
+      ctx.pending_traps <- (l, target) :: ctx.pending_traps;
+      [ Asm.Label l; Asm.Insn Insn.Trap ]
+
+(* A far call: spill the target through the stack so no dead register is
+   required (the VM reads the memory-indirect target before pushing the
+   return address). *)
+let far_call_items _ctx target =
+  [
+    Asm.Insn (Insn.Store (W64, BSp, -16, Reg.r15));
+    Asm.Mater_const (Reg.r15, target);
+    Asm.Insn (Insn.Store (W64, BSp, -8, Reg.r15));
+    Asm.Insn (Insn.Load (W64, Reg.r15, BSp, -16));
+    Asm.Insn (Insn.IndCallMem (BSp, -8));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-function relocation                                             *)
+(* ------------------------------------------------------------------ *)
+
+type fctx = {
+  fstart : int;
+  fend : int;
+  jt_mater : (int, string) Hashtbl.t;
+  jt_load : (int, unit) Hashtbl.t;
+  fp_mater : (int, string) Hashtbl.t;
+}
+
+let record_ra ctx orig_ra =
+  let l = fresh_label ctx "RA" in
+  ctx.ra_pairs <- (l, orig_ra) :: ctx.ra_pairs;
+  [ Asm.Label l ]
+
+let record_throw ctx orig =
+  let l = fresh_label ctx "THR" in
+  ctx.throw_pairs <- (l, orig) :: ctx.throw_pairs;
+  [ Asm.Label l ]
+
+let translate_call ctx fc addr len target =
+  ignore fc;
+  let next = addr + len in
+  let call_items =
+    if ctx.is_instrumented target then [ Asm.Call_to (block_label target) ]
+    else if not ctx.far then [ Asm.Call_abs target ]
+    else far_call_items ctx target
+  in
+  if not ctx.opts.call_emulation then call_items @ record_ra ctx next
+  else
+    (* Call emulation (SRBI/Multiverse): the callee sees the ORIGINAL
+       return address; the return lands in original code. *)
+    let jump_items =
+      if ctx.is_instrumented target then [ Asm.Jmp_to (block_label target) ]
+      else if not ctx.far then [ Asm.Jmp_abs target ]
+      else far_jump_items ctx target
+    in
+    if Arch.has_link_register ctx.arch then
+      [
+        Asm.Insn (Insn.Store (W64, BSp, -8, Reg.r15));
+        Asm.Mater_const (Reg.r15, next);
+        Asm.Insn (Insn.Mtlr Reg.r15);
+        Asm.Insn (Insn.Load (W64, Reg.r15, BSp, -8));
+      ]
+      @ jump_items
+    else
+      [
+        Asm.Insn (Insn.Store (W64, BSp, -16, Reg.r15));
+        Asm.Mater_const (Reg.r15, next);
+        Asm.Insn (Insn.Store (W64, BSp, -8, Reg.r15));
+        Asm.Insn (Insn.Load (W64, Reg.r15, BSp, -16));
+        Asm.Insn (Insn.AddSp (-8));
+      ]
+      @ jump_items
+
+(* Register a Multiverse-style dynamic-translation call before an indirect
+   transfer: at run time the routine rewrites the target register through
+   the original->relocated map. *)
+let dt_call ctx reg =
+  let l = fresh_label ctx "DT" in
+  ctx.dt_sites <- (l, reg) :: ctx.dt_sites;
+  [ Asm.Label l; Asm.Insn (Insn.CallRt ctx.dt_idx) ]
+
+let translate_insn ctx fc (addr, (insn : Insn.t), len) : Asm.item list =
+  let in_func a = a >= fc.fstart && a < fc.fend in
+  let jt_at a = Hashtbl.find_opt fc.jt_mater a in
+  let fp_at a = Hashtbl.find_opt fc.fp_mater a in
+  match insn with
+  | Jmp d ->
+      let tgt = addr + d in
+      if not ctx.opts.rewrite_direct then
+        if not ctx.far then [ Asm.Jmp_abs tgt ] else far_jump_items ctx tgt
+      else if in_func tgt || ctx.is_instrumented tgt then
+        [ Asm.Jmp_to (block_label tgt) ]
+      else if not ctx.far then [ Asm.Jmp_abs tgt ]
+      else far_jump_items ctx tgt
+  | Jcc (c, d) ->
+      let tgt = addr + d in
+      if not ctx.opts.rewrite_direct then [ Asm.Jcc_abs (c, tgt) ]
+      else if in_func tgt || ctx.is_instrumented tgt then
+        [ Asm.Jcc_to (c, block_label tgt) ]
+      else [ Asm.Jcc_abs (c, tgt) ]
+  | Call d when not ctx.opts.rewrite_direct ->
+      (if not ctx.far then [ Asm.Call_abs (addr + d) ]
+       else far_call_items ctx (addr + d))
+      @ record_ra ctx (addr + len)
+  | Call d -> translate_call ctx fc addr len (addr + d)
+  | IndJmp r when ctx.opts.dyn_translate ->
+      dt_call ctx r @ [ Asm.Insn insn ]
+  | IndCall r when ctx.opts.dyn_translate ->
+      dt_call ctx r @ [ Asm.Insn insn ] @ record_ra ctx (addr + len)
+  | IndCallMem (b, d) when ctx.opts.dyn_translate ->
+      [
+        Asm.Insn (Insn.Store (W64, BSp, -16, Reg.r15));
+        Asm.Insn (Insn.Load (W64, Reg.r15, b, d));
+      ]
+      @ dt_call ctx Reg.r15
+      @ [
+          Asm.Insn (Insn.Store (W64, BSp, -8, Reg.r15));
+          Asm.Insn (Insn.Load (W64, Reg.r15, BSp, -16));
+          Asm.Insn (Insn.IndCallMem (BSp, -8));
+        ]
+      @ record_ra ctx (addr + len)
+  | IndCall _ | IndCallMem _ ->
+      if ctx.opts.call_emulation then
+        (* Indirect calls are not emulated (the Dyninst-10.2 limitation the
+           paper reports); keep the plain call, which pushes a relocated
+           return address. *)
+        [ Asm.Insn insn ]
+      else [ Asm.Insn insn ] @ record_ra ctx (addr + len)
+  | Movabs (r, _) -> (
+      match (jt_at addr, fp_at addr) with
+      | Some lbl, _ | None, Some lbl -> [ Asm.Movabs_of (r, lbl) ]
+      | None, None -> [ Asm.Insn insn ])
+  | Mov (r, Imm _) -> (
+      match fp_at addr with
+      | Some lbl when ctx.arch = Arch.X86_64 -> [ Asm.Movabs_of (r, lbl) ]
+      | _ -> [ Asm.Insn insn ])
+  | Lea (r, d) -> (
+      match (jt_at addr, fp_at addr) with
+      | Some lbl, _ -> [ Asm.Lea_of (r, lbl) ]
+      | None, Some lbl -> [ Asm.Lea_of (r, lbl) ]
+      | None, None -> [ Asm.Mater_const (r, addr + d) ])
+  | Adrp (r, d) -> (
+      match (jt_at addr, fp_at addr) with
+      | Some lbl, _ -> [ Asm.Adrp_of (r, lbl) ]
+      | None, Some lbl -> [ Asm.Adrp_of (r, lbl) ]
+      | None, None -> [ Asm.Mater_const (r, (addr land lnot 4095) + d) ])
+  | Addis (rd, rs, _) when Reg.equal rs Reg.toc -> (
+      match (jt_at addr, fp_at addr) with
+      | Some lbl, _ -> [ Asm.Addis_toc (rd, lbl) ]
+      | None, Some lbl -> [ Asm.Addis_toc (rd, lbl) ]
+      | None, None -> [ Asm.Insn insn ])
+  | Add (r, Imm _) -> (
+      match (jt_at addr, fp_at addr) with
+      | Some lbl, _ | None, Some lbl -> (
+          match ctx.arch with
+          | Arch.Ppc64le -> [ Asm.Addlo_toc (r, lbl) ]
+          | Arch.Aarch64 -> [ Asm.Addlo_page (r, lbl) ]
+          | Arch.X86_64 -> [ Asm.Insn insn ])
+      | None, None -> [ Asm.Insn insn ])
+  | LoadIdx (_, rd, rb, ri, _) when Hashtbl.mem fc.jt_load addr ->
+      (* Cloned narrow table: widen the read to 4 bytes, stride 4. *)
+      [ Asm.Insn (Insn.LoadIdx (W32, rd, rb, ri, 4)) ]
+  | Throw ->
+      (* The unwinder sees the throw site itself as the innermost PC; give
+         it an exact translation so same-frame landing-pad ranges match. *)
+      record_throw ctx addr @ [ Asm.Insn Insn.Throw ]
+  | _ -> [ Asm.Insn insn ]
+
+(* Emit the clone of a resolved jump table into .jtnew (section 5.1's
+   jump-table cloning: solve tar(x') = y' for each relocated target). *)
+let clone_table ctx (t : Jump_table.table) =
+  let lbl = table_label t.Jump_table.t_table in
+  let entry_items =
+    List.map
+      (fun slot ->
+        match slot with
+        | None ->
+            (* Infeasible over-approximated entry: never dereferenced. *)
+            let w =
+              if t.Jump_table.t_base = None then Insn.W64 else Insn.W32
+            in
+            Asm.Data (w, Asm.Const 0, `No_reloc)
+        | Some y -> (
+            match (t.Jump_table.t_base, t.Jump_table.t_base_tied) with
+            | None, _ ->
+                (* absolute entries *)
+                Asm.Data (Insn.W64, Asm.Addr (block_label y), `Reloc)
+            | Some _, true ->
+                (* x86 idiom: entries relative to the (cloned) table *)
+                Asm.Data (Insn.W32, Asm.Diff (block_label y, lbl, 1), `No_reloc)
+            | Some b, false ->
+                (* aarch64 idiom: entries relative to the original code
+                   base, scaled by 4, widened to 4 bytes *)
+                Asm.Data (Insn.W32, Asm.Diff_const (block_label y, b, 4), `No_reloc)))
+      t.Jump_table.t_slots
+  in
+  emit_jt ctx (Asm.Align (8, `Zero) :: Asm.Label lbl :: entry_items);
+  ctx.n_cloned <- ctx.n_cloned + 1
+
+let relocate_function ctx (fa : Parse.func_analysis) go_hook_funcs =
+  let sym = fa.Parse.fa_sym in
+  let fstart = sym.Symbol.addr and fend = sym.Symbol.addr + sym.Symbol.size in
+  let cloned_tables =
+    if Mode.rewrites_jump_tables ctx.opts.mode then fa.Parse.fa_tables else []
+  in
+  let fc =
+    {
+      fstart;
+      fend;
+      jt_mater = Hashtbl.create 4;
+      jt_load = Hashtbl.create 4;
+      fp_mater = Hashtbl.create 4;
+    }
+  in
+  List.iter
+    (fun (t : Jump_table.table) ->
+      let lbl = table_label t.Jump_table.t_table in
+      List.iter (fun a -> Hashtbl.replace fc.jt_mater a lbl) t.Jump_table.t_mater;
+      if Insn.width_bytes t.Jump_table.t_width < 4 then
+        Hashtbl.replace fc.jt_load t.Jump_table.t_load ();
+      clone_table ctx t)
+    cloned_tables;
+  (* Function-pointer materialization sites in this function. *)
+  if Mode.rewrites_func_ptrs ctx.opts.mode then
+    List.iter
+      (function
+        | Func_ptr.Fp_mater { prov; target } when ctx.is_instrumented target ->
+            List.iter
+              (fun a ->
+                if a >= fstart && a < fend then
+                  Hashtbl.replace fc.fp_mater a (block_label target))
+              prov
+        | _ -> ())
+      ctx.p.Parse.fptrs;
+  let is_go_hook = List.mem sym.Symbol.name go_hook_funcs in
+  let blocks =
+    match ctx.opts.order with
+    | `Original | `Reverse_funcs -> fa.Parse.fa_cfg.Cfg.blocks
+    | `Reverse_blocks -> (
+        (* Keep the entry block first so the relocated entry is the
+           function's first relocated instruction. *)
+        match fa.Parse.fa_cfg.Cfg.blocks with
+        | entry :: rest -> entry :: List.rev rest
+        | [] -> [])
+  in
+  (* Does a block continue into its fall-through successor? *)
+  let falls_through (b : Cfg.block) =
+    match Cfg.terminator b with
+    | None -> true
+    | Some (_, i, _) -> Insn.has_fallthrough i
+  in
+  let rec emit_blocks = function
+    | [] -> ()
+    | (b : Cfg.block) :: rest ->
+        let lbl = block_label b.Cfg.b_start in
+        ctx.block_pairs <- (lbl, b.Cfg.b_start) :: ctx.block_pairs;
+        emit ctx [ Asm.Label lbl ];
+        if is_go_hook && b.Cfg.b_start = fstart then
+          emit ctx [ Asm.Insn (Insn.CallRt ctx.translate_idx) ];
+        let wants_payload =
+          match ctx.opts.granularity with
+          | G_block -> true
+          | G_func_entry -> b.Cfg.b_start = fstart
+        in
+        (match ctx.opts.payload with
+        | P_empty -> ()
+        | P_count when not wants_payload -> ()
+        | P_count ->
+            let cl = fresh_label ctx "CNT" in
+            ctx.counter_sites <- (cl, b.Cfg.b_start) :: ctx.counter_sites;
+            emit ctx [ Asm.Label cl; Asm.Insn (Insn.CallRt ctx.count_idx) ]);
+        List.iter (fun i -> emit ctx (translate_insn ctx fc i)) b.Cfg.b_insns;
+        (* Materialize the fall-through edge when the next emitted block is
+           not the textual successor (block reordering), or bounce back to
+           the original code after every block (instruction patching). *)
+        (if falls_through b then
+           if ctx.opts.bounce_back then
+             emit ctx
+               (if not ctx.far then [ Asm.Jmp_abs b.Cfg.b_end ]
+                else far_jump_items ctx b.Cfg.b_end)
+           else
+             let next_emitted =
+               match rest with b' :: _ -> Some b'.Cfg.b_start | [] -> None
+             in
+             if next_emitted <> Some b.Cfg.b_end then
+               emit ctx [ Asm.Jmp_to (block_label b.Cfg.b_end) ]);
+        emit_blocks rest
+  in
+  emit_blocks blocks
+
+(* ------------------------------------------------------------------ *)
+(* Trampoline placement (sections 4 and 7)                             *)
+(* ------------------------------------------------------------------ *)
+
+type region_kind = R_cfl | R_scratch | R_preserved
+
+(* The function's address space as sorted regions: blocks (CFL or scratch),
+   in-code jump tables (scratch once cloned, preserved otherwise), nop gaps,
+   and the trailing alignment padding. *)
+let function_regions opts (p : Parse.t) (fa : Parse.func_analysis) cfl
+    next_func_start =
+  let bin = p.Parse.bin in
+  let sym = fa.Parse.fa_sym in
+  let fstart = sym.Symbol.addr and fend = sym.Symbol.addr + sym.Symbol.size in
+  let cloned = Mode.rewrites_jump_tables opts.mode in
+  let table_regions =
+    List.filter_map
+      (fun (t : Jump_table.table) ->
+        if not t.Jump_table.t_in_code then None
+        else
+          let lo = t.Jump_table.t_table in
+          let hi = lo + (t.Jump_table.t_count * Insn.width_bytes t.Jump_table.t_width) in
+          Some (lo, hi, if cloned then R_scratch else R_preserved))
+      fa.Parse.fa_tables
+  in
+  let block_regions =
+    List.map
+      (fun (b : Cfg.block) ->
+        ( b.Cfg.b_start,
+          b.Cfg.b_end,
+          if IntSet.mem b.Cfg.b_start cfl then R_cfl else R_scratch ))
+      fa.Parse.fa_cfg.Cfg.blocks
+  in
+  (* Nop gaps inside the function are scratch. *)
+  let covered =
+    List.sort compare
+      (List.map (fun (a, b, _) -> (a, b)) (block_regions @ table_regions))
+  in
+  let rec gaps pos = function
+    | [] -> if pos < fend then [ (pos, fend, R_scratch) ] else []
+    | (a, b) :: rest ->
+        let g = if pos < a then [ (pos, a, R_scratch) ] else [] in
+        g @ gaps (max pos b) rest
+  in
+  let gap_regions = gaps fstart covered in
+  (* Trailing inter-function padding: usable scratch. *)
+  let pad_end =
+    let lim = min next_func_start (Section.end_vaddr (Binary.text bin)) in
+    let rec go a =
+      if a >= lim then a
+      else
+        match Binary.decode_at bin a with
+        | Insn.Nop, l -> go (a + l)
+        | _ -> a
+        | exception Invalid_argument _ -> a
+    in
+    go fend
+  in
+  let pad_regions = if pad_end > fend then [ (fend, pad_end, R_scratch) ] else [] in
+  List.sort
+    (fun (a, _, _) (b, _, _) -> compare a b)
+    (block_regions @ table_regions @ gap_regions @ pad_regions)
+
+(* Scratch pool: free ranges usable for multi-trampoline hops. *)
+type pool = { mutable chunks : (int * int) list (* (start, end) *) }
+
+let pool_add pool lo hi = if hi - lo >= 4 then pool.chunks <- (lo, hi) :: pool.chunks
+
+let pool_alloc pool ~near ~size ~reach =
+  let rec pick acc = function
+    | [] -> None
+    | (lo, hi) :: rest ->
+        if hi - lo >= size && abs (lo - near) <= reach - size then
+          Some (lo, List.rev_append acc ((lo + size, hi) :: rest))
+        else pick ((lo, hi) :: acc) rest
+  in
+  match pick [] pool.chunks with
+  | Some (lo, rest) ->
+      pool.chunks <- rest;
+      Some lo
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* The rewrite driver                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rewrite ?(options = default_options) (p : Parse.t) =
+  let opts = options in
+  if opts.sparse_placement && opts.overwrite_original then
+    invalid_arg
+      "Rewriter: sparse placement requires the original code to be kept \
+       (overwrite_original = false)";
+  if opts.sparse_placement && opts.granularity <> G_func_entry then
+    invalid_arg "Rewriter: sparse placement requires function-entry granularity";
+  let bin = p.Parse.bin in
+  let arch = bin.Binary.arch in
+  let toc = bin.Binary.toc_base in
+  let pie = bin.Binary.pie in
+  (* 1. Instrumented function set. *)
+  let chosen (fa : Parse.func_analysis) =
+    fa.Parse.fa_instrumentable
+    &&
+    match opts.only with
+    | None -> true
+    | Some names -> List.mem fa.Parse.fa_sym.Symbol.name names
+  in
+  let ifuncs = List.filter chosen p.Parse.funcs in
+  let instr_entries =
+    IntSet.of_list (List.map (fun f -> f.Parse.fa_sym.Symbol.addr) ifuncs)
+  in
+  let is_instrumented a = IntSet.mem a instr_entries in
+  (* 2. Dynamic symbols for the runtime library. *)
+  let dynsyms =
+    Array.append bin.Binary.dynsyms
+      [| Abi.count; Abi.translate_r0; Abi.dyn_translate |]
+  in
+  let count_idx = Array.length bin.Binary.dynsyms in
+  let translate_idx = count_idx + 1 in
+  let dt_idx = count_idx + 2 in
+  (* 3. Layout decisions. *)
+  let instr_base = align_up (Binary.code_end bin + opts.instr_gap) 0x1000 in
+  let text = Binary.text bin in
+  let est_instr_hi =
+    instr_base + (10 * Section.size text) + 0x40000
+  in
+  let far = not (Encode.jmp_fits arch ~wide:true (est_instr_hi - text.Section.vaddr)) in
+  let go_hook_funcs =
+    if
+      opts.ra_translation
+      && bin.Binary.features.Binary.go_runtime
+      && is_instrumented
+           (match Binary.symbol bin "runtime.findfunc" with
+           | Some s -> s.Symbol.addr
+           | None -> -1)
+    then [ "runtime.findfunc"; "runtime.pcvalue" ]
+    else []
+  in
+  let ctx =
+    {
+      p;
+      opts;
+      arch;
+      count_idx;
+      translate_idx;
+      dt_idx;
+      far;
+      is_instrumented;
+      items = [];
+      jt_items = [];
+      ra_pairs = [];
+      throw_pairs = [];
+      block_pairs = [];
+      counter_sites = [];
+      pending_traps = [];
+      dt_sites = [];
+      fresh = 0;
+      n_cloned = 0;
+    }
+  in
+  (* 4. Relocate all instrumented functions. *)
+  let emission_funcs =
+    match opts.order with
+    | `Original | `Reverse_blocks -> ifuncs
+    | `Reverse_funcs -> List.rev ifuncs
+  in
+  List.iter (fun fa -> relocate_function ctx fa go_hook_funcs) emission_funcs;
+  let instr_items = List.rev ctx.items in
+  let jt_items = List.rev ctx.jt_items in
+  (* 5. Assemble .instr and .jtnew in one label namespace. *)
+  let labels = Hashtbl.create 1024 in
+  let instr_lay = Asm.layout arch ~pie ~labels ~base:instr_base instr_items in
+  let jt_base = align_up instr_lay.Asm.l_end 0x100 in
+  let jt_lay = Asm.layout arch ~pie ~labels ~base:jt_base jt_items in
+  let instr_bytes, instr_relocs = Asm.encode arch ~pie ~toc ~labels instr_lay in
+  let jt_bytes, jt_relocs = Asm.encode arch ~pie ~toc ~labels jt_lay in
+  let label_addr l = Asm.label_exn labels l in
+  let reloc_of a = label_addr (block_label a) in
+  (* 6. RA map, counter-site map, trap seeds from relocated code. *)
+  let resolve_pairs l = List.map (fun (lb, orig) -> (label_addr lb, orig)) l in
+  let throw_pairs = resolve_pairs ctx.throw_pairs in
+  (* Return-address pairs get an exact twin at ra-1: unwinders match the
+     caller frame at the call instruction (IP-1), and that lookup must
+     translate to original_ra-1 so landing-pad ranges starting mid-block
+     still cover it. *)
+  let ra_pairs_resolved =
+    List.concat_map
+      (fun (k, v) -> [ (k, v); (k - 1, v - 1) ])
+      (resolve_pairs ctx.ra_pairs)
+  in
+  (* Under call emulation the throw-site pairs model __cxa_throw's emulated
+     caller return address (exact matches only); full RA translation uses
+     every pair. *)
+  let ra_map =
+    if opts.ra_translation then
+      Ra_map.of_pairs
+        (throw_pairs @ ra_pairs_resolved @ resolve_pairs ctx.block_pairs)
+    else Ra_map.of_pairs ~exact_only:true throw_pairs
+  in
+  let counter_of_site = Hashtbl.create 64 in
+  List.iter
+    (fun (l, blk) -> Hashtbl.replace counter_of_site (label_addr l) blk)
+    ctx.counter_sites;
+  let trap_map = Hashtbl.create 16 in
+  List.iter
+    (fun (l, target) -> Hashtbl.replace trap_map (label_addr l) target)
+    ctx.pending_traps;
+  let dt_sites = Hashtbl.create 16 in
+  List.iter
+    (fun (l, reg) -> Hashtbl.replace dt_sites (label_addr l) reg)
+    ctx.dt_sites;
+  (* 7. Trampoline placement over the original text. *)
+  let writes : (int * string) list ref = ref [] in
+  let pool = { chunks = [] } in
+  (* Retired dynamic-linking sections become executable scratch space. *)
+  List.iter
+    (fun name ->
+      match Binary.section bin name with
+      | Some s -> pool_add pool s.Section.vaddr (Section.end_vaddr s)
+      | None -> ())
+    [ ".dynsym"; ".dynstr"; ".rela_dyn" ];
+  let n_short = ref 0
+  and n_long = ref 0
+  and n_hop = ref 0
+  and n_trap = ref 0
+  and n_cfl = ref 0
+  and n_blocks = ref 0 in
+  let sorted_ifuncs =
+    List.sort
+      (fun a b -> compare a.Parse.fa_sym.Symbol.addr b.Parse.fa_sym.Symbol.addr)
+      ifuncs
+  in
+  let next_start_of fa =
+    let a = fa.Parse.fa_sym.Symbol.addr in
+    List.fold_left
+      (fun acc (s : Symbol.t) ->
+        if s.Symbol.addr > a && s.Symbol.addr < acc then s.Symbol.addr else acc)
+      max_int
+      (Binary.func_symbols bin)
+  in
+  (* First pass: place what fits locally; collect deferred hops. *)
+  let deferred = ref [] in
+  let preserved_ranges = ref [] in
+  List.iter
+    (fun fa ->
+      let cfl = cfl_blocks opts p fa in
+      n_blocks := !n_blocks + List.length fa.Parse.fa_cfg.Cfg.blocks;
+      n_cfl := !n_cfl + IntSet.cardinal cfl;
+      let regions = function_regions opts p fa cfl (next_start_of fa) in
+      List.iter
+        (fun (lo, hi, k) ->
+          if k = R_preserved then preserved_ranges := (lo, hi) :: !preserved_ranges)
+        regions;
+      let rec place = function
+        | [] -> ()
+        | (lo, hi, R_cfl) :: rest ->
+            (* Superblock: extend over following contiguous scratch. *)
+            let rec extend e = function
+              | (lo', hi', R_scratch) :: rest' when lo' = e && opts.use_superblocks ->
+                  extend hi' rest'
+              | rest' -> (e, rest')
+            in
+            let se, _ = extend hi rest in
+            let space = se - lo in
+            let target = reloc_of lo in
+            let dead = Liveness.dead_in arch fa.Parse.fa_liveness lo in
+            let rest' = snd (extend hi rest) in
+            (match Trampoline.select arch ~at:lo ~space ~target ~dead ~toc with
+            | Some kind ->
+                let bytes = Trampoline.emit arch ~at:lo ~target ~toc kind in
+                writes := (lo, bytes) :: !writes;
+                (match kind with
+                | Trampoline.Short -> incr n_short
+                | Trampoline.Long _ | Trampoline.Long_save_restore _ ->
+                    incr n_long
+                | Trampoline.Trap_tramp -> incr n_trap);
+                pool_add pool (lo + String.length bytes) se
+            | None ->
+                deferred := (lo, se, target, dead) :: !deferred;
+                pool_add pool (lo + Encode.short_jmp_len arch) se);
+            place rest'
+        | (lo, hi, R_scratch) :: rest ->
+            (* Scratch not claimed by a preceding superblock: free space. *)
+            pool_add pool lo hi;
+            place rest
+        | (_, _, R_preserved) :: rest -> place rest
+      in
+      place regions)
+    sorted_ifuncs;
+  (* Second pass: multi-trampoline hops, then traps. *)
+  List.iter
+    (fun (lo, se, target, dead) ->
+      let short_len = Encode.short_jmp_len arch in
+      let reach = Arch.short_branch_range arch in
+      let hop_kind_len =
+        match arch with
+        | Arch.X86_64 -> Some (Trampoline.Long None, 5)
+        | Arch.Ppc64le ->
+            if Reg.Set.is_empty dead then
+              Some (Trampoline.Long_save_restore Reg.r12, 24)
+            else Some (Trampoline.Long (Some (Reg.Set.choose dead)), 16)
+        | Arch.Aarch64 ->
+            if Reg.Set.is_empty dead then None
+            else Some (Trampoline.Long (Some (Reg.Set.choose dead)), 12)
+      in
+      let placed =
+        if not opts.use_scratch_pool then false
+        else
+          match hop_kind_len with
+          | None -> false
+          | Some (kind, size) -> (
+              match pool_alloc pool ~near:lo ~size ~reach with
+              | Some chunk
+                when se - lo >= short_len
+                     && Encode.jmp_fits arch ~wide:false (chunk - lo)
+                     && Trampoline.long_reaches arch ~at:chunk ~target ~toc ->
+                  let hop1 = Encode.encode_jmp arch ~wide:false (chunk - lo) in
+                  let hop2 = Trampoline.emit arch ~at:chunk ~target ~toc kind in
+                  writes := (lo, hop1) :: (chunk, hop2) :: !writes;
+                  incr n_hop;
+                  true
+              | _ -> false)
+      in
+      if not placed then (
+        writes := (lo, Encode.encode arch Insn.Trap) :: !writes;
+        Hashtbl.replace trap_map lo target;
+        incr n_trap))
+    !deferred;
+  (* 8. Build the output binary. *)
+  let out = Binary.copy bin in
+  (* Rename the retired dynamic-linking sections and make them executable
+     scratch. *)
+  let renamed_sections =
+    List.map
+      (fun (s : Section.t) ->
+        if List.mem s.Section.name [ ".dynsym"; ".dynstr"; ".rela_dyn" ] then
+          { s with Section.name = s.Section.name ^ ".old"; perm = Section.r_x }
+        else s)
+      out.Binary.sections
+  in
+  let out = Binary.with_sections out renamed_sections in
+  (* Overwrite relocated functions with illegal bytes (the strong test). *)
+  if opts.overwrite_original then
+    List.iter
+      (fun fa ->
+        let sym = fa.Parse.fa_sym in
+        Binary.write_string out sym.Symbol.addr
+          (String.make sym.Symbol.size '\000'))
+      ifuncs;
+  (* Restore preserved in-code tables. *)
+  List.iter
+    (fun (lo, hi) ->
+      let b = Bytes.create (hi - lo) in
+      for i = 0 to hi - lo - 1 do
+        Bytes.set_uint8 b i (Binary.read8 bin (lo + i) land 0xff)
+      done;
+      Binary.write_string out lo (Bytes.to_string b))
+    !preserved_ranges;
+  (* Install trampolines (and hop chunks). *)
+  List.iter (fun (addr, bytes) -> Binary.write_string out addr bytes) !writes;
+  (* Rewrite function-pointer data slots. *)
+  let slot_patches = Hashtbl.create 16 in
+  if Mode.rewrites_func_ptrs opts.mode then (
+    List.iter
+      (function
+        | Func_ptr.Fp_slot { slot; target; _ } when is_instrumented target ->
+            Hashtbl.replace slot_patches slot (reloc_of target)
+        | _ -> ())
+      p.Parse.fptrs;
+    (* Adjusted uses override the plain patch: compensate so that the
+       run-time arithmetic lands on the relocated split block. *)
+    List.iter
+      (function
+        | Func_ptr.Fp_adjusted { src_slot; target; adjust }
+          when is_instrumented target ->
+            (match Hashtbl.find_opt labels (block_label (target + adjust)) with
+            | Some reloc_tgt -> Hashtbl.replace slot_patches src_slot (reloc_tgt - adjust)
+            | None -> ())
+        | _ -> ())
+      p.Parse.fptrs);
+  Hashtbl.iter (fun slot v -> Binary.write64 out slot v) slot_patches;
+  (* Original relocations into repurposed bytes (cloned in-code tables and
+     overwritten text of instrumented functions) must be dropped, or the
+     loader would clobber installed trampolines and scratch chunks. *)
+  let repurposed off =
+    List.exists
+      (fun fa ->
+        let sym = fa.Parse.fa_sym in
+        off >= sym.Symbol.addr && off < sym.Symbol.addr + sym.Symbol.size)
+      ifuncs
+    && not
+         (List.exists (fun (lo, hi) -> off >= lo && off < hi) !preserved_ranges)
+  in
+  let relocs =
+    List.filter_map
+      (fun (r : Reloc.t) ->
+        if Reloc.is_runtime r && repurposed r.Reloc.offset then None
+        else
+          match Hashtbl.find_opt slot_patches r.Reloc.offset with
+          | Some v when Reloc.is_runtime r -> Some { r with Reloc.addend = v }
+          | _ -> Some r)
+      out.Binary.relocs
+    @ instr_relocs @ jt_relocs
+  in
+  (* New sections. The RA map is stored in the binary only when some
+     runtime actually unwinds (C++ exceptions or a Go runtime) — the
+     paper's ".ra_map (when needed)". *)
+  let ra_bytes =
+    if
+      opts.ra_translation
+      && (bin.Binary.features.Binary.cpp_exceptions
+         || bin.Binary.features.Binary.go_runtime)
+    then Ra_map.encode ra_map
+    else Bytes.create 0
+  in
+  let dynsym_base = align_up jt_lay.Asm.l_end 0x100 in
+  let dynsym_size = 24 * (Array.length dynsyms + List.length (Binary.func_symbols bin)) in
+  let dynstr_base = dynsym_base + dynsym_size in
+  let dynstr_size =
+    Array.fold_left (fun a s -> a + String.length s + 1) 16 dynsyms
+  in
+  let rela_base = dynstr_base + dynstr_size in
+  let rela_size = (24 * List.length relocs) + 24 in
+  let ra_base = align_up (rela_base + rela_size) 0x100 in
+  let filler n seed = Bytes.init n (fun i -> Char.chr ((i * 89 + seed) land 0xff)) in
+  let new_sections =
+    [
+      Section.make ~name:".instr" ~vaddr:instr_base ~perm:Section.r_x instr_bytes;
+    ]
+    @ (if Bytes.length jt_bytes > 0 then
+         [ Section.make ~name:".jtnew" ~vaddr:jt_base ~perm:Section.r_only jt_bytes ]
+       else [])
+    @ [
+        Section.make ~name:".dynsym" ~vaddr:dynsym_base ~perm:Section.r_only
+          (filler dynsym_size 13);
+        Section.make ~name:".dynstr" ~vaddr:dynstr_base ~perm:Section.r_only
+          (filler dynstr_size 17);
+        Section.make ~name:".rela_dyn" ~vaddr:rela_base ~perm:Section.r_only
+          (filler rela_size 19);
+      ]
+    @
+    if Bytes.length ra_bytes > 0 then
+      [ Section.make ~name:".ra_map" ~vaddr:ra_base ~perm:Section.r_only ra_bytes ]
+    else []
+  in
+  let out =
+    {
+      (List.fold_left Binary.add_section out new_sections) with
+      Binary.relocs;
+      dynsyms;
+    }
+  in
+  let stats =
+    {
+      s_funcs_total = List.length p.Parse.funcs;
+      s_funcs_instrumented = List.length ifuncs;
+      s_blocks = !n_blocks;
+      s_cfl_blocks = !n_cfl;
+      s_trampolines = !n_short + !n_long + !n_hop + !n_trap;
+      s_short_trampolines = !n_short;
+      s_long_trampolines = !n_long;
+      s_multi_hop = !n_hop;
+      s_trap_trampolines = !n_trap;
+      s_cloned_tables = ctx.n_cloned;
+      s_rewritten_slots = Hashtbl.length slot_patches;
+      s_orig_size = Binary.loaded_size bin;
+      s_new_size = Binary.loaded_size out;
+    }
+  in
+  ignore translate_idx;
+  {
+    rw_binary = out;
+    rw_ra_map = ra_map;
+    rw_trap_map = trap_map;
+    rw_counter_of_site = counter_of_site;
+    rw_dt_sites = dt_sites;
+    rw_go_hook = go_hook_funcs <> [];
+    rw_translate_hook = opts.ra_translation || opts.call_emulation;
+    rw_stats = stats;
+    rw_relocated_entry =
+      (fun a -> Hashtbl.find_opt labels (block_label a));
+  }
+
+let vm_config_for t (cfg : Icfg_runtime.Vm.config) =
+  let translate = Ra_map.translate t.rw_ra_map in
+  {
+    cfg with
+    Icfg_runtime.Vm.trap_map = t.rw_trap_map;
+    translate = (if t.rw_translate_hook then Some translate else None);
+    go_translate = (if t.rw_go_hook then Some translate else None);
+  }
+
+let routines_for t ~counters =
+  let key_of site =
+    Option.value ~default:site (Hashtbl.find_opt t.rw_counter_of_site site)
+  in
+  let dt_routine vm =
+    let lb = Icfg_runtime.Vm.load_base vm in
+    let site = Icfg_runtime.Vm.pc vm - lb in
+    match Hashtbl.find_opt t.rw_dt_sites site with
+    | None -> Icfg_runtime.Vm.abort vm "dynamic translation: unknown site"
+    | Some reg -> (
+        let v = Icfg_runtime.Vm.reg vm reg in
+        match t.rw_relocated_entry (v - lb) with
+        | Some reloc -> Icfg_runtime.Vm.set_reg vm reg (reloc + lb)
+        | None -> ())
+  in
+  Icfg_runtime.Runtime_lib.standard ()
+  @ [
+      Icfg_runtime.Runtime_lib.count_routine counters ~key_of;
+      Icfg_runtime.Runtime_lib.translate_r0_routine t.rw_ra_map;
+      (Abi.dyn_translate, dt_routine);
+    ]

@@ -1,0 +1,41 @@
+(** The paper's strong correctness test (section 8) as a library.
+
+    Instruments every basic block with counting instrumentation, overwrites
+    every original code byte of relocated functions with illegal
+    instructions, runs the original binary under a ground-truth block
+    profiler and the rewritten binary with its counters, and compares:
+
+    - both runs terminate;
+    - observable outputs are identical;
+    - every block of every instrumented function executed exactly as many
+      times in both runs (instrumentation integrity, section 4.1). *)
+
+type failure =
+  | Original_crashed of string
+  | Rewritten_crashed of string
+  | Output_mismatch
+  | Count_mismatch of { block : int; expected : int; got : int }
+
+type report = {
+  ok : bool;
+  failures : failure list;
+  blocks_checked : int;
+  blocks_executed : int;
+  orig_cycles : int;
+  rewritten_cycles : int;
+  rewritten_traps : int;
+  stats : Rewriter.stats;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val strong_test :
+  ?options:Rewriter.options ->
+  ?fm:Icfg_analysis.Failure_model.t ->
+  Icfg_obj.Binary.t ->
+  report
+(** Runs the complete pipeline on the binary. The [options]' payload is
+    forced to [P_count] and granularity to [G_block] (the test needs them);
+    everything else (mode, placement knobs, partial instrumentation) is
+    honoured. *)

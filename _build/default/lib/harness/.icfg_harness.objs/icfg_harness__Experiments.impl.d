@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Arch Buffer Format Icfg_analysis Icfg_baselines Icfg_codegen Icfg_core Icfg_isa Icfg_obj Icfg_runtime Icfg_workloads List Printf Runner Stats String Table Trampoline

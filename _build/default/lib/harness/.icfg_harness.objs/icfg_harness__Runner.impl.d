@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Hashtbl Icfg_baselines Icfg_core Icfg_obj Icfg_runtime Stats

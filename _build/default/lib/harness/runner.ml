@@ -1,0 +1,96 @@
+module Vm = Icfg_runtime.Vm
+module Runtime_lib = Icfg_runtime.Runtime_lib
+module Rewriter = Icfg_core.Rewriter
+module Binary = Icfg_obj.Binary
+module Baseline = Icfg_baselines.Baseline
+
+type run = {
+  r_outcome : Vm.outcome;
+  r_cycles : int;
+  r_output : int list;
+  r_traps : int;
+  r_icache_misses : int;
+  r_steps : int;
+}
+
+let measure_config ~pie =
+  let c = Vm.default_config () in
+  {
+    c with
+    Vm.load_base = (if pie then 0x20000000 else 0);
+    icache =
+      Some
+        {
+          Icfg_runtime.Icache.line_bytes = 64;
+          lines = 64 (* a scaled-down 4 KiB L1i for scaled-down programs *);
+          miss_cost = 25;
+        };
+  }
+
+let of_result (r : Vm.result) =
+  {
+    r_outcome = r.Vm.outcome;
+    r_cycles = r.Vm.cycles;
+    r_output = r.Vm.output;
+    r_traps = r.Vm.trap_hits;
+    r_icache_misses = r.Vm.icache_misses;
+    r_steps = r.Vm.steps;
+  }
+
+let run_original (bin : Binary.t) =
+  let config = measure_config ~pie:bin.Binary.pie in
+  of_result (Vm.run ~config ~routines:(Runtime_lib.standard ()) bin)
+
+let run_rewritten (rw : Rewriter.t) =
+  let bin = rw.Rewriter.rw_binary in
+  let config = Rewriter.vm_config_for rw (measure_config ~pie:bin.Binary.pie) in
+  let counters = Hashtbl.create 16 in
+  of_result (Vm.run ~config ~routines:(Rewriter.routines_for rw ~counters) bin)
+
+type verdict = {
+  v_pass : bool;
+  v_reason : string;
+  v_overhead_pct : float;
+  v_coverage_pct : float;
+  v_size_pct : float;
+  v_traps : int;
+}
+
+let evaluate ~orig ~coverage ~orig_size outcome =
+  let coverage_pct = 100. *. coverage in
+  match outcome with
+  | Baseline.Refused reason ->
+      {
+        v_pass = false;
+        v_reason = reason;
+        v_overhead_pct = 0.;
+        v_coverage_pct = coverage_pct;
+        v_size_pct = 0.;
+        v_traps = 0;
+      }
+  | Baseline.Rewritten rw ->
+      let size_pct =
+        Stats.ratio_pct ~base:orig_size
+          ~value:rw.Rewriter.rw_stats.Rewriter.s_new_size
+      in
+      let r = run_rewritten rw in
+      let pass, reason =
+        match r.r_outcome with
+        | Vm.Crashed m -> (false, m)
+        | Vm.Halted ->
+            if r.r_output = orig.r_output then (true, "")
+            else (false, "output mismatch")
+      in
+      {
+        v_pass = pass;
+        v_reason = reason;
+        v_overhead_pct =
+          (if pass then
+             100.
+             *. float_of_int (r.r_cycles - orig.r_cycles)
+             /. float_of_int (max 1 orig.r_cycles)
+           else 0.);
+        v_coverage_pct = coverage_pct;
+        v_size_pct = size_pct;
+        v_traps = r.r_traps;
+      }

@@ -1,0 +1,42 @@
+(** Measured executions: the experiment harness's view of one benchmark.
+
+    Every measurement runs with the instruction-cache model enabled (the
+    ping-pong between original and relocated code is the paper's stated
+    overhead source) and the empty instrumentation payload, exactly like the
+    paper's block-level empty-instrumentation test. *)
+
+type run = {
+  r_outcome : Icfg_runtime.Vm.outcome;
+  r_cycles : int;
+  r_output : int list;
+  r_traps : int;
+  r_icache_misses : int;
+  r_steps : int;
+}
+
+val measure_config : pie:bool -> Icfg_runtime.Vm.config
+(** Icache enabled; PIE binaries load at a fixed non-zero base. *)
+
+val run_original : Icfg_obj.Binary.t -> run
+
+val run_rewritten : Icfg_core.Rewriter.t -> run
+(** Runs with the rewriter's trap map and translation hooks installed. *)
+
+(** Result of one (benchmark, approach) cell. *)
+type verdict = {
+  v_pass : bool;
+  v_reason : string;  (** failure reason, or "" *)
+  v_overhead_pct : float;  (** cycles vs. the original run (when passing) *)
+  v_coverage_pct : float;  (** instrumented functions / total *)
+  v_size_pct : float;  (** loaded-size increase *)
+  v_traps : int;
+}
+
+val evaluate :
+  orig:run ->
+  coverage:float ->
+  orig_size:int ->
+  Icfg_baselines.Baseline.outcome ->
+  verdict
+(** Runs the rewritten binary (if any) and checks outcome and output
+    equality against the original run. *)

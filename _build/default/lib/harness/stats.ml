@@ -1,0 +1,10 @@
+let mean = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let max_f = function [] -> 0. | l -> List.fold_left max neg_infinity l
+let min_f = function [] -> 0. | l -> List.fold_left min infinity l
+let pct v = Printf.sprintf "%+.2f%%" v
+
+let ratio_pct ~base ~value =
+  100. *. float_of_int (value - base) /. float_of_int (max 1 base)

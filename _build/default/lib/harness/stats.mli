@@ -1,0 +1,10 @@
+(** Aggregation helpers for experiment reports. *)
+
+val mean : float list -> float
+val max_f : float list -> float
+val min_f : float list -> float
+val pct : float -> string
+(** Format as a signed percentage with two decimals ("+1.35%"). *)
+
+val ratio_pct : base:int -> value:int -> float
+(** [(value - base) / base * 100]. *)

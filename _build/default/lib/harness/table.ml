@@ -1,0 +1,21 @@
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m r -> max m (try String.length (List.nth r c) with _ -> 0))
+      0 all
+  in
+  let widths = List.init cols width in
+  let line r =
+    String.concat "  "
+      (List.mapi
+         (fun i w ->
+           let cell = try List.nth r i with _ -> "" in
+           cell ^ String.make (max 0 (w - String.length cell)) ' ')
+         widths)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows) ^ "\n"

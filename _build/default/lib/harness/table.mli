@@ -1,0 +1,4 @@
+(** Minimal fixed-width text tables for the experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** Columns are sized to their widest cell; the header is underlined. *)

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Arch Bytes Char Format Insn Int32 Int64 Printf Reg String Sys

@@ -1,0 +1,1 @@
+lib/isa/mater.ml: Arch Insn Reg

@@ -1,0 +1,1 @@
+lib/isa/mater.mli: Arch Insn Reg

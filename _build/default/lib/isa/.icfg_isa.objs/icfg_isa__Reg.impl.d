@@ -1,0 +1,1 @@
+lib/isa/reg.ml: Arch Format List Map Printf Set Stdlib

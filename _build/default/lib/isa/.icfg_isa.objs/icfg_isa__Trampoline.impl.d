@@ -1,0 +1,1 @@
+lib/isa/trampoline.ml: Arch Encode Format Insn List Reg String

@@ -1,0 +1,1 @@
+lib/isa/trampoline.mli: Arch Format Reg

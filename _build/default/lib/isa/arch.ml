@@ -1,0 +1,48 @@
+type t = X86_64 | Ppc64le | Aarch64
+
+let all = [ X86_64; Ppc64le; Aarch64 ]
+
+let name = function
+  | X86_64 -> "x86-64"
+  | Ppc64le -> "ppc64le"
+  | Aarch64 -> "aarch64"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "x86-64" | "x86_64" | "amd64" -> Some X86_64
+  | "ppc64le" | "ppc" -> Some Ppc64le
+  | "aarch64" | "arm64" -> Some Aarch64
+  | _ -> None
+
+let pp ppf a = Format.pp_print_string ppf (name a)
+let equal (a : t) b = a = b
+let is_fixed_length = function X86_64 -> false | Ppc64le | Aarch64 -> true
+let insn_alignment = function X86_64 -> 1 | Ppc64le | Aarch64 -> 4
+let min_insn_size = function X86_64 -> 1 | Ppc64le | Aarch64 -> 4
+
+let mib n = n * 1024 * 1024
+let gib n = n * 1024 * 1024 * 1024
+
+let short_branch_range = function
+  | X86_64 -> 128
+  | Ppc64le -> mib 32
+  | Aarch64 -> mib 128
+
+let long_branch_range = function
+  | X86_64 -> gib 2
+  | Ppc64le -> gib 2
+  | Aarch64 -> gib 4
+
+let has_link_register = function X86_64 -> false | Ppc64le | Aarch64 -> true
+let pointer_size _ = 8
+
+let cond_branch_range = function
+  | X86_64 -> gib 2
+  | Ppc64le | Aarch64 -> 32 * 1024
+
+let max_padding = function X86_64 -> 16 | Ppc64le | Aarch64 -> 12
+let jump_tables_in_code = function Ppc64le -> true | X86_64 | Aarch64 -> false
+
+let narrow_jump_table_entries = function
+  | Aarch64 -> true
+  | X86_64 | Ppc64le -> false

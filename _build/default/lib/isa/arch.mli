@@ -1,0 +1,64 @@
+(** Synthetic target architectures.
+
+    The reproduction models three architecture flavours that carry the
+    properties the paper's techniques depend on: instruction encoding style
+    (variable vs. fixed length), branch displacement ranges, the presence of a
+    link register, a TOC register on ppc64le, and per-architecture jump-table
+    conventions. See DESIGN.md section 2 for the substitution rationale. *)
+
+type t = X86_64 | Ppc64le | Aarch64
+
+val all : t list
+(** All supported architectures, in the paper's presentation order. *)
+
+val name : t -> string
+(** Lower-case display name, e.g. ["x86-64"]. *)
+
+val of_string : string -> t option
+(** Parse a display name (also accepts ["x86_64"], ["ppc64le"], ["aarch64"]). *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val is_fixed_length : t -> bool
+(** [true] for ppc64le and aarch64 (every instruction is 4 bytes). *)
+
+val insn_alignment : t -> int
+(** Required instruction alignment in bytes: 1 on x86-64, 4 elsewhere. *)
+
+val min_insn_size : t -> int
+(** Smallest encodable instruction, in bytes. *)
+
+val short_branch_range : t -> int
+(** Branching range (+/- bytes) of the shortest unconditional branch:
+    128 B (x86-64 2-byte branch), 32 MiB (ppc64le [b]),
+    128 MiB (aarch64 [b]). Table 2 of the paper. *)
+
+val long_branch_range : t -> int
+(** Branching range of the long trampoline sequence: 2 GiB on x86-64
+    (5-byte branch) and ppc64le (TOC-relative addis/addi/mtspr/bctar),
+    4 GiB on aarch64 (adrp/add/br). Table 2 of the paper. *)
+
+val has_link_register : t -> bool
+(** Calls store the return address in a link register rather than pushing it
+    on the stack (ppc64le and aarch64). *)
+
+val pointer_size : t -> int
+(** Bytes per code pointer (8 on all three flavours). *)
+
+val cond_branch_range : t -> int
+(** Branching range of conditional branches. *)
+
+val max_padding : t -> int
+(** Maximum inter-function alignment padding the synthetic compilers emit:
+    x86-64 pads up to 16 bytes with [Nop]s; ppc64le and aarch64 pad at most
+    three instructions (12 bytes), per section 7 of the paper. *)
+
+val jump_tables_in_code : t -> bool
+(** Whether the synthetic compiler embeds jump tables in the code section
+    (ppc64le convention, per Assumption 1 in section 5.1). *)
+
+val narrow_jump_table_entries : t -> bool
+(** Whether the compiler may emit 1- or 2-byte jump-table entries
+    (aarch64 convention, per section 5.1). *)

@@ -1,0 +1,57 @@
+(** Per-architecture instruction encoding.
+
+    x86-64 uses a variable-length byte encoding (1-10 bytes); ppc64le and
+    aarch64 use fixed 4-byte words with bit-packed fields. Displacement
+    fields have architecture-specific widths which give exactly the branching
+    ranges of Table 2 in the paper; encoding a branch whose displacement does
+    not fit raises {!Not_encodable}, which is what forces the rewriter into
+    long trampoline sequences, multi-trampoline hops, or traps.
+
+    The decoder is total: any byte sequence decodes, with undecodable bytes
+    yielding {!Insn.Illegal}. This supports the paper's strong correctness
+    test, which overwrites all original code bytes with illegal instructions
+    before installing trampolines (section 8). *)
+
+exception Not_encodable of string
+
+val length : Arch.t -> Insn.t -> int
+(** Encoded length in bytes of the canonical encoding. On x86-64 the
+    canonical [Jmp]/[Jcc] encoding is the wide (near) form, matching the
+    synthetic compiler, which never emits short branches; short forms are
+    produced only via {!encode_jmp}. *)
+
+val encode : Arch.t -> Insn.t -> string
+(** Canonical encoding. Raises {!Not_encodable} if the instruction does not
+    exist on the architecture or a field overflows. *)
+
+val encode_into : Arch.t -> Bytes.t -> pos:int -> Insn.t -> int
+(** Encode in place; returns the number of bytes written. *)
+
+val decode : Arch.t -> string -> pos:int -> Insn.t * int
+(** [decode arch code ~pos] decodes one instruction, returning it with its
+    length. Never raises on in-bounds [pos]; undecodable bytes give
+    [(Illegal, min_insn_size)]. *)
+
+val decode_bytes : Arch.t -> Bytes.t -> pos:int -> Insn.t * int
+
+(** {1 Branch encodings for trampolines} *)
+
+val short_jmp_len : Arch.t -> int
+(** Length of the short unconditional branch (2 bytes on x86-64, 4 on
+    ppc64le/aarch64) — the first row of each architecture in Table 2. *)
+
+val wide_jmp_len : Arch.t -> int
+(** Length of the wide direct branch encoding: 5 bytes on x86-64; on
+    ppc64le/aarch64 the direct branch has a single form so this equals
+    {!short_jmp_len}. *)
+
+val jmp_fits : Arch.t -> wide:bool -> int -> bool
+(** Whether displacement [d] fits the (short or wide) direct branch. *)
+
+val encode_jmp : Arch.t -> wide:bool -> int -> string
+(** Encode a direct branch with displacement [d] in the requested form.
+    Raises {!Not_encodable} if out of range. *)
+
+val max_insn_len : Arch.t -> int
+(** Upper bound on instruction length (15 on x86-64 per the real ISA's
+    limit; 4 elsewhere). *)

@@ -1,0 +1,21 @@
+let split_hi_lo off =
+  let hi = (off + 0x8000) asr 16 in
+  let lo = off - (hi lsl 16) in
+  (hi, lo)
+
+let insns arch ~pie ~toc ~at ~target ~reg =
+  match arch with
+  | Arch.X86_64 ->
+      if pie then [ Insn.Lea (reg, target - at) ]
+      else [ Insn.Movabs (reg, target) ]
+  | Arch.Ppc64le ->
+      let hi, lo = split_hi_lo (target - toc) in
+      [ Insn.Addis (reg, Reg.toc, hi); Insn.Add (reg, Imm lo) ]
+  | Arch.Aarch64 ->
+      let page_delta = (target land lnot 4095) - (at land lnot 4095) in
+      [ Insn.Adrp (reg, page_delta); Insn.Add (reg, Imm (target land 4095)) ]
+
+let length arch ~pie =
+  match arch with
+  | Arch.X86_64 -> if pie then 7 else 10
+  | Arch.Ppc64le | Arch.Aarch64 -> 8

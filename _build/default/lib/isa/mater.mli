@@ -1,0 +1,23 @@
+(** Position-independence-safe materialization of code/data addresses.
+
+    Both the synthetic compilers and the rewriter need to load an absolute
+    address into a register using only instructions that stay correct under
+    PIE loading:
+    - x86-64: [movabs] for position-dependent code, RIP-relative [lea] for PIE;
+    - ppc64le: [addis reg, r2, hi; addi reg, lo] relative to the TOC base
+      (valid in both modes since the loader materializes [r2]);
+    - aarch64: [adrp reg; add reg, lo12] (PC-relative, valid in both modes). *)
+
+val insns :
+  Arch.t -> pie:bool -> toc:int -> at:int -> target:int -> reg:Reg.t ->
+  Insn.t list
+(** Instruction sequence that leaves [target] in [reg] when executed at
+    address [at] ([at] is the address of the first instruction of the
+    returned sequence). *)
+
+val length : Arch.t -> pie:bool -> int
+(** Encoded length of the sequence (independent of addresses). *)
+
+val split_hi_lo : int -> int * int
+(** [split_hi_lo off] is [(hi, lo)] with
+    [(hi lsl 16) + lo = off] and [lo] in [-32768, 32767]. *)

@@ -1,0 +1,1 @@
+lib/obj/binary.ml: Bytes Ehframe Format Icfg_isa Int32 Int64 List Printf Reloc Section String Symbol Sys

@@ -1,0 +1,1 @@
+lib/obj/binary.mli: Ehframe Format Icfg_isa Reloc Section Symbol

@@ -1,0 +1,1 @@
+lib/obj/binfile.ml: Array Binary Buffer Bytes Ehframe Fun Icfg_isa Int64 List Printf Reloc Section String Symbol

@@ -1,0 +1,1 @@
+lib/obj/binfile.mli: Binary Bytes

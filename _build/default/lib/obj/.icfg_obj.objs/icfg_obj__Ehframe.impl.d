@@ -1,0 +1,1 @@
+lib/obj/ehframe.ml: Array Format List Printf

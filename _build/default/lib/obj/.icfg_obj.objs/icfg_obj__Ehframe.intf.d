@@ -1,0 +1,1 @@
+lib/obj/ehframe.mli: Format

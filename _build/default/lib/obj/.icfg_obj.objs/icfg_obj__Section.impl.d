@@ -1,0 +1,1 @@
+lib/obj/section.ml: Bytes Format

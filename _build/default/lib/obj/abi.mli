@@ -1,0 +1,24 @@
+(** Well-known dynamic-symbol names of the runtime library.
+
+    The rewritten binary calls into the LD_PRELOAD-style runtime library
+    through these dynamic symbols (the rewriter appends them to the moved
+    [.dynsym]); the VM binds them to OCaml routines. *)
+
+val go_walk : string
+(** The Go traceback walker invoked by [Go_traceback] (models the Go
+    runtime's GC/stack-growth stack walks). *)
+
+val count : string
+(** Block-execution counting instrumentation payload. *)
+
+val translate_r0 : string
+(** Runtime RA translation applied to the PC argument in [r0] — the entry
+    instrumentation of [runtime.findfunc]/[runtime.pcvalue] (section 6.2). *)
+
+val empty_payload : string
+(** A no-op instrumentation payload (used to test snippet plumbing). *)
+
+val dyn_translate : string
+(** Multiverse-style dynamic-translation routine: translates the indirect
+    control-flow target in a site-specific register through the
+    original-to-relocated map before the transfer executes. *)

@@ -1,0 +1,15 @@
+(** On-disk serialization of binaries.
+
+    A compact, versioned container format (magic ["ICFG1"]) so rewritten
+    binaries can be written out, inspected later, and re-run — what a real
+    binary rewriter produces. Round-trips every field of {!Binary.t}. *)
+
+val to_bytes : Binary.t -> Bytes.t
+val of_bytes : Bytes.t -> Binary.t
+(** Raises [Invalid_argument] on a bad magic, version, or truncation. *)
+
+val save : string -> Binary.t -> unit
+(** Write to a file. *)
+
+val load : string -> Binary.t
+(** Read from a file; raises [Sys_error] or [Invalid_argument]. *)

@@ -1,0 +1,38 @@
+(** DWARF-like stack-unwinding metadata ([.eh_frame] + simplified LSDA).
+
+    Each function gets one frame description entry (FDE) keyed by its
+    {e original} address range. The paper's runtime RA translation leaves
+    this section untouched and instead translates relocated return addresses
+    back to original ones before each unwind step (section 6); this module is
+    therefore always consulted with original-binary PCs. *)
+
+type ra_location =
+  | Ra_on_stack of int
+      (** return address stored at [sp + offset] while inside the body
+          (x86-64 push semantics, or a RISC prologue save slot) *)
+  | Ra_in_lr  (** leaf frame on ppc64le/aarch64: RA still in the link register *)
+
+type fde = {
+  func_start : int;
+  func_end : int;  (** exclusive *)
+  frame_size : int;  (** stack bytes the prologue allocated *)
+  ra_loc : ra_location;
+  landing_pads : (int * int * int) list;
+      (** [(lo, hi, handler)] triples: an exception unwinding through a PC in
+          [lo, hi) transfers to [handler] (a catch-block address in the
+          original code) — the simplified LSDA *)
+}
+
+type t
+
+val empty : t
+val of_fdes : fde list -> t
+val add : t -> fde -> t
+val find : t -> int -> fde option
+(** Look up the FDE covering a PC. *)
+
+val fdes : t -> fde list
+
+(** [handler_for fde ~pc] is the landing pad covering [pc], if any. *)
+val handler_for : fde -> pc:int -> int option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+type kind = R_relative | R_link of string
+
+type t = { offset : int; kind : kind; addend : int }
+
+let relative ~offset ~addend = { offset; kind = R_relative; addend }
+let link ~offset ~sym ~addend = { offset; kind = R_link sym; addend }
+let is_runtime r = match r.kind with R_relative -> true | R_link _ -> false
+
+let pp ppf r =
+  match r.kind with
+  | R_relative ->
+      Format.fprintf ppf "0x%x: R_RELATIVE %+d" r.offset r.addend
+  | R_link s -> Format.fprintf ppf "0x%x: R_LINK %s%+d" r.offset s r.addend

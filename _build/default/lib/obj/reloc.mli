@@ -1,0 +1,22 @@
+(** Relocation entries.
+
+    Two families matter to the paper:
+    - {e run-time} relocations ([R_relative]), present in PIE binaries and
+      consumed by the loader; Egalito/RetroWrite require them, our rewriter
+      merely exploits them when present;
+    - {e link-time} relocations ([R_link]), normally discarded by the linker
+      and only retained under [-Wl,-q]; BOLT requires them for function
+      reordering (section 8.3). *)
+
+type kind =
+  | R_relative
+      (** the slot at [offset] holds [load_base + addend] after loading *)
+  | R_link of string
+      (** link-time relocation against the named symbol (+[addend]) *)
+
+type t = { offset : int; kind : kind; addend : int }
+
+val relative : offset:int -> addend:int -> t
+val link : offset:int -> sym:string -> addend:int -> t
+val is_runtime : t -> bool
+val pp : Format.formatter -> t -> unit

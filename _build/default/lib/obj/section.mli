@@ -1,0 +1,38 @@
+(** Sections of the ELF-like binary container.
+
+    A section is a named, contiguous byte range at a fixed virtual address.
+    Only loaded sections count towards the binary size reported by
+    {!Binary.loaded_size} (mirroring binutils [size], which the paper uses
+    for its size-increase numbers in Table 3). *)
+
+type perm = { read : bool; write : bool; execute : bool }
+
+val r_x : perm
+(** read + execute (code sections) *)
+
+val r_only : perm
+(** read-only (e.g. [.rodata]) *)
+
+val r_w : perm
+(** read + write (e.g. [.data]) *)
+
+type t = {
+  name : string;
+  vaddr : int;
+  data : Bytes.t;
+  perm : perm;
+  loaded : bool;
+}
+
+val make : ?loaded:bool -> name:string -> vaddr:int -> perm:perm -> Bytes.t -> t
+
+val size : t -> int
+val end_vaddr : t -> int
+(** [vaddr + size]: one past the last byte. *)
+
+val contains : t -> int -> bool
+(** Whether a virtual address falls inside the section. *)
+
+val rename : t -> string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type kind = Func | Object | Dynamic
+
+type t = {
+  name : string;
+  addr : int;
+  size : int;
+  kind : kind;
+  global : bool;
+  version : string option;
+}
+
+let make ?(global = true) ?version ~name ~addr ~size kind =
+  { name; addr; size; kind; global; version }
+
+let is_func s = s.kind = Func
+let contains s a = a >= s.addr && a < s.addr + s.size
+
+let pp ppf s =
+  Format.fprintf ppf "%s%s @ 0x%x (%d bytes, %s)" s.name
+    (match s.version with Some v -> "@" ^ v | None -> "")
+    s.addr s.size
+    (match s.kind with Func -> "func" | Object -> "object" | Dynamic -> "dyn")
+
+let compare_by_addr a b = compare (a.addr, a.name) (b.addr, b.name)

@@ -1,0 +1,27 @@
+(** Symbols: functions, data objects, and dynamic (runtime-library) entries. *)
+
+type kind =
+  | Func
+  | Object
+  | Dynamic  (** an imported dynamic symbol, resolved by the loader *)
+
+type t = {
+  name : string;
+  addr : int;
+  size : int;
+  kind : kind;
+  global : bool;
+  version : string option;
+      (** symbol versioning information (e.g. ["GLIBCXX_3.4"]); present in
+          C++ libraries and known to defeat the IR-lowering baseline
+          (section 9 of the paper) *)
+}
+
+val make :
+  ?global:bool -> ?version:string -> name:string -> addr:int -> size:int ->
+  kind -> t
+
+val is_func : t -> bool
+val contains : t -> int -> bool
+val pp : Format.formatter -> t -> unit
+val compare_by_addr : t -> t -> int

@@ -1,0 +1,1 @@
+lib/runtime/runtime_lib.ml: Array Bytes Hashtbl Icfg_isa Icfg_obj Int32 Int64 List Option Printf Vm

@@ -1,0 +1,1 @@
+lib/runtime/vm.ml: Arch Array Bytes Encode Hashtbl Icache Icfg_isa Icfg_obj Insn Int32 Int64 List Option Printf Reg Sys

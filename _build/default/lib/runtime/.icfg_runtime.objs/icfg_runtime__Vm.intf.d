@@ -1,0 +1,1 @@
+lib/runtime/vm.mli: Hashtbl Icache Icfg_isa Icfg_obj

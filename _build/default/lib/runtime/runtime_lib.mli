@@ -1,0 +1,61 @@
+(** The runtime library injected next to (original or rewritten) binaries.
+
+    Mirrors the paper's LD_PRELOAD library (section 3): it owns the trap
+    map consulted by the VM's signal delivery, the return-address map
+    extracted from the rewritten binary's [.ra_map] section, and the
+    OCaml-implemented routines bound to the dynamic symbols of
+    {!Icfg_obj.Abi}. *)
+
+(** {1 Return-address maps} *)
+
+module Ra_map : sig
+  type t
+  (** A floor map from relocated ([.instr]) addresses to original ([.text])
+      addresses. Exact pairs are recorded for return addresses; block-start
+      pairs give any relocated PC a translation to its block's original
+      start (sufficient for FDE lookup and Go's findfunc). *)
+
+  val of_pairs : ?exact_only:bool -> (int * int) list -> t
+  (** [(relocated, original)] pairs; sorted internally. With [exact_only]
+      (the call-emulation throw-site map), non-exact lookups pass through. *)
+
+  val translate : t -> int -> int
+  (** Exact or floor lookup; returns the input when it precedes every entry
+      or falls outside the mapped region (unknown PCs pass through, as in
+      section 6 of the paper). *)
+
+  val size : t -> int
+  val pairs : t -> (int * int) list
+
+  val encode : t -> Bytes.t
+  (** Serialize as the [.ra_map] section payload (16-byte header plus
+      8 bytes per pair). *)
+
+  val decode : Bytes.t -> t
+  (** Parse a [.ra_map] section payload (what the runtime library does when
+      it attaches to a rewritten binary). *)
+end
+
+(** {1 Routines} *)
+
+val go_walk_routine : unit -> string * (Vm.t -> unit)
+(** Walks the stack like Go's traceback: for each frame, invokes the
+    binary's own [runtime.findfunc] on the frame PC and emits the returned
+    function id to the observable output; aborts the run ("go panic") if an
+    inner frame cannot be resolved. *)
+
+val count_routine :
+  (int, int) Hashtbl.t -> key_of:(int -> int) -> string * (Vm.t -> unit)
+(** Counting instrumentation payload: increments the counter keyed by
+    [key_of call_site_link_addr]. The rewriter provides [key_of] mapping the
+    [CallRt] site back to the instrumented block's original address. *)
+
+val translate_r0_routine : Ra_map.t -> string * (Vm.t -> unit)
+(** Overwrites [r0] with its RA translation (the findfunc/pcvalue entry
+    instrumentation of section 6.2). *)
+
+val empty_routine : unit -> string * (Vm.t -> unit)
+
+val standard : unit -> (string * (Vm.t -> unit)) list
+(** The routines every run needs ([go_walk] and [empty]); counting and
+    translation routines are added per-experiment. *)

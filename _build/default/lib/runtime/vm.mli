@@ -1,0 +1,116 @@
+(** The execution substrate: a byte-accurate interpreter for binaries.
+
+    The VM decodes the actual section bytes at each step (so trampolines,
+    overwritten code, and illegal filler behave exactly as written), charges
+    a configurable cycle cost per instruction, models an instruction cache,
+    delivers trap signals to the runtime-library trap map at a high cost, and
+    implements DWARF-style stack unwinding over the binary's original
+    [.eh_frame] with an optional return-address translation hook — the
+    runtime-library mechanisms of sections 3 and 6 of the paper. *)
+
+type cost_model = {
+  base : int;  (** cycles per instruction *)
+  mem : int;  (** extra cycles for loads/stores *)
+  mul : int;  (** extra cycles for multiplies *)
+  branch_taken : int;  (** extra cycles for a taken branch/call/return *)
+  indirect : int;  (** extra cycles for indirect control flow *)
+  callrt : int;  (** cycles for a runtime-library (PLT) call *)
+  trap : int;  (** cycles to deliver a trap signal (section 7) *)
+}
+
+val default_costs : cost_model
+
+type config = {
+  load_base : int;  (** applied to every section when the binary is PIE *)
+  stack_base : int;
+  stack_size : int;
+  max_steps : int;
+  costs : cost_model;
+  icache : Icache.config option;
+  trap_map : (int, int) Hashtbl.t;
+      (** link-time trap address -> link-time target (the runtime library's
+          trap-signal table) *)
+  translate : (int -> int) option;
+      (** RA translation hook wrapped around the unwinder's step function
+          (the libunwind function-wrapping of section 6.1); receives and
+          returns link-time addresses *)
+  go_translate : (int -> int) option;
+      (** translation used by the Go traceback walker's own frame stepping;
+          installed together with the findfunc/pcvalue entry instrumentation
+          (section 6.2) *)
+  profile : (int, int) Hashtbl.t option;
+      (** when set, pre-seeded keys (link-time block addresses) are
+          incremented on every fetch at that address — the ground-truth
+          block profiler used to verify counting instrumentation *)
+  compiled_unwind : bool;
+      (** model an frdwarf-style unwinder whose recipes are compiled to
+          code (~10x cheaper per frame step); RA translation is agnostic to
+          the unwinder implementation, per sections 2.3 and 6 of the paper *)
+}
+
+val default_config : unit -> config
+(** Fresh config: no PIE base, no icache, empty trap map, no translation. *)
+
+type outcome =
+  | Halted
+  | Crashed of string  (** illegal instruction, unmapped access, trap without
+                           mapping, unhandled exception, Go panic, timeout *)
+
+type result = {
+  outcome : outcome;
+  output : int list;  (** values emitted by [Out], in order *)
+  steps : int;
+  cycles : int;
+  icache_misses : int;
+  trap_hits : int;
+  unwind_steps : int;
+}
+
+type t
+(** A running VM instance (exposed so runtime-library routines can inspect
+    and modify machine state). *)
+
+(** {1 Running} *)
+
+val run :
+  ?config:config ->
+  ?routines:(string * (t -> unit)) list ->
+  Icfg_obj.Binary.t ->
+  result
+(** Load the binary (applying run-time relocations under PIE), bind the
+    runtime-library [routines] by dynamic-symbol name, and execute from the
+    entry point. Unbound [CallRt] names crash the run. *)
+
+(** {1 State access for runtime-library routines} *)
+
+val reg : t -> Icfg_isa.Reg.t -> int
+val set_reg : t -> Icfg_isa.Reg.t -> int -> unit
+val pc : t -> int
+(** Runtime address of the currently-executing [CallRt] instruction. *)
+
+val sp : t -> int
+val lr : t -> int
+val load_base : t -> int
+val binary : t -> Icfg_obj.Binary.t
+val read_mem : t -> int -> Icfg_isa.Insn.width -> int
+val write_mem : t -> int -> Icfg_isa.Insn.width -> int -> unit
+val emit_output : t -> int -> unit
+val abort : t -> string -> unit
+(** Terminate the run with [Crashed]. *)
+
+val call_function : t -> addr:int -> args:int list -> int
+(** Re-entrant call: execute the function at runtime address [addr] with the
+    given arguments and return its result ([r0]); machine state is saved and
+    restored. Used by the Go traceback walker to invoke the binary's own
+    [runtime.findfunc]. *)
+
+val find_symbol : t -> string -> int option
+(** Runtime address of a function symbol. *)
+
+(** {1 Unwinding helpers} *)
+
+val frames : t -> (int * int) list
+(** Current call-frame chain as [(runtime_pc, sp)] pairs, innermost first,
+    stepped with the binary's FDEs and the [go_translate]/identity hook.
+    Stops at the entry function, or at the first PC with no frame
+    information (in which case the last pair has [pc = -1] as a marker). *)

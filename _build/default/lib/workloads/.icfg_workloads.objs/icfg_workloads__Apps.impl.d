@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: Binary Gen Icfg_codegen Icfg_isa Icfg_obj List Printf

@@ -1,0 +1,1 @@
+lib/workloads/apps.mli: Icfg_codegen Icfg_isa Icfg_obj

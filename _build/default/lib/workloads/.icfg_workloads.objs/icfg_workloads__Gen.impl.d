@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Icfg_codegen Icfg_isa Icfg_obj Ir List Printf Rng String

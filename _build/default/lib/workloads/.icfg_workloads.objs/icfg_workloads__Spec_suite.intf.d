@@ -1,0 +1,1 @@
+lib/workloads/spec_suite.mli: Icfg_codegen Icfg_isa Icfg_obj

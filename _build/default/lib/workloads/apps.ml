@@ -1,0 +1,178 @@
+open Icfg_obj
+module Ir = Icfg_codegen.Ir
+module Compile = Icfg_codegen.Compile
+
+(* ------------------------------------------------------------------ *)
+(* Firefox's libxul.so analogue                                        *)
+(* ------------------------------------------------------------------ *)
+
+let libxul arch =
+  let spec =
+    {
+      Gen.seed = 80;
+      name = "libxul";
+      langs = [ Binary.Cpp; Binary.Rust ];
+      exceptions = true;
+      n_compute = 26;
+      n_switch = 7;
+      n_dispatch = 6;
+      n_hard_spill = 2;
+      n_frameless_tail = 2;
+      n_data_table = (if arch = Icfg_isa.Arch.X86_64 then 1 else 2);
+      iters = 120;
+      inner = 2;
+      work = 8;
+      cases = 16;
+    }
+  in
+  let prog = Gen.build spec in
+  let prog =
+    {
+      prog with
+      Ir.features =
+        {
+          prog.Ir.features with
+          Binary.rust_metadata = true;
+          symbol_versioning = true;
+        };
+    }
+  in
+  Compile.compile ~pie:true arch prog
+
+(* ------------------------------------------------------------------ *)
+(* Docker analogue (Go)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let docker arch =
+  let adjust = if arch = Icfg_isa.Arch.X86_64 then 1 else 4 in
+  let spec = Gen.go_spec ~seed:1903 ~name:"docker" ~iters:150 in
+  let prog = Gen.build_go ~vtab_check:true ~goexit_adjust:adjust spec in
+  Compile.compile ~pie:true arch prog
+
+(* ------------------------------------------------------------------ *)
+(* libcuda.so analogue (the Diogenes case study)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Deep chains of small functions: each public cu* entry point fans into a
+   chain of tiny helpers ending in a shared internal "synchronization"
+   function — the hidden function Diogenes hunts for. *)
+let n_apis = 16
+let chain_depth = 3
+let n_stubs = 16
+
+let libcuda_prog ~iters =
+  let masked e = Ir.Bin (Band, e, Int 0xFFFFF) in
+  let sync_fn =
+    Ir.func "internal_sync" [ "x" ]
+      [
+        Ir.Let ("a", masked (Bin (Bmul, Var "x", Int 3)));
+        Ir.Return (masked (Bin (Badd, Var "a", Int 1)));
+      ]
+  in
+  let helper api depth =
+    let name = Printf.sprintf "helper_%d_%d" api depth in
+    let next =
+      if depth + 1 >= chain_depth then "internal_sync"
+      else Printf.sprintf "helper_%d_%d" api (depth + 1)
+    in
+    (* Small functions with conditional early-outs and empty-then branches:
+       the latter compile to branch-only basic blocks (one instruction), the
+       tiny hot blocks that force every-block placement into trap
+       trampolines when the relocated area is out of short-branch range. *)
+    Ir.func name [ "x" ]
+      [
+        Ir.If (Icfg_isa.Insn.Eq, Bin (Band, Var "x", Int 1), Int 0, [], []);
+        Ir.If (Icfg_isa.Insn.Eq, Bin (Band, Var "x", Int 2), Int 0, [], []);
+        Ir.If (Icfg_isa.Insn.Eq, Bin (Band, Var "x", Int 4), Int 0, [], []);
+        Ir.If
+          ( Icfg_isa.Insn.Eq,
+            Bin (Band, Var "x", Int 15),
+            Int 0,
+            [ Ir.Return (masked (Bin (Badd, Var "x", Int depth))) ],
+            [] );
+        Ir.Call (Some "r", Direct next, [ masked (Bin (Badd, Var "x", Int 1)) ]);
+        Ir.Return (Var "r");
+      ]
+  in
+  let api i =
+    Ir.func (Printf.sprintf "cuApi%d" i) [ "x" ]
+      [
+        (* Result-ignored back-to-back calls: the fall-through blocks are
+           three instructions — too small for the ppc64le long trampoline
+           when every block needs one. *)
+        Ir.Call (None, Direct (Printf.sprintf "helper_%d_0" i), [ Var "x" ]);
+        Ir.Call (None, Direct (Printf.sprintf "helper_%d_0" i), [ Var "x" ]);
+        Ir.Call (None, Direct (Printf.sprintf "helper_%d_0" i), [ Var "x" ]);
+        Ir.Call (None, Direct (Printf.sprintf "helper_%d_0" i), [ Var "x" ]);
+        Ir.Call (Some "r", Direct (Printf.sprintf "helper_%d_0" i), [ Var "x" ]);
+        Ir.Return (Var "r");
+      ]
+  in
+  let apis = List.init n_apis api in
+  (* Public entry stubs: one-instruction tail-call trampolines into the
+     implementation, the hallmark of stripped driver interfaces. Their
+     entire body is a single branch, so an every-block rewriter without
+     trampoline superblocks can only patch them with a trap once the
+     relocated area is out of short-branch range; our placement analysis
+     extends the entry over the inter-function alignment padding. *)
+  let stub i =
+    Ir.func
+      (Printf.sprintf "cuStub%d" i)
+      []
+      [ Ir.Tail_call (Direct (Printf.sprintf "cuApi%d" (i mod n_apis))) ]
+  in
+  let stubs = List.init n_stubs stub in
+  let helpers =
+    List.concat (List.init n_apis (fun i -> List.init chain_depth (helper i)))
+  in
+  let driver =
+    Ir.func "driver" [ "x" ]
+      [
+        Ir.Let ("acc", Var "x");
+        Ir.For
+          ( "r",
+            0,
+            2,
+            List.concat
+              (List.init n_stubs (fun i ->
+                   let v = Printf.sprintf "v%d" i in
+                   [
+                     Ir.Call
+                       ( Some v,
+                         Direct (Printf.sprintf "cuStub%d" i),
+                         [ masked (Bin (Badd, Var "acc", Int i)) ] );
+                     Ir.Set (Lvar "acc", masked (Bin (Badd, Var "acc", Var v)));
+                   ])) );
+        Ir.Return (Var "acc");
+      ]
+  in
+  let main =
+    Ir.func "main" []
+      [
+        Ir.Let ("acc", Int 5);
+        Ir.For
+          ( "i",
+            0,
+            iters,
+            [
+              Ir.Call (Some "d", Direct "driver", [ masked (Bin (Badd, Var "acc", Var "i")) ]);
+              Ir.Set (Lvar "acc", masked (Bin (Badd, Var "acc", Var "d")));
+            ] );
+        Ir.Print (Var "acc");
+        Ir.Return (Int 0);
+      ]
+  in
+  Ir.program ~name:"libcuda"
+    ~features:{ Binary.no_features with Binary.langs = [ Binary.Cpp ]; symbol_versioning = true }
+    ~main:"main"
+    ((sync_fn :: helpers) @ apis @ stubs @ [ driver; main ])
+
+let libcuda ?(iters = 220) arch = Compile.compile ~pie:true arch (libcuda_prog ~iters)
+
+let libcuda_api_subset _bin =
+  (* Diogenes instruments the public synchronization-related interfaces and
+     their callees-of-interest: a strict subset of all functions. *)
+  "internal_sync"
+  :: List.init n_stubs (fun i -> Printf.sprintf "cuStub%d" i)
+  @ List.init n_apis (fun i -> Printf.sprintf "cuApi%d" i)
+  @ List.init n_apis (fun i -> Printf.sprintf "helper_%d_0" i)

@@ -1,0 +1,28 @@
+(** Real-world application analogues (sections 8.2 and 9).
+
+    Scaled-down synthetic stand-ins that carry exactly the properties the
+    paper's experiments exercise:
+
+    - {b libxul}: a large C++/Rust mixed library — many functions, jump
+      tables, virtual-dispatch-style function-pointer tables, C++
+      exceptions, Rust metadata and symbol versioning (both of which defeat
+      the IR-lowering baseline);
+    - {b docker}: a Go PIE binary — no jump tables, Go runtime traceback
+      over a [.gopclntab], the [&goexit+1] pointer idiom, and interface
+      tables that make func-ptr mode unsafe;
+    - {b libcuda}: a stripped driver-like library with deep chains of small
+      hot functions, of which only a subset is instrumented (the Diogenes
+      partial-instrumentation case study). *)
+
+val libxul :
+  Icfg_isa.Arch.t -> Icfg_obj.Binary.t * Icfg_codegen.Debug.t
+(** Compiled as PIE with [n_funcs] scaled for simulation. *)
+
+val docker :
+  Icfg_isa.Arch.t -> Icfg_obj.Binary.t * Icfg_codegen.Debug.t
+
+val libcuda :
+  ?iters:int -> Icfg_isa.Arch.t -> Icfg_obj.Binary.t * Icfg_codegen.Debug.t
+
+val libcuda_api_subset : Icfg_obj.Binary.t -> string list
+(** The functions Diogenes instruments (the "700 of 12644" analogue). *)

@@ -1,0 +1,439 @@
+open Icfg_codegen
+module Binary = Icfg_obj.Binary
+
+type spec = {
+  seed : int;
+  name : string;
+  langs : Binary.lang list;
+  exceptions : bool;
+  n_compute : int;
+  n_switch : int;
+  n_dispatch : int;
+  n_hard_spill : int;
+  n_frameless_tail : int;
+  n_data_table : int;
+  iters : int;
+  inner : int;
+  work : int;
+  cases : int;
+}
+
+let default_spec =
+  {
+    seed = 1;
+    name = "bench";
+    langs = [ Binary.C ];
+    exceptions = false;
+    n_compute = 6;
+    n_switch = 2;
+    n_dispatch = 2;
+    n_hard_spill = 0;
+    n_frameless_tail = 0;
+    n_data_table = 0;
+    iters = 120;
+    inner = 4;
+    work = 12;
+    cases = 8;
+  }
+
+let mask = 0xFFFFF
+
+let masked e = Ir.Bin (Band, e, Int mask)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel templates                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let compute_body rng i work =
+  let step =
+    Ir.Set
+      ( Lvar "acc",
+        masked
+          (Bin
+             ( Badd,
+               Bin (Bxor, Bin (Bshl, Var "acc", Int (1 + Rng.int rng 3)), Var "j"),
+               Int (i + Rng.int rng 97) )) )
+  in
+  [
+    Ir.Let ("acc", masked (Bin (Badd, Var "x", Int (i * 31))));
+    Ir.For ("j", 0, work, [ step ]);
+    Ir.Return (Var "acc");
+  ]
+
+let compute_func rng i work =
+  Ir.func (Printf.sprintf "compute%d" i) [ "x" ] (compute_body rng i work)
+
+let switch_func rng style i cases =
+  let case k =
+    [
+      Ir.Return
+        (masked (Bin (Badd, Bin (Bmul, Var "x", Int (k + 3)), Int (k * 7 + Rng.int rng 11))));
+    ]
+  in
+  Ir.func
+    (Printf.sprintf "switch%d" i)
+    [ "x" ]
+    [
+      Ir.Let ("idx", Bin (Band, Var "x", Int (cases - 1)));
+      Ir.Switch (style, Var "idx", Array.init cases case, [ Ir.Return (Int 0) ]);
+    ]
+
+let dispatch_func rng i ~table ~table_size =
+  let const_slot = Rng.int rng table_size in
+  Ir.func
+    (Printf.sprintf "dispatch%d" i)
+    [ "x" ]
+    [
+      Ir.Let ("idx", Bin (Band, Var "x", Int (table_size - 1)));
+      Ir.Call (Some "a", Via_ptr (Table_elt (table, Var "idx")), [ Var "x" ]);
+      Ir.Call (Some "b", Via_table (table, const_slot), [ Var "a" ]);
+      Ir.Return (masked (Bin (Badd, Var "a", Var "b")));
+    ]
+
+let thrower_func i =
+  Ir.func
+    (Printf.sprintf "thrower%d" i)
+    [ "x" ]
+    [
+      Ir.If
+        ( Icfg_isa.Insn.Eq,
+          Bin (Band, Var "x", Int 7),
+          Int 0,
+          [ Ir.Throw (Var "x") ],
+          [] );
+      Ir.Return (masked (Bin (Badd, Var "x", Int 13)));
+    ]
+
+let catcher_func i =
+  Ir.func
+    (Printf.sprintf "catcher%d" i)
+    [ "x" ]
+    [
+      Ir.Let ("out", Int 0);
+      Ir.Try
+        ( [
+            (* The throw unwinds through an indirect-call frame: exactly the
+               case Dyninst-10.2's x86-64 call emulation mishandles. *)
+            Ir.Call
+              ( Some "r",
+                Via_ptr (Func_addr (Printf.sprintf "thrower%d" i)),
+                [ Var "x" ] );
+            Ir.Set (Lvar "out", Var "r");
+          ],
+          "e",
+          [ Ir.Set (Lvar "out", masked (Bin (Badd, Var "e", Int 1000))) ] );
+      (* A guaranteed throw: (x lsl 3) land 7 = 0 always. *)
+      Ir.Try
+        ( [
+            Ir.Call
+              ( Some "r2",
+                Via_ptr (Func_addr (Printf.sprintf "thrower%d" i)),
+                [ Bin (Bshl, Var "x", Int 3) ] );
+            Ir.Set (Lvar "out", masked (Bin (Badd, Var "out", Var "r2")));
+          ],
+          "e2",
+          [
+            Ir.Set
+              ( Lvar "out",
+                masked (Bin (Badd, Var "out", Bin (Badd, Var "e2", Int 2000))) );
+          ] );
+      Ir.Return (Var "out");
+    ]
+
+let tail_target_func i =
+  Ir.func
+    (Printf.sprintf "tail_target%d" i)
+    []
+    [ Ir.Return (Int (17 + (i * 3))) ]
+
+(* A frame-less function whose only statement is an indirect tail call
+   through a data slot: the construct whose unresolved jump defeats the
+   frame-teardown heuristic but not the layout heuristic (section 5.1). *)
+let frameless_tail_func i ~slot =
+  Ir.func (Printf.sprintf "fi_tail%d" i) [] [ Ir.Tail_call (Via_ptr (Global slot)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Program assembly                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let driver_func rng kernels inner =
+  let calls =
+    List.concat
+      (List.mapi
+         (fun k fname ->
+           let v = Printf.sprintf "v%d" k in
+           [
+             Ir.Call (Some v, Direct fname, [ masked (Bin (Badd, Var "acc", Int k)) ]);
+             Ir.Set (Lvar "acc", masked (Bin (Badd, Var "acc", Var v)));
+           ])
+         kernels)
+  in
+  ignore rng;
+  Ir.func "driver" [ "x" ]
+    [
+      Ir.Let ("acc", Var "x");
+      Ir.For ("r", 0, inner, calls);
+      Ir.Return (Var "acc");
+    ]
+
+let main_func iters =
+  Ir.func "main" []
+    [
+      Ir.Let ("acc", Int 7);
+      Ir.For
+        ( "i",
+          0,
+          iters,
+          [
+            Ir.Call (Some "d", Direct "driver", [ masked (Bin (Badd, Var "acc", Var "i")) ]);
+            Ir.Set (Lvar "acc", masked (Bin (Badd, Var "acc", Var "d")));
+          ] );
+      Ir.Print (Var "acc");
+      Ir.Return (Int 0);
+    ]
+
+let build spec =
+  let rng = Rng.create spec.seed in
+  let computes = List.init spec.n_compute (fun i -> compute_func rng i spec.work) in
+  let switches =
+    List.init spec.n_switch (fun i ->
+        let style =
+          if i < spec.n_hard_spill then Ir.Jt_spilled_base else Ir.Jt_plain
+        in
+        switch_func rng style i spec.cases)
+  in
+  let data_tables =
+    List.init spec.n_data_table (fun i ->
+        switch_func rng Ir.Jt_data_table (spec.n_switch + i) spec.cases)
+  in
+  (* Function-pointer tables over the compute kernels (power-of-two size). *)
+  let table_size = 4 in
+  let table_names = List.init spec.n_dispatch (fun i -> Printf.sprintf "ftbl%d" i) in
+  let tables =
+    List.map
+      (fun t ->
+        Ir.Func_table
+          ( t,
+            List.init table_size (fun _ ->
+                Printf.sprintf "compute%d" (Rng.int rng spec.n_compute)) ))
+      table_names
+  in
+  let dispatchers =
+    List.mapi
+      (fun i t -> dispatch_func rng i ~table:t ~table_size)
+      table_names
+  in
+  let exc_funcs =
+    if spec.exceptions then [ thrower_func 0; catcher_func 0 ] else []
+  in
+  let tail_targets = List.init 2 tail_target_func in
+  let tail_slots =
+    List.init spec.n_frameless_tail (fun i ->
+        ( Printf.sprintf "gt%d" i,
+          Printf.sprintf "tail_target%d" (Rng.int rng 2) ))
+  in
+  let frameless =
+    List.mapi (fun i (slot, _) -> frameless_tail_func i ~slot) tail_slots
+  in
+  let tail_data = List.map (fun (slot, f) -> Ir.Word_addr (slot, f)) tail_slots in
+  (* The driver calls a seeded sample of kernels. *)
+  let kernel_names =
+    List.map (fun (f : Ir.func) -> f.Ir.fname)
+      (computes @ switches @ data_tables @ dispatchers
+      @ (if spec.exceptions then [ catcher_func 0 ] else [])
+      @ frameless)
+  in
+  let is_compute n = String.length n > 7 && String.sub n 0 7 = "compute" in
+  let is_switch n = String.length n > 6 && String.sub n 0 6 = "switch" in
+  let sample =
+    (* every switch/dispatch/exception kernel (switches twice: switch
+       dispatch dominates the control-flow mix of the suite), plus a few
+       computes *)
+    List.concat_map
+      (fun n -> if is_switch n then [ n; n ] else [ n ])
+      (List.filter (fun n -> not (is_compute n)) kernel_names)
+    @ List.filteri (fun i _ -> i < 3) (List.filter is_compute kernel_names)
+  in
+  let sample = Rng.shuffle rng sample in
+  let cstrings =
+    [
+      Ir.Cstring ("banner", spec.name ^ " synthetic benchmark");
+      Ir.Cstring ("version", "1.0.2");
+      Ir.Cstring ("usage", String.concat " " (List.init 24 (fun i -> Printf.sprintf "opt%d" i)));
+    ]
+  in
+  (* Constant and working-set data: real programs are not all code, and the
+     size-increase ratios of Table 3 are relative to the whole image. *)
+  let data_words =
+    [
+      Ir.Word_array
+        ("gdata", List.init (60 + (spec.work * 2)) (fun i -> i * 17));
+      Ir.Word_array ("gtab2", List.init 48 (fun i -> i * 3));
+    ]
+  in
+  let features =
+    {
+      Binary.no_features with
+      Binary.langs = spec.langs;
+      cpp_exceptions = spec.exceptions;
+    }
+  in
+  Ir.program ~name:spec.name
+    ~data:(tables @ tail_data @ cstrings @ data_words @ [ Ir.Word ("gseed", spec.seed) ])
+    ~features ~main:"main"
+    (computes @ switches @ data_tables @ dispatchers @ exc_funcs @ tail_targets
+   @ frameless
+    @ [ driver_func rng sample spec.inner; main_func spec.iters ])
+
+(* ------------------------------------------------------------------ *)
+(* Go programs                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let go_spec ~seed ~name ~iters =
+  {
+    default_spec with
+    seed;
+    name;
+    langs = [ Binary.Go ];
+    n_switch = 0;
+    n_dispatch = 2;
+    iters;
+  }
+
+(* If-chain classifier: Go's compiler does not emit jump tables. *)
+let go_classify_func i cases =
+  let rec chain k =
+    if k >= cases then [ Ir.Return (Int 0) ]
+    else
+      [
+        Ir.If
+          ( Icfg_isa.Insn.Eq,
+            Var "idx",
+            Int k,
+            [ Ir.Return (masked (Bin (Bmul, Var "x", Int (k + 3)))) ],
+            chain (k + 1) );
+      ]
+  in
+  Ir.func
+    (Printf.sprintf "classify%d" i)
+    [ "x" ]
+    (Ir.Let ("idx", Bin (Band, Var "x", Int (cases - 1))) :: chain 0)
+
+let build_go ?(vtab_check = true) ?(goexit_adjust = 1) spec =
+  let rng = Rng.create spec.seed in
+  let computes = List.init spec.n_compute (fun i -> compute_func rng i spec.work) in
+  let classifies = List.init 2 (fun i -> go_classify_func i 4) in
+  let goexit =
+    Ir.func "runtime.goexit" []
+      [ Ir.Nops 1; Ir.Return (Int 11) ]
+  in
+  let table_size = 4 in
+  let tables =
+    [
+      Ir.Func_table
+        ( "ftbl0",
+          List.init table_size (fun _ ->
+              Printf.sprintf "compute%d" (Rng.int rng spec.n_compute)) );
+      Ir.Func_table
+        ( "vtab",
+          List.init 2 (fun _ ->
+              Printf.sprintf "compute%d" (Rng.int rng spec.n_compute)) );
+    ]
+  in
+  let dispatchers = [ dispatch_func rng 0 ~table:"ftbl0" ~table_size ] in
+  (* Interface-style use: the same slot value is both called and looked up
+     in the Go function table. Rewriting the slot breaks the comparison —
+     why func-ptr mode is unsafe for Go binaries (section 8.2). *)
+  let vtab_user =
+    Ir.func "iface_call" [ "x" ]
+      ([ Ir.Let ("v", Table_elt ("vtab", Bin (Band, Var "x", Int 1))) ]
+      @ (if vtab_check then
+           [
+             Ir.Call (Some "id", Direct "runtime.findfunc", [ Var "v" ]);
+             Ir.If
+               ( Icfg_isa.Insn.Lt,
+                 Var "id",
+                 Int 0,
+                 [ Ir.Print (Int (-424242)); Ir.Throw (Int (-1)) ],
+                 [] );
+           ]
+         else [])
+      @ [
+          Ir.Call (Some "r", Via_ptr (Var "v"), [ Var "x" ]);
+          Ir.Return (Var "r");
+        ])
+  in
+  (* Listing 1: a pointer to goexit's entry is loaded, incremented past the
+     entry nop, stored, and later called. *)
+  let goexit_user =
+    Ir.func "spawn" [ "x" ]
+      [
+        Ir.Set (Lglobal "g_exit2", Bin (Badd, Global "g_exit1", Int goexit_adjust));
+        Ir.Call (Some "r", Via_ptr (Global "g_exit2"), []);
+        Ir.Return (masked (Bin (Badd, Var "r", Var "x")));
+      ]
+  in
+  let kernels =
+    List.map (fun (f : Ir.func) -> f.Ir.fname)
+      (classifies @ dispatchers @ [ vtab_user; goexit_user ])
+    @ [ "compute0" ]
+  in
+  let driver =
+    Ir.func "driver" [ "x" ]
+      [
+        Ir.Let ("acc", Var "x");
+        Ir.For
+          ( "r",
+            0,
+            spec.inner,
+            List.concat
+              (List.mapi
+                 (fun k fname ->
+                   let v = Printf.sprintf "v%d" k in
+                   [
+                     Ir.Call
+                       (Some v, Direct fname, [ masked (Bin (Badd, Var "acc", Int k)) ]);
+                     Ir.Set (Lvar "acc", masked (Bin (Badd, Var "acc", Var v)));
+                   ])
+                 kernels) );
+        Ir.Return (Var "acc");
+      ]
+  in
+  let main =
+    Ir.func "main" []
+      [
+        Ir.Let ("acc", Int 3);
+        Ir.For
+          ( "i",
+            0,
+            spec.iters,
+            [
+              Ir.Call (Some "d", Direct "driver", [ masked (Bin (Badd, Var "acc", Var "i")) ]);
+              Ir.Set (Lvar "acc", masked (Bin (Badd, Var "acc", Var "d")));
+              (* Periodic GC-style stack walk. *)
+              Ir.If
+                ( Icfg_isa.Insn.Eq,
+                  Bin (Band, Var "i", Int 63),
+                  Int 0,
+                  [ Ir.Go_traceback ],
+                  [] );
+            ] );
+        Ir.Print (Var "acc");
+        Ir.Return (Int 0);
+      ]
+  in
+  let features =
+    {
+      Binary.no_features with
+      Binary.langs = [ Binary.Go ];
+      go_runtime = true;
+      go_vtab = vtab_check;
+    }
+  in
+  Ir.program ~name:spec.name
+    ~data:
+      (tables
+      @ [ Ir.Word_addr ("g_exit1", "runtime.goexit"); Ir.Word ("g_exit2", 0) ])
+    ~features ~go_functab:true ~main:"main"
+    (computes @ classifies @ [ goexit ] @ dispatchers
+    @ [ vtab_user; goexit_user; driver; main ])

@@ -1,0 +1,48 @@
+(** IR program generator: composable kernel templates.
+
+    Each benchmark is a [main] driving an outer iteration loop over a
+    [driver] function that calls a seeded mix of kernels:
+    - compute kernels (arithmetic loops — the Fortran-ish workload),
+    - switch kernels (jump tables, optionally with the spilled-base pattern
+      or a writable data table),
+    - dispatch kernels (indirect calls through function-pointer tables),
+    - throw/catch kernels (C++ exceptions),
+    - tail-call kernels (direct and frame-less indirect tail calls).
+
+    The dynamic instruction mix (how often switch dispatch and indirect
+    calls execute relative to straight-line arithmetic) is what determines
+    the relative overheads of the dir/jt/func-ptr rewriting modes, mirroring
+    the paper's Table 3. *)
+
+type spec = {
+  seed : int;
+  name : string;
+  langs : Icfg_obj.Binary.lang list;
+  exceptions : bool;  (** include throw/catch kernels *)
+  n_compute : int;
+  n_switch : int;
+  n_dispatch : int;
+  n_hard_spill : int;  (** switches with a stack-spilled table base *)
+  n_frameless_tail : int;  (** frame-less indirect tail calls *)
+  n_data_table : int;  (** unresolvable writable-table dispatchers *)
+  iters : int;  (** outer iterations (at most 30000) *)
+  inner : int;  (** driver-level repetitions per iteration *)
+  work : int;  (** arithmetic loop length inside compute kernels *)
+  cases : int;  (** jump-table size; must be a power of two *)
+}
+
+val default_spec : spec
+
+val build : spec -> Icfg_codegen.Ir.program
+(** Deterministic for a given [spec]. *)
+
+val go_spec : seed:int -> name:string -> iters:int -> spec
+(** Go programs get no jump tables (Go's compiler does not emit them,
+    section 8.2); [build_go] must be used instead of [build]. *)
+
+val build_go : ?vtab_check:bool -> ?goexit_adjust:int -> spec -> Icfg_codegen.Ir.program
+(** A Go-style program: if-chains instead of switches, a [.gopclntab]
+    function table, periodic tracebacks, the [&goexit + adjust] pointer
+    idiom of Listing 1, and (with [vtab_check]) interface-table slots whose
+    values are both called and compared against the function table — the
+    construct that makes func-ptr mode unsafe for Go binaries. *)

@@ -1,0 +1,36 @@
+type t = { mutable state : int }
+
+let create seed = { state = (seed * 0x9E3779B9) lxor 0x5DEECE66D }
+
+let next t =
+  (* splitmix64 truncated to OCaml's 63-bit int *)
+  t.state <- (t.state + 0x1E3779B97F4A7C15) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB land max_int in
+  z lxor (z lsr 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  next t mod bound
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = int t 2 = 0
+let chance t p = float_of_int (int t 1_000_000) < p *. 1_000_000.
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

@@ -1,0 +1,22 @@
+(** Deterministic splitmix64 PRNG.
+
+    Workload generation must be reproducible across runs and independent of
+    OCaml's global [Random] state, so every generator threads one of these. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises on non-positive bound. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [lo, hi] (inclusive). *)
+
+val bool : t -> bool
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,28 @@
+(** The SPEC CPU 2017-like benchmark suite.
+
+    Nineteen seeded synthetic benchmarks mirroring the composition the paper
+    evaluates (section 8.1): 627.cam4 is excluded as in the paper, 8 of the
+    19 are Fortran-flavoured (loop-heavy, no exceptions, few indirect calls),
+    two are the C++-with-exceptions analogues of 620.omnetpp and
+    623.xalancbmk, and the rest are C/C++ workloads with jump tables and
+    function-pointer dispatch. A few benchmarks carry "hard" constructs
+    (spilled table bases, frame-less indirect tail calls) that separate the
+    paper's analysis from the SRBI-era baseline; on ppc64le and aarch64 some
+    benchmarks additionally contain genuinely unresolvable dispatch, giving
+    the per-architecture coverage differences of Table 3. *)
+
+type bench = {
+  bench_name : string;
+  langs : Icfg_obj.Binary.lang list;
+  has_exceptions : bool;
+  prog : Icfg_codegen.Ir.program;
+  bulk_data : int;  (** extra zeroed working-set bytes (stresses ppc64le
+                        branch ranges for a few benchmarks) *)
+}
+
+val benchmarks : Icfg_isa.Arch.t -> bench list
+(** The 19 benchmarks for one architecture (deterministic). *)
+
+val compile :
+  ?pie:bool -> Icfg_isa.Arch.t -> bench ->
+  Icfg_obj.Binary.t * Icfg_codegen.Debug.t

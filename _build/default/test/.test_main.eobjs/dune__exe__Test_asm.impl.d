@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Arch Asm Bytes Encode Hashtbl Icfg_codegen Icfg_isa Icfg_obj Icfg_runtime Insn Int64 List Printf QCheck2 QCheck_alcotest Reg String

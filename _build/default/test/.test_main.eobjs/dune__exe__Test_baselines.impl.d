@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Arch Compile Hashtbl Icfg_baselines Icfg_codegen Icfg_core Icfg_isa Icfg_obj Icfg_runtime Icfg_workloads Ir List Printf String Test_codegen

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Arch Compile Debug Format Icfg_codegen Icfg_isa Icfg_obj Icfg_runtime Insn Ir List Option Printf String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Arch Hashtbl Icfg_analysis Icfg_codegen Icfg_core Icfg_isa Icfg_obj Icfg_runtime Icfg_workloads List Mode Option Printf QCheck2 QCheck_alcotest Rewriter

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Arch Icfg_baselines Icfg_core Icfg_harness Icfg_isa Icfg_runtime Icfg_workloads List Printf String

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Arch Char Encode Icfg_isa Insn List Printf QCheck2 QCheck_alcotest Reg String Trampoline

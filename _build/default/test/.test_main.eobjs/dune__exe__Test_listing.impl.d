@@ -1,0 +1,1 @@
+test/test_listing.ml: Alcotest Arch Compile Icfg_analysis Icfg_codegen Icfg_isa Ir List Option Printf String Test_codegen

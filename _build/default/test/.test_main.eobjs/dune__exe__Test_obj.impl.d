@@ -1,0 +1,1 @@
+test/test_obj.ml: Alcotest Arch Bytes Char Filename Fun Hashtbl Icfg_analysis Icfg_codegen Icfg_core Icfg_isa Icfg_obj Icfg_runtime List Printf QCheck2 QCheck_alcotest Sys Test_codegen

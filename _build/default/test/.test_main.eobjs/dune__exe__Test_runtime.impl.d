@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Arch Bytes Char Encode Hashtbl Icfg_codegen Icfg_isa Icfg_obj Icfg_runtime Insn List Printf QCheck2 QCheck_alcotest Reg String Test_codegen

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Arch Bytes Hashtbl Icfg_analysis Icfg_core Icfg_isa Icfg_obj Icfg_runtime Icfg_workloads List QCheck2 QCheck_alcotest

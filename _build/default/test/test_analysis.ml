@@ -1,0 +1,544 @@
+(* Analysis-layer tests: CFG construction, jump-table slicing vs. compiler
+   ground truth, tail-call classification, function-pointer discovery, and
+   liveness. *)
+
+open Icfg_isa
+open Icfg_codegen
+open Icfg_analysis
+module Binary = Icfg_obj.Binary
+
+let compile ?pie arch prog = Compile.compile ?pie arch prog
+
+(* Reuse the programs from the codegen tests. *)
+let switch_prog = Test_codegen.switch_prog
+let prog_fptr = Test_codegen.prog_fptr
+let prog_tailcall = Test_codegen.prog_tailcall
+
+let on_all_arches f = List.iter f Arch.all
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* CFG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cfg_basic () =
+  on_all_arches (fun arch ->
+      let bin, _ = compile arch Test_codegen.prog_loop in
+      let sym = Option.get (Binary.symbol bin "main") in
+      let cfg = Cfg.build bin sym in
+      Alcotest.(check bool)
+        (Arch.name arch ^ " has blocks")
+        true
+        (List.length cfg.Cfg.blocks >= 3);
+      (* entry block exists *)
+      let entry = Cfg.entry_block cfg in
+      Alcotest.(check int) "entry start" sym.Icfg_obj.Symbol.addr entry.Cfg.b_start;
+      (* a loop means some block has a backward edge *)
+      let has_back_edge =
+        List.exists
+          (fun b ->
+            List.exists (fun (d, _) -> d < b.Cfg.b_start) (Cfg.successors cfg b.Cfg.b_start))
+          cfg.Cfg.blocks
+      in
+      Alcotest.(check bool) "back edge" true has_back_edge;
+      (* no gaps in a fully-direct function *)
+      Alcotest.(check (list (pair int int))) "no gaps" [] (Cfg.gaps cfg))
+
+let test_cfg_blocks_partition () =
+  (* Blocks must not overlap and each must end after it starts. *)
+  on_all_arches (fun arch ->
+      let bin, _ = compile arch (switch_prog Ir.Jt_plain) in
+      List.iter
+        (fun sym ->
+          let cfg = Cfg.build bin sym in
+          let rec check = function
+            | a :: (b : Cfg.block) :: rest ->
+                Alcotest.(check bool) "ordered" true (a.Cfg.b_end <= b.Cfg.b_start);
+                check (b :: rest)
+            | [ b ] -> Alcotest.(check bool) "nonempty" true (b.Cfg.b_end > b.Cfg.b_start)
+            | [] -> ()
+          in
+          check cfg.Cfg.blocks)
+        (Binary.func_symbols bin))
+
+let test_cfg_call_edges () =
+  on_all_arches (fun arch ->
+      let bin, _ = compile arch Test_codegen.prog_calls in
+      let sym = Option.get (Binary.symbol bin "main") in
+      let cfg = Cfg.build bin sym in
+      let add3 = (Option.get (Binary.symbol bin "add3")).Icfg_obj.Symbol.addr in
+      let callees = List.filter_map snd cfg.Cfg.calls in
+      Alcotest.(check bool)
+        (Arch.name arch ^ " calls add3")
+        true
+        (List.mem add3 callees))
+
+let test_cfg_skips_embedded_table () =
+  (* On ppc64le the jump table is embedded in .text; traversal must not
+     decode it as code. *)
+  let bin, dbg = compile Arch.Ppc64le (switch_prog Ir.Jt_plain) in
+  let sym = Option.get (Binary.symbol bin "classify") in
+  let cfg = Cfg.build bin sym in
+  let jt = List.hd dbg.Debug.jump_tables in
+  let table_lo = jt.Debug.jt_table_addr in
+  let table_hi = table_lo + (8 * jt.Debug.jt_count) in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (a, _, l) ->
+          Alcotest.(check bool) "no insn inside table" false
+            (a >= table_lo && a + l <= table_hi))
+        b.Cfg.b_insns)
+    cfg.Cfg.blocks;
+  (* Without jump-table edges, the case bodies are gaps. *)
+  Alcotest.(check bool) "has gaps" true (Cfg.gaps cfg <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Jump tables                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_tables ?(fm = Failure_model.ours) arch style =
+  let bin, dbg = compile arch (switch_prog style) in
+  let p = Parse.parse ~fm bin in
+  (bin, dbg, p)
+
+let test_jt_plain_resolves () =
+  on_all_arches (fun arch ->
+      let _, dbg, p = resolve_tables arch Ir.Jt_plain in
+      let fa = Option.get (Parse.func p "classify") in
+      Alcotest.(check bool) (Arch.name arch ^ " instrumentable") true fa.Parse.fa_instrumentable;
+      match (fa.Parse.fa_tables, dbg.Debug.jump_tables) with
+      | [ t ], [ g ] ->
+          Alcotest.(check int) "jump addr" g.Debug.jt_jump_addr t.Jump_table.t_jump;
+          Alcotest.(check int) "table addr" g.Debug.jt_table_addr t.Jump_table.t_table;
+          Alcotest.(check int) "count" g.Debug.jt_count t.Jump_table.t_count;
+          Alcotest.(check (list int))
+            "targets" g.Debug.jt_targets t.Jump_table.t_targets;
+          Alcotest.(check bool) "width" true (g.Debug.jt_entry_width = t.Jump_table.t_width);
+          Alcotest.(check bool)
+            "x86 base tied"
+            (arch = Arch.X86_64)
+            t.Jump_table.t_base_tied
+      | ts, gs ->
+          Alcotest.failf "%s: %d resolved vs %d ground truth" (Arch.name arch)
+            (List.length ts) (List.length gs))
+
+let test_jt_spilled_ours_vs_srbi () =
+  on_all_arches (fun arch ->
+      (* Ours tracks the spill and resolves. *)
+      let _, dbg, p = resolve_tables arch Ir.Jt_spilled_base in
+      let fa = Option.get (Parse.func p "classify") in
+      Alcotest.(check bool) (Arch.name arch ^ " ours resolves") true
+        fa.Parse.fa_instrumentable;
+      (match (fa.Parse.fa_tables, dbg.Debug.jump_tables) with
+      | [ t ], [ g ] ->
+          Alcotest.(check (list int)) "targets" g.Debug.jt_targets t.Jump_table.t_targets
+      | _ -> Alcotest.fail "expected one table");
+      (* The SRBI-era model cannot. *)
+      let _, _, p' = resolve_tables ~fm:Failure_model.srbi arch Ir.Jt_spilled_base in
+      let fa' = Option.get (Parse.func p' "classify") in
+      Alcotest.(check bool)
+        (Arch.name arch ^ " srbi fails")
+        false fa'.Parse.fa_instrumentable)
+
+let test_jt_data_table_unresolvable () =
+  on_all_arches (fun arch ->
+      let _, _, p = resolve_tables arch Ir.Jt_data_table in
+      let fa = Option.get (Parse.func p "classify") in
+      Alcotest.(check bool)
+        (Arch.name arch ^ " uninstrumentable")
+        false fa.Parse.fa_instrumentable;
+      Alcotest.(check bool) "reports writable table" true
+        (match fa.Parse.fa_fail_reason with
+        | Some r -> contains r "writable" || contains r "gaps"
+        | None -> false))
+
+let test_jt_bound_under () =
+  on_all_arches (fun arch ->
+      let fm =
+        Failure_model.with_bounds Failure_model.ours (Failure_model.Bound_under 2)
+      in
+      let bin, dbg, _ = resolve_tables arch Ir.Jt_plain in
+      ignore bin;
+      let bin2, _ = compile arch (switch_prog Ir.Jt_plain) in
+      let p = Parse.parse ~fm bin2 in
+      let fa = Option.get (Parse.func p "classify") in
+      match fa.Parse.fa_tables with
+      | [ t ] ->
+          let g = List.hd dbg.Debug.jump_tables in
+          Alcotest.(check int)
+            (Arch.name arch ^ " under-approximated")
+            (g.Debug.jt_count - 2) t.Jump_table.t_count
+      | _ -> Alcotest.fail "expected one table")
+
+let test_jt_bound_over_trimmed () =
+  (* Over-approximation extends the table, but extension stops at the next
+     known data boundary and infeasible targets are dropped. *)
+  on_all_arches (fun arch ->
+      let fm =
+        Failure_model.with_bounds Failure_model.ours (Failure_model.Bound_over 64)
+      in
+      let bin, dbg = compile arch (switch_prog Ir.Jt_plain) in
+      let p = Parse.parse ~fm bin in
+      let fa = Option.get (Parse.func p "classify") in
+      match fa.Parse.fa_tables with
+      | [ t ] ->
+          let g = List.hd dbg.Debug.jump_tables in
+          Alcotest.(check bool)
+            (Arch.name arch ^ " at least truth")
+            true
+            (t.Jump_table.t_count >= g.Debug.jt_count);
+          (* every ground-truth target must be covered *)
+          List.iter
+            (fun gt ->
+              Alcotest.(check bool) "covers truth" true
+                (List.mem gt t.Jump_table.t_targets))
+            g.Debug.jt_targets
+      | _ -> Alcotest.fail "expected one table")
+
+let big_switch_prog n =
+  Ir.program ~name:"bigswitch" ~main:"main"
+    [
+      Ir.func "classify" [ "x" ]
+        [
+          Ir.Switch
+            ( Ir.Jt_plain,
+              Bin (Band, Var "x", Int (n - 1)),
+              Array.init n (fun k -> [ Ir.Return (Int (100 * (k + 1))) ]),
+              [ Ir.Return (Int 0) ] );
+        ];
+      Ir.func "main" []
+        [
+          Ir.For
+            ( "i",
+              0,
+              n + 2,
+              [
+                Ir.Call (Some "r", Direct "classify", [ Var "i" ]);
+                Ir.Print (Var "r");
+              ] );
+          Ir.Return (Int 0);
+        ];
+    ]
+
+let test_jt_aarch64_wide_entries () =
+  (* A switch with many cases exceeds the 1-byte entry span, so the
+     compiler emits 2-byte entries; the analysis must recover the width. *)
+  let bin, dbg = compile Arch.Aarch64 (big_switch_prog 32) in
+  let g = List.hd dbg.Debug.jump_tables in
+  Alcotest.(check bool) "compiler chose W16" true
+    (g.Debug.jt_entry_width = Insn.W16);
+  let p = Parse.parse bin in
+  let fa = Option.get (Parse.func p "classify") in
+  match fa.Parse.fa_tables with
+  | [ t ] ->
+      Alcotest.(check bool) "width recovered" true (t.Jump_table.t_width = Insn.W16);
+      Alcotest.(check int) "count" 32 t.Jump_table.t_count;
+      Alcotest.(check (list int)) "targets" g.Debug.jt_targets t.Jump_table.t_targets
+  | _ -> Alcotest.fail "one table"
+
+let test_jt_slots_positional () =
+  (* The positional slot list must line up with raw table entries: slot i
+     corresponds to runtime index i (clone index-compatibility). *)
+  on_all_arches (fun arch ->
+      let bin, dbg = compile arch (switch_prog Ir.Jt_plain) in
+      let p = Parse.parse bin in
+      let fa = Option.get (Parse.func p "classify") in
+      let t = List.hd fa.Parse.fa_tables in
+      let g = List.hd dbg.Debug.jump_tables in
+      Alcotest.(check int)
+        (Arch.name arch ^ " slot count")
+        g.Debug.jt_count
+        (List.length t.Jump_table.t_slots);
+      List.iteri
+        (fun i slot ->
+          match slot with
+          | Some target ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s slot %d" (Arch.name arch) i)
+                (List.nth g.Debug.jt_targets i)
+                target
+          | None -> Alcotest.failf "slot %d infeasible" i)
+        t.Jump_table.t_slots)
+
+let test_known_data_trims_adjacent_tables () =
+  (* Two adjacent tables in .rodata: over-approximating the first must stop
+     at the second table's start (Assumption 2). *)
+  let prog =
+    Ir.program ~name:"twotables" ~main:"main"
+      [
+        Ir.func "c1" [ "x" ]
+          [
+            Ir.Switch
+              ( Ir.Jt_plain,
+                Bin (Band, Var "x", Int 3),
+                Array.init 4 (fun k -> [ Ir.Return (Int k) ]),
+                [ Ir.Return (Int 9) ] );
+          ];
+        Ir.func "c2" [ "x" ]
+          [
+            Ir.Switch
+              ( Ir.Jt_plain,
+                Bin (Band, Var "x", Int 3),
+                Array.init 4 (fun k -> [ Ir.Return (Int (k * 2)) ]),
+                [ Ir.Return (Int 9) ] );
+          ];
+        Ir.func "main" []
+          [
+            Ir.Call (Some "a", Direct "c1", [ Int 2 ]);
+            Ir.Call (Some "b", Direct "c2", [ Int 3 ]);
+            Ir.Print (Bin (Badd, Var "a", Var "b"));
+            Ir.Return (Int 0);
+          ];
+      ]
+  in
+  (* x86: both tables in .rodata back to back *)
+  let bin, dbg = compile Arch.X86_64 prog in
+  let fm =
+    Failure_model.with_bounds Failure_model.ours (Failure_model.Bound_over 64)
+  in
+  let p = Parse.parse ~fm bin in
+  let fa1 = Option.get (Parse.func p "c1") in
+  let t1 = List.hd fa1.Parse.fa_tables in
+  let g1 =
+    List.find (fun g -> g.Debug.jt_func = "c1") dbg.Debug.jump_tables
+  in
+  let g2 =
+    List.find (fun g -> g.Debug.jt_func = "c2") dbg.Debug.jump_tables
+  in
+  if g2.Debug.jt_table_addr > g1.Debug.jt_table_addr then
+    (* extension capped before the second table *)
+    Alcotest.(check bool) "capped at next table" true
+      (t1.Jump_table.t_table
+       + (t1.Jump_table.t_count * Insn.width_bytes t1.Jump_table.t_width)
+      <= g2.Debug.jt_table_addr)
+
+let test_guard_bound_matches_truth () =
+  on_all_arches (fun arch ->
+      let bin, dbg = compile arch (big_switch_prog 16) in
+      let p = Parse.parse bin in
+      let fa = Option.get (Parse.func p "classify") in
+      let t = List.hd fa.Parse.fa_tables in
+      let g = List.hd dbg.Debug.jump_tables in
+      Alcotest.(check int) (Arch.name arch) g.Debug.jt_count t.Jump_table.t_count)
+
+(* ------------------------------------------------------------------ *)
+(* Tail calls                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_indirect_tail_call_heuristics () =
+  on_all_arches (fun arch ->
+      let bin, _ = compile arch prog_tailcall in
+      (* Ours: the layout heuristic accepts the frame-less function. *)
+      let p = Parse.parse bin in
+      let fa = Option.get (Parse.func p "indirect_tail") in
+      Alcotest.(check bool) (Arch.name arch ^ " ours ok") true fa.Parse.fa_instrumentable;
+      Alcotest.(check int) "classified tail jumps" 1
+        (List.length fa.Parse.fa_tail_jumps);
+      (* SRBI: no frame tear-down before the jump (frameless function), so
+         the function is marked uninstrumentable. *)
+      let p' = Parse.parse ~fm:Failure_model.srbi bin in
+      let fa' = Option.get (Parse.func p' "indirect_tail") in
+      Alcotest.(check bool)
+        (Arch.name arch ^ " srbi fails")
+        false fa'.Parse.fa_instrumentable)
+
+(* ------------------------------------------------------------------ *)
+(* Function pointers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_fptr_discovery () =
+  on_all_arches (fun arch ->
+      List.iter
+        (fun pie ->
+          let bin, dbg = compile ~pie arch prog_fptr in
+          let p = Parse.parse bin in
+          let truth_slots =
+            List.filter_map
+              (function
+                | Debug.Fp_slot { slot; target; _ } -> Some (slot, target)
+                | Debug.Fp_mater _ -> None)
+              dbg.Debug.fptrs
+          in
+          let found_slots =
+            List.filter_map
+              (function
+                | Func_ptr.Fp_slot { slot; target; _ } -> Some (slot, target)
+                | _ -> None)
+              p.Parse.fptrs
+          in
+          List.iter
+            (fun (s, t) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s pie=%b finds slot 0x%x" (Arch.name arch) pie s)
+                true
+                (List.mem (s, t) found_slots))
+            truth_slots;
+          (* code materialization found *)
+          let maters =
+            List.filter
+              (function Func_ptr.Fp_mater _ -> true | _ -> false)
+              p.Parse.fptrs
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s pie=%b mater" (Arch.name arch) pie)
+            true
+            (List.length maters >= 1))
+        [ false; true ])
+
+let go_arith_prog adj =
+  Ir.program ~name:"goarith"
+    ~data:[ Ir.Word_addr ("g1", "goexit"); Ir.Word ("g2", 0) ]
+    ~main:"main"
+    [
+      Ir.func "goexit" [] [ Ir.Nops 1; Ir.Print (Int 77); Ir.Return (Int 0) ];
+      Ir.func "main" []
+        [
+          (* The Go idiom of Listing 1: load pointer, add, store. *)
+          Ir.Set (Lglobal "g2", Bin (Badd, Global "g1", Int adj));
+          Ir.Call (None, Via_ptr (Global "g2"), []);
+          Ir.Return (Int 0);
+        ];
+    ]
+
+let test_fptr_adjusted () =
+  on_all_arches (fun arch ->
+      let adj = if arch = Arch.X86_64 then 1 else 4 in
+      let bin, _ = compile arch (go_arith_prog adj) in
+      let p = Parse.parse bin in
+      let adjusted =
+        List.filter_map
+          (function
+            | Func_ptr.Fp_adjusted { target; adjust; _ } -> Some (target, adjust)
+            | _ -> None)
+          p.Parse.fptrs
+      in
+      let goexit = (Option.get (Binary.symbol bin "goexit")).Icfg_obj.Symbol.addr in
+      Alcotest.(check bool)
+        (Arch.name arch ^ " finds adjusted pointer")
+        true
+        (List.mem (goexit, adj) adjusted);
+      Alcotest.(check (list int))
+        (Arch.name arch ^ " derived targets")
+        [ goexit + adj ]
+        p.Parse.pointer_targets;
+      (* The derived target must exist as a block leader in goexit's CFG. *)
+      let fa = Option.get (Parse.func p "goexit") in
+      Alcotest.(check bool)
+        "block split at goexit+adj" true
+        (Cfg.block_at fa.Parse.fa_cfg (goexit + adj) <> None))
+
+let test_fptr_no_forward_slice_baseline () =
+  on_all_arches (fun arch ->
+      let adj = if arch = Arch.X86_64 then 1 else 4 in
+      let bin, _ = compile arch (go_arith_prog adj) in
+      let p = Parse.parse ~fm:Failure_model.srbi bin in
+      let adjusted =
+        List.filter (function Func_ptr.Fp_adjusted _ -> true | _ -> false) p.Parse.fptrs
+      in
+      Alcotest.(check int) (Arch.name arch ^ " baseline misses it") 0
+        (List.length adjusted))
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_liveness_dead_temps () =
+  on_all_arches (fun arch ->
+      let bin, _ = compile arch Test_codegen.prog_loop in
+      let sym = Option.get (Binary.symbol bin "main") in
+      let cfg = Cfg.build bin sym in
+      let lv = Liveness.analyze cfg in
+      let entry = Cfg.entry_block cfg in
+      let dead = Liveness.dead_in arch lv entry.Cfg.b_start in
+      (* At function entry the expression temporaries are dead. *)
+      Alcotest.(check bool)
+        (Arch.name arch ^ " r15 dead at entry")
+        true
+        (Reg.Set.mem Reg.r15 dead);
+      (* The TOC register is never a scratch candidate on ppc64le. *)
+      if arch = Arch.Ppc64le then
+        Alcotest.(check bool) "toc not dead" false (Reg.Set.mem Reg.toc dead))
+
+let test_liveness_conservative_on_args () =
+  on_all_arches (fun arch ->
+      let bin, _ = compile arch Test_codegen.prog_calls in
+      let sym = Option.get (Binary.symbol bin "add3") in
+      let cfg = Cfg.build bin sym in
+      let lv = Liveness.analyze cfg in
+      let entry = Cfg.entry_block cfg in
+      let live = Liveness.live_in lv entry.Cfg.b_start in
+      (* Incoming arguments are live at entry. *)
+      Alcotest.(check bool) (Arch.name arch ^ " r0 live") true (Reg.Set.mem Reg.r0 live);
+      Alcotest.(check bool) "r1 live" true (Reg.Set.mem Reg.r1 live))
+
+(* ------------------------------------------------------------------ *)
+(* Whole-binary parse                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_coverage () =
+  on_all_arches (fun arch ->
+      let bin, _ = compile arch (switch_prog Ir.Jt_plain) in
+      let p = Parse.parse bin in
+      Alcotest.(check bool) "full coverage" true (Parse.coverage p = 1.0);
+      let bin', _ = compile arch (switch_prog Ir.Jt_data_table) in
+      let p' = Parse.parse bin' in
+      Alcotest.(check bool)
+        (Arch.name arch ^ " partial coverage")
+        true
+        (Parse.coverage p' < 1.0))
+
+let suite =
+  [
+    ( "analysis:cfg",
+      [
+        Alcotest.test_case "basic blocks" `Quick test_cfg_basic;
+        Alcotest.test_case "block partition" `Quick test_cfg_blocks_partition;
+        Alcotest.test_case "call edges" `Quick test_cfg_call_edges;
+        Alcotest.test_case "embedded table skipped" `Quick
+          test_cfg_skips_embedded_table;
+      ] );
+    ( "analysis:jump-table",
+      [
+        Alcotest.test_case "plain resolves (all arches)" `Quick
+          test_jt_plain_resolves;
+        Alcotest.test_case "spilled base: ours vs srbi" `Quick
+          test_jt_spilled_ours_vs_srbi;
+        Alcotest.test_case "data table unresolvable" `Quick
+          test_jt_data_table_unresolvable;
+        Alcotest.test_case "forced under-approximation" `Quick test_jt_bound_under;
+        Alcotest.test_case "over-approximation trimmed" `Quick
+          test_jt_bound_over_trimmed;
+        Alcotest.test_case "aarch64 wide entries" `Quick
+          test_jt_aarch64_wide_entries;
+        Alcotest.test_case "slots positional" `Quick test_jt_slots_positional;
+        Alcotest.test_case "adjacent tables trim extension" `Quick
+          test_known_data_trims_adjacent_tables;
+        Alcotest.test_case "guard bound = truth" `Quick
+          test_guard_bound_matches_truth;
+      ] );
+    ( "analysis:tail-call",
+      [
+        Alcotest.test_case "layout heuristic vs teardown" `Quick
+          test_indirect_tail_call_heuristics;
+      ] );
+    ( "analysis:func-ptr",
+      [
+        Alcotest.test_case "slot and mater discovery" `Quick test_fptr_discovery;
+        Alcotest.test_case "adjusted pointer (Listing 1)" `Quick test_fptr_adjusted;
+        Alcotest.test_case "baseline misses adjusted" `Quick
+          test_fptr_no_forward_slice_baseline;
+      ] );
+    ( "analysis:liveness",
+      [
+        Alcotest.test_case "dead temps at entry" `Quick test_liveness_dead_temps;
+        Alcotest.test_case "args live at entry" `Quick
+          test_liveness_conservative_on_args;
+      ] );
+    ( "analysis:parse",
+      [ Alcotest.test_case "coverage" `Quick test_parse_coverage ] );
+  ]

@@ -1,0 +1,292 @@
+(* Baseline tests: each baseline's characteristic behaviour — refusals,
+   failure modes, and overhead ordering relative to our system. *)
+
+open Icfg_isa
+open Icfg_codegen
+module Binary = Icfg_obj.Binary
+module Baseline = Icfg_baselines.Baseline
+module Capabilities = Icfg_baselines.Capabilities
+module Rewriter = Icfg_core.Rewriter
+module Mode = Icfg_core.Mode
+module Vm = Icfg_runtime.Vm
+
+let run_outcome ?(pie = false) orig_bin outcome =
+  let config =
+    { (Vm.default_config ()) with Vm.load_base = (if pie then 0x20000000 else 0) }
+  in
+  let orig =
+    Vm.run ~config ~routines:(Icfg_runtime.Runtime_lib.standard ()) orig_bin
+  in
+  match outcome with
+  | Baseline.Refused r -> `Refused r
+  | Baseline.Rewritten rw -> (
+      let config = Rewriter.vm_config_for rw config in
+      let r =
+        Vm.run ~config
+          ~routines:(Rewriter.routines_for rw ~counters:(Hashtbl.create 4))
+          rw.Rewriter.rw_binary
+      in
+      match r.Vm.outcome with
+      | Vm.Crashed m -> `Crashed m
+      | Vm.Halted ->
+          if r.Vm.output = orig.Vm.output then `Pass (r, rw) else `Mismatch)
+
+let check_pass name result =
+  match result with
+  | `Pass _ -> ()
+  | `Refused r -> Alcotest.failf "%s refused: %s" name r
+  | `Crashed m -> Alcotest.failf "%s crashed: %s" name m
+  | `Mismatch -> Alcotest.failf "%s output mismatch" name
+
+(* ------------------------------------------------------------------ *)
+(* Capabilities (Table 1)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_table1_shape () =
+  Alcotest.(check int) "seven approaches" 7 (List.length Capabilities.table1);
+  let ours = List.nth Capabilities.table1 6 in
+  Alcotest.(check string) "ours last" "Our work" ours.Capabilities.approach;
+  Alcotest.(check bool) "ours rewrites indirect" true
+    (ours.Capabilities.rewrites = Capabilities.R_indirect);
+  Alcotest.(check bool) "ours needs no relocs" true
+    (ours.Capabilities.reloc_use = Capabilities.Rel_none)
+
+(* ------------------------------------------------------------------ *)
+(* SRBI                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_srbi_refuses_cpp_on_risc () =
+  List.iter
+    (fun arch ->
+      let bin, _ = Compile.compile arch Test_codegen.prog_exceptions in
+      match Baseline.srbi bin with
+      | Baseline.Refused _ -> ()
+      | Baseline.Rewritten _ ->
+          Alcotest.failf "%s: srbi must refuse C++ exceptions" (Arch.name arch))
+    [ Arch.Ppc64le; Arch.Aarch64 ]
+
+let test_srbi_basic_roundtrip () =
+  List.iter
+    (fun arch ->
+      let bin, _ = Compile.compile arch Test_codegen.prog_calls in
+      check_pass (Arch.name arch ^ "/srbi") (run_outcome bin (Baseline.srbi bin)))
+    Arch.all
+
+let test_srbi_trapmap_section_on_ppc () =
+  let bin, _ = Compile.compile Arch.Ppc64le Test_codegen.prog_calls in
+  match Baseline.srbi bin with
+  | Baseline.Rewritten rw ->
+      Alcotest.(check bool) "trapmap present" true
+        (Binary.section rw.Rewriter.rw_binary ".trapmap" <> None)
+  | Baseline.Refused r -> Alcotest.failf "refused: %s" r
+
+(* ------------------------------------------------------------------ *)
+(* Egalito-style IR lowering                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_ir_lowering_requires_pie () =
+  let bin, _ = Compile.compile Arch.X86_64 Test_codegen.prog_loop in
+  match Baseline.ir_lowering bin with
+  | Baseline.Refused _ -> ()
+  | Baseline.Rewritten _ -> Alcotest.fail "must require PIE"
+
+let test_ir_lowering_all_or_nothing () =
+  let bin, _ =
+    Compile.compile ~pie:true Arch.X86_64
+      (Test_codegen.switch_prog Ir.Jt_data_table)
+  in
+  match Baseline.ir_lowering bin with
+  | Baseline.Refused r ->
+      Alcotest.(check bool) "names the function" true
+        (String.length r > 10)
+  | Baseline.Rewritten _ -> Alcotest.fail "must refuse unliftable functions"
+
+let test_ir_lowering_roundtrip_and_shape () =
+  List.iter
+    (fun arch ->
+      let bin, _ =
+        Compile.compile ~pie:true arch (Test_codegen.switch_prog Ir.Jt_plain)
+      in
+      match Baseline.ir_lowering bin with
+      | Baseline.Refused r -> Alcotest.failf "%s refused: %s" (Arch.name arch) r
+      | Baseline.Rewritten rw as o ->
+          check_pass (Arch.name arch ^ "/egalito") (run_outcome ~pie:true bin o);
+          (* regenerated: no original .text, entry relocated *)
+          Alcotest.(check bool) "no original text" true
+            (Binary.section rw.Rewriter.rw_binary ".text" = None);
+          Alcotest.(check bool) "entry moved into .instr" true
+            (let e = rw.Rewriter.rw_binary.Binary.entry in
+             match Binary.section rw.Rewriter.rw_binary ".instr" with
+             | Some s -> Icfg_obj.Section.contains s e
+             | None -> false);
+          (* near-original size: regeneration, not duplication *)
+          let s = rw.Rewriter.rw_stats in
+          Alcotest.(check bool) "size within 25% of original" true
+            (abs (s.Rewriter.s_new_size - s.Rewriter.s_orig_size) * 4
+            < s.Rewriter.s_orig_size))
+    Arch.all
+
+let test_ir_lowering_metadata_refusals () =
+  let libxul, _ = Icfg_workloads.Apps.libxul Arch.X86_64 in
+  (match Baseline.ir_lowering libxul with
+  | Baseline.Refused _ -> ()
+  | _ -> Alcotest.fail "must refuse libxul");
+  let docker, _ = Icfg_workloads.Apps.docker Arch.X86_64 in
+  (match Baseline.ir_lowering docker with
+  | Baseline.Refused _ -> ()
+  | _ -> Alcotest.fail "must refuse docker");
+  let libcuda, _ = Icfg_workloads.Apps.libcuda ~iters:5 Arch.X86_64 in
+  match Baseline.ir_lowering libcuda with
+  | Baseline.Refused r ->
+      Alcotest.(check bool) "symbol versioning" true (String.length r > 0)
+  | _ -> Alcotest.fail "must refuse libcuda"
+
+(* ------------------------------------------------------------------ *)
+(* E9Patch-style instruction patching                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_insn_patching_roundtrip_and_cost () =
+  List.iter
+    (fun arch ->
+      let bin, _ = Compile.compile arch (Test_codegen.switch_prog Ir.Jt_plain) in
+      match run_outcome bin (Baseline.insn_patching bin) with
+      | `Pass (r, _) -> (
+          (* compare against our jt mode: patching must be much slower *)
+          match run_outcome bin (Baseline.ours ~mode:Mode.Jt bin) with
+          | `Pass (r_ours, _) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s patching (%d) slower than ours (%d)"
+                   (Arch.name arch) r.Vm.cycles r_ours.Vm.cycles)
+                true
+                (r.Vm.cycles > r_ours.Vm.cycles)
+          | _ -> Alcotest.fail "ours failed")
+      | `Refused r -> Alcotest.failf "refused: %s" r
+      | `Crashed m -> Alcotest.failf "%s crashed: %s" (Arch.name arch) m
+      | `Mismatch -> Alcotest.failf "%s mismatch" (Arch.name arch))
+    Arch.all
+
+(* ------------------------------------------------------------------ *)
+(* Multiverse-style dynamic translation                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dynamic_translation_roundtrip () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun (name, prog) ->
+          let bin, _ = Compile.compile arch prog in
+          check_pass
+            (Printf.sprintf "%s/dt/%s" (Arch.name arch) name)
+            (run_outcome bin (Baseline.dynamic_translation bin)))
+        [
+          ("switch", Test_codegen.switch_prog Ir.Jt_plain);
+          ("fptr", Test_codegen.prog_fptr);
+          ("tailcall", Test_codegen.prog_tailcall);
+        ])
+    Arch.all
+
+let test_dynamic_translation_uses_dt_sites () =
+  let bin, _ = Compile.compile Arch.X86_64 Test_codegen.prog_fptr in
+  match Baseline.dynamic_translation bin with
+  | Baseline.Rewritten rw ->
+      Alcotest.(check bool) "registered translation sites" true
+        (Hashtbl.length rw.Rewriter.rw_dt_sites > 0)
+  | Baseline.Refused r -> Alcotest.failf "refused: %s" r
+
+(* ------------------------------------------------------------------ *)
+(* BOLT-like                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bolt_function_reorder_needs_link_relocs () =
+  let prog = Test_codegen.switch_prog Ir.Jt_plain in
+  (* without -Wl,-q *)
+  let bin, _ = Compile.compile Arch.X86_64 prog in
+  (match Baseline.bolt_function_reorder bin with
+  | Baseline.Refused msg ->
+      Alcotest.(check bool) "BOLT-ERROR message" true
+        (String.length msg > 10)
+  | Baseline.Rewritten _ -> Alcotest.fail "must refuse");
+  (* even as PIE (the paper stresses this) *)
+  let bin_pie, _ = Compile.compile ~pie:true Arch.X86_64 prog in
+  (match Baseline.bolt_function_reorder bin_pie with
+  | Baseline.Refused _ -> ()
+  | Baseline.Rewritten _ -> Alcotest.fail "must refuse PIE without link relocs");
+  (* with -Wl,-q it works and runs *)
+  let bin_q, _ = Compile.compile ~link_relocs:true Arch.X86_64 prog in
+  check_pass "bolt with -q" (run_outcome bin_q (Baseline.bolt_function_reorder bin_q))
+
+let test_bolt_block_reorder_corruption () =
+  (* a binary with memory-indirect calls comes out corrupted *)
+  let bin, _ = Compile.compile Arch.X86_64 Test_codegen.prog_fptr in
+  (match run_outcome bin (Baseline.bolt_block_reorder bin) with
+  | `Crashed _ -> ()
+  | _ -> Alcotest.fail "expected corrupted binary");
+  (* a plain binary reorders fine *)
+  let bin2, _ = Compile.compile Arch.X86_64 Test_codegen.prog_loop in
+  check_pass "bolt block reorder" (run_outcome bin2 (Baseline.bolt_block_reorder bin2))
+
+(* ------------------------------------------------------------------ *)
+(* Overhead ordering across approaches                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_overhead_ordering () =
+  (* On a switch+fptr workload: patching > srbi > dir >= jt >= func-ptr. *)
+  let arch = Arch.X86_64 in
+  let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+  let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+  let cycles outcome =
+    match run_outcome bin outcome with
+    | `Pass (r, _) -> r.Vm.cycles
+    | `Refused r -> Alcotest.failf "refused: %s" r
+    | `Crashed m -> Alcotest.failf "crashed: %s" m
+    | `Mismatch -> Alcotest.fail "mismatch"
+  in
+  let patching = cycles (Baseline.insn_patching bin) in
+  let dir = cycles (Baseline.ours ~mode:Mode.Dir bin) in
+  let jt = cycles (Baseline.ours ~mode:Mode.Jt bin) in
+  let fp = cycles (Baseline.ours ~mode:Mode.Func_ptr bin) in
+  Alcotest.(check bool)
+    (Printf.sprintf "patching (%d) > dir (%d)" patching dir)
+    true (patching > dir);
+  Alcotest.(check bool) (Printf.sprintf "dir (%d) >= jt (%d)" dir jt) true (dir >= jt);
+  Alcotest.(check bool) (Printf.sprintf "jt (%d) >= fp (%d)" jt fp) true (jt >= fp)
+
+let suite =
+  [
+    ("baselines:table1", [ Alcotest.test_case "shape" `Quick test_table1_shape ]);
+    ( "baselines:srbi",
+      [
+        Alcotest.test_case "refuses C++ on RISC" `Quick test_srbi_refuses_cpp_on_risc;
+        Alcotest.test_case "roundtrip" `Quick test_srbi_basic_roundtrip;
+        Alcotest.test_case "ppc trapmap section" `Quick
+          test_srbi_trapmap_section_on_ppc;
+      ] );
+    ( "baselines:ir-lowering",
+      [
+        Alcotest.test_case "requires PIE" `Quick test_ir_lowering_requires_pie;
+        Alcotest.test_case "all-or-nothing" `Quick test_ir_lowering_all_or_nothing;
+        Alcotest.test_case "roundtrip and shape" `Quick
+          test_ir_lowering_roundtrip_and_shape;
+        Alcotest.test_case "metadata refusals" `Quick
+          test_ir_lowering_metadata_refusals;
+      ] );
+    ( "baselines:patching",
+      [
+        Alcotest.test_case "roundtrip and cost" `Quick
+          test_insn_patching_roundtrip_and_cost;
+      ] );
+    ( "baselines:dynamic-translation",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_dynamic_translation_roundtrip;
+        Alcotest.test_case "dt sites" `Quick test_dynamic_translation_uses_dt_sites;
+      ] );
+    ( "baselines:bolt",
+      [
+        Alcotest.test_case "function reorder needs link relocs" `Quick
+          test_bolt_function_reorder_needs_link_relocs;
+        Alcotest.test_case "block reorder corruption" `Quick
+          test_bolt_block_reorder_corruption;
+      ] );
+    ( "baselines:ordering",
+      [ Alcotest.test_case "overhead ordering" `Quick test_overhead_ordering ] );
+  ]

@@ -1,0 +1,71 @@
+(* Listing/export tests: the objdump-style views and dot export. *)
+
+open Icfg_isa
+open Icfg_codegen
+module Parse = Icfg_analysis.Parse
+module Listing = Icfg_analysis.Listing
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_function_listing () =
+  List.iter
+    (fun arch ->
+      let bin, _ = Compile.compile arch (Test_codegen.switch_prog Ir.Jt_plain) in
+      let p = Parse.parse bin in
+      let fa = Option.get (Parse.func p "classify") in
+      let l = Listing.function_listing bin fa.Parse.fa_cfg in
+      Alcotest.(check bool) "names the function" true (contains l "<classify>");
+      Alcotest.(check bool) "block annotations" true (contains l "; block [");
+      Alcotest.(check bool) "indirect jump rendered" true (contains l "jmp *");
+      (* embedded ppc table appears as a gap, never as instructions *)
+      if arch = Arch.Ppc64le then
+        Alcotest.(check bool) "table gap" true (contains l "; gap ["))
+    Arch.all
+
+let test_binary_listing_marks () =
+  let bin, _ = Compile.compile Arch.X86_64 (Test_codegen.switch_prog Ir.Jt_plain) in
+  let l = Listing.binary_listing bin in
+  Alcotest.(check bool) "jump table summary" true (contains l "; jump table @");
+  Alcotest.(check bool) "all functions listed" true
+    (contains l "<main>" && contains l "<classify>" && contains l "<_start>");
+  let bin2, _ =
+    Compile.compile Arch.X86_64 (Test_codegen.switch_prog Ir.Jt_data_table)
+  in
+  let l2 = Listing.binary_listing bin2 in
+  Alcotest.(check bool) "uninstrumentable marked" true
+    (contains l2 "UNINSTRUMENTABLE")
+
+let test_dot_export () =
+  let bin, _ = Compile.compile Arch.X86_64 Test_codegen.prog_loop in
+  let p = Parse.parse bin in
+  let fa = Option.get (Parse.func p "main") in
+  let d = Listing.cfg_to_dot fa.Parse.fa_cfg in
+  Alcotest.(check bool) "digraph" true (contains d "digraph");
+  Alcotest.(check bool) "has edges" true (contains d " -> ");
+  Alcotest.(check bool) "dashed fallthrough" true (contains d "style=dashed");
+  (* every block appears as a node *)
+  List.iter
+    (fun (b : Icfg_analysis.Cfg.block) ->
+      Alcotest.(check bool) "node present" true
+        (contains d (Printf.sprintf "b%x " b.Icfg_analysis.Cfg.b_start)))
+    fa.Parse.fa_cfg.Icfg_analysis.Cfg.blocks
+
+let test_section_summary () =
+  let bin, _ = Compile.compile Arch.X86_64 Test_codegen.prog_loop in
+  let s = Listing.section_summary bin in
+  Alcotest.(check bool) "text line" true (contains s ".text");
+  Alcotest.(check bool) "perm bits" true (contains s "r-x")
+
+let suite =
+  [
+    ( "listing",
+      [
+        Alcotest.test_case "function listing" `Quick test_function_listing;
+        Alcotest.test_case "binary listing marks" `Quick test_binary_listing_marks;
+        Alcotest.test_case "dot export" `Quick test_dot_export;
+        Alcotest.test_case "section summary" `Quick test_section_summary;
+      ] );
+  ]
