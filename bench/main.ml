@@ -104,6 +104,47 @@ let micro_tests () =
                 ~only bin)));
   ]
 
+(* Serial vs. parallel rewrite throughput on the largest spec-suite
+   binary.  Wall-clock (bechamel's per-run OLS would hide the domain
+   fan-out), repeated enough to amortize pool startup. *)
+let run_parallel_micro () =
+  print_endline "== Parallel rewrite throughput (largest spec binary) ==";
+  let arch = Arch.X86_64 in
+  let bin =
+    List.fold_left
+      (fun best bench ->
+        let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+        match best with
+        | Some b when Icfg_obj.Binary.loaded_size b >= Icfg_obj.Binary.loaded_size bin
+          -> best
+        | _ -> Some bin)
+      None
+      (Icfg_workloads.Spec_suite.benchmarks arch)
+    |> Option.get
+  in
+  let reps = 50 in
+  let time_jobs jobs =
+    (* warm up: fault in the domain pool and any lazy state *)
+    ignore (Sys.opaque_identity (Icfg_harness.Runner.rewrite ~jobs bin));
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (Icfg_harness.Runner.rewrite ~jobs bin))
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let serial = time_jobs 1 in
+  let parallel = time_jobs 4 in
+  let pr name t =
+    Printf.printf "  %-24s %10.0f ns/rewrite  %8.1f rewrites/s\n" name
+      (t *. 1e9) (1. /. t)
+  in
+  pr "jobs=1 (serial)" serial;
+  pr "jobs=4 (parallel)" parallel;
+  Printf.printf "  speedup: %.2fx on %d core(s) (%d bytes loaded)\n%!"
+    (serial /. parallel)
+    (Domain.recommended_domain_count ())
+    (Icfg_obj.Binary.loaded_size bin)
+
 let run_micro () =
   let open Bechamel in
   print_endline "== Micro-benchmarks (bechamel; one per table/figure) ==";
@@ -127,7 +168,8 @@ let run_micro () =
           in
           Printf.printf "  %-32s %12.0f ns/run\n%!" (Test.Elt.name t) nanos)
         (Test.elements test))
-    tests
+    tests;
+  run_parallel_micro ()
 
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in

@@ -88,6 +88,20 @@ let pie_t = Arg.(value & flag & info [ "pie" ] ~doc:"Compile as PIE.")
 let mode_t =
   Arg.(value & opt mode_conv Mode.Jt & info [ "m"; "mode" ] ~doc:"Rewriting mode.")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Fan per-function analysis and rewriting out across $(docv) \
+           domains (0 = one per core). Output is bit-identical to a serial \
+           run for any value."
+        ~docv:"N")
+
+let resolve_jobs jobs =
+  if jobs <= 0 then Icfg_core.Pool.recommended_jobs () else jobs
+
 (* ------------------------------------------------------------------ *)
 (* Subcommands                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -97,9 +111,9 @@ let inspect workload arch pie =
   Format.printf "%a" Binary.pp bin;
   Format.printf "%a" Icfg_codegen.Debug.pp dbg
 
-let analyze workload arch pie =
+let analyze workload arch pie jobs =
   let bin, _ = load_workload workload arch pie in
-  let p = Parse.parse bin in
+  let p = Icfg_harness.Runner.parse ~jobs:(resolve_jobs jobs) bin in
   Format.printf "%a" Parse.pp_summary p;
   List.iter
     (fun fa ->
@@ -111,11 +125,12 @@ let analyze workload arch pie =
         (if fa.Parse.fa_instrumentable then "" else "  [UNINSTRUMENTABLE]"))
     p.Parse.funcs
 
-let rewrite_cmd workload arch pie mode output =
+let rewrite_cmd workload arch pie mode jobs output =
   let bin, _ = load_workload workload arch pie in
-  let p = Parse.parse bin in
   let rw =
-    Rewriter.rewrite ~options:{ Rewriter.default_options with Rewriter.mode } p
+    Icfg_harness.Runner.rewrite
+      ~options:{ Rewriter.default_options with Rewriter.mode }
+      ~jobs:(resolve_jobs jobs) bin
   in
   Format.printf "%a@." Rewriter.pp_stats rw.Rewriter.rw_stats;
   Format.printf "%a" Binary.pp rw.Rewriter.rw_binary;
@@ -125,14 +140,20 @@ let rewrite_cmd workload arch pie mode output =
       Format.printf "wrote %s@." path
   | None -> ()
 
-let verify_cmd workload arch pie mode =
+let verify_cmd workload arch pie mode jobs =
   let bin, _ = load_workload workload arch pie in
-  let options = { Icfg_core.Rewriter.default_options with Icfg_core.Rewriter.mode } in
+  let options =
+    {
+      Icfg_core.Rewriter.default_options with
+      Icfg_core.Rewriter.mode;
+      jobs = resolve_jobs jobs;
+    }
+  in
   let report = Icfg_core.Verify.strong_test ~options bin in
   Format.printf "%a" Icfg_core.Verify.pp_report report;
   if not report.Icfg_core.Verify.ok then exit 1
 
-let run_cmd workload arch pie mode =
+let run_cmd workload arch pie mode jobs =
   let bin, _ = load_workload workload arch pie in
   let cfg = Icfg_harness.Runner.measure_config ~pie in
   let orig = Vm.run ~config:cfg ~routines:(Icfg_runtime.Runtime_lib.standard ()) bin in
@@ -144,9 +165,10 @@ let run_cmd workload arch pie mode =
       (String.concat "; " (List.map string_of_int r.Vm.output))
   in
   show "original" orig;
-  let p = Parse.parse bin in
   let rw =
-    Rewriter.rewrite ~options:{ Rewriter.default_options with Rewriter.mode } p
+    Icfg_harness.Runner.rewrite
+      ~options:{ Rewriter.default_options with Rewriter.mode }
+      ~jobs:(resolve_jobs jobs) bin
   in
   let counters = Hashtbl.create 16 in
   let cfg = Rewriter.vm_config_for rw cfg in
@@ -237,7 +259,7 @@ let cmd_inspect =
 let cmd_analyze =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Parse a workload: CFGs, jump tables, coverage.")
-    Term.(const analyze $ workload_t $ arch_t $ pie_t)
+    Term.(const analyze $ workload_t $ arch_t $ pie_t $ jobs_t)
 
 let output_t =
   Arg.(
@@ -247,20 +269,20 @@ let output_t =
 
 let cmd_rewrite =
   Cmd.v (Cmd.info "rewrite" ~doc:"Rewrite a workload and print the statistics.")
-    Term.(const rewrite_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ output_t)
+    Term.(const rewrite_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t $ output_t)
 
 let cmd_verify =
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Run the paper's strong correctness test: per-block counting,           original bytes destroyed, output and counts compared.")
-    Term.(const verify_cmd $ workload_t $ arch_t $ pie_t $ mode_t)
+    Term.(const verify_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t)
 
 let cmd_run =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run a workload before and after rewriting and compare.")
-    Term.(const run_cmd $ workload_t $ arch_t $ pie_t $ mode_t)
+    Term.(const run_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t)
 
 let func_opt_t =
   Arg.(value & opt (some string) None & info [ "f"; "function" ] ~doc:"Function name.")

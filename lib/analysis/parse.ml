@@ -126,11 +126,17 @@ let finalize_function bin (fm : Failure_model.t) ~known_data fptr_targets
     fa_liveness = Liveness.analyze cfg1;
   }
 
-let parse ?(fm = Failure_model.ours) bin =
+type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+
+let serial = { pmap = List.map }
+
+let parse ?(fm = Failure_model.ours) ?(par = serial) bin =
   let syms = Binary.func_symbols bin in
-  (* Pass 1 over every function: slices for global known-data collection. *)
+  (* Pass 1 over every function: slices for global known-data collection.
+     Per-function analysis only reads the (immutable) binary, so both
+     per-function passes fan out through [par]. *)
   let pass1 =
-    List.map
+    par.pmap
       (fun sym ->
         let cfg0, slices, pres = analyze_function bin fm sym in
         ((sym, cfg0, slices), pres))
@@ -145,7 +151,7 @@ let parse ?(fm = Failure_model.ours) bin =
   let fptrs = Func_ptr.analyze bin fm cfg0s in
   let pointer_targets = Func_ptr.derived_block_targets fptrs in
   let funcs =
-    List.map
+    par.pmap
       (fun ((sym, cfg0, slices), _) ->
         finalize_function bin fm ~known_data pointer_targets (sym, cfg0, slices))
       pass1

@@ -27,7 +27,20 @@ type t = {
           targets, Listing 1) *)
 }
 
-val parse : ?fm:Failure_model.t -> Icfg_obj.Binary.t -> t
+type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+(** An order-preserving map used to fan the per-function analysis passes out
+    across domains. The analysis layer stays scheduler-agnostic: callers
+    inject a parallel mapper (e.g. [Icfg_core.Pool.map ~jobs]); results must
+    come back in input order so parsing is deterministic for any mapper. *)
+
+val serial : par
+(** [List.map] — the default. *)
+
+val parse : ?fm:Failure_model.t -> ?par:par -> Icfg_obj.Binary.t -> t
+(** Whole-binary parse. [par] parallelizes the two per-function passes
+    (initial CFG + jump-table slicing, then finalization + liveness); the
+    cross-function steps (known-data collection, function-pointer analysis)
+    stay serial. Output is independent of the mapper used. *)
 
 val func : t -> string -> func_analysis option
 val func_at : t -> int -> func_analysis option

@@ -1,0 +1,108 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* A pool is a bag of worker domains draining one shared queue of batch
+   thunks. Scheduling state for a particular [map] call (the index and
+   completion counters) lives in the thunk's closure, so the pool itself is
+   reusable across unrelated batches. *)
+type pool = {
+  q : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  work_available : Condition.t;
+}
+
+let worker pool () =
+  let rec loop () =
+    Mutex.lock pool.m;
+    while Queue.is_empty pool.q do
+      Condition.wait pool.work_available pool.m
+    done;
+    let task = Queue.pop pool.q in
+    Mutex.unlock pool.m;
+    task ();
+    loop ()
+  in
+  loop ()
+
+(* One cached pool per distinct worker count, spawned on first use and kept
+   for the process lifetime (worker domains block in [Condition.wait] while
+   idle; a domain blocked there does not hold the runtime lock, so idle
+   pools cost nothing). *)
+let pools : (int, pool) Hashtbl.t = Hashtbl.create 4
+let pools_m = Mutex.create ()
+
+let get_pool workers =
+  Mutex.lock pools_m;
+  let p =
+    match Hashtbl.find_opt pools workers with
+    | Some p -> p
+    | None ->
+        let p =
+          { q = Queue.create (); m = Mutex.create (); work_available = Condition.create () }
+        in
+        for _ = 1 to workers do
+          ignore (Domain.spawn (worker p))
+        done;
+        Hashtbl.add pools workers p;
+        p
+  in
+  Mutex.unlock pools_m;
+  p
+
+let map_array ~jobs f arr =
+  let n = Array.length arr in
+  let lanes = min (max 1 jobs) n in
+  if lanes <= 1 then Array.map f arr
+  else begin
+    let pool = get_pool (lanes - 1) in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let done_m = Mutex.create () in
+    let all_done = Condition.create () in
+    (* Every lane (workers and the caller) runs the same batch body: steal
+       the next input index, fill the matching result slot. Slots are
+       written by exactly one lane and read only after the completion
+       barrier, so results come back in input order by construction. *)
+    let body () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (try results.(i) <- Some (f arr.(i))
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          if Atomic.fetch_and_add completed 1 + 1 = n then begin
+            Mutex.lock done_m;
+            Condition.broadcast all_done;
+            Mutex.unlock done_m
+          end;
+          go ()
+        end
+      in
+      go ()
+    in
+    Mutex.lock pool.m;
+    for _ = 1 to lanes - 1 do
+      Queue.push body pool.q
+    done;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.m;
+    body ();
+    Mutex.lock done_m;
+    while Atomic.get completed < n do
+      Condition.wait all_done done_m
+    done;
+    Mutex.unlock done_m;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ~jobs f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs <= 1 -> List.map f xs
+  | _ -> Array.to_list (map_array ~jobs f (Array.of_list xs))

@@ -1,0 +1,39 @@
+(** Fixed-size domain work pool with deterministic result ordering.
+
+    The rewriting pipeline is embarrassingly parallel across functions:
+    CFG-derived relocation, CFL classification and trampoline planning touch
+    only one function's analysis plus read-only whole-binary state. This
+    pool fans such per-item work out across OCaml 5 domains and returns the
+    results in input order, so a parallel run is observably identical to a
+    serial one — the property the [test_parallel] battery enforces
+    byte-for-byte on rewritten binaries.
+
+    Worker domains are spawned lazily, once per distinct worker count, and
+    cached for the lifetime of the process (domain spawn costs dwarf the
+    per-binary work on the synthetic workloads, so a spawn-per-call design
+    would never win). Idle workers block on a condition variable and cost
+    nothing. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the hardware-sized default for a
+    [--jobs] flag. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] computes [List.map f xs] using up to [jobs] domains
+    (the caller participates, so at most [jobs - 1] workers are involved).
+    Results are returned in input order regardless of how items were
+    scheduled. With [jobs <= 1], or a singleton/empty list, the computation
+    runs inline and no domain machinery is touched, so the serial path is
+    the textbook [List.map].
+
+    Items are distributed dynamically (an atomic index per item), which
+    keeps domains busy under skewed per-item costs. If [f] raises, one of
+    the raised exceptions is re-raised (with its backtrace) after every
+    in-flight item has settled.
+
+    [f] must not itself call {!map} or {!map_array}: the pool is a flat,
+    single-level fan-out, and nested calls could deadlock by consuming
+    every worker. *)
+
+val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array flavour of {!map}; same ordering and exception guarantees. *)

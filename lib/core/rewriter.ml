@@ -34,6 +34,7 @@ type options = {
   bounce_back : bool;
   dyn_translate : bool;
   sparse_placement : bool;
+  jobs : int;
 }
 
 let default_options =
@@ -54,6 +55,7 @@ let default_options =
     bounce_back = false;
     dyn_translate = false;
     sparse_placement = false;
+    jobs = 1;
   }
 
 let srbi_like payload =
@@ -76,6 +78,7 @@ let srbi_like payload =
     bounce_back = false;
     dyn_translate = false;
     sparse_placement = false;
+    jobs = 1;
   }
 
 type stats = {
@@ -183,6 +186,12 @@ let cfl_blocks opts (p : Parse.t) (fa : Parse.func_analysis) =
 (* Relocation context                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* One rctx per relocated function. The shared configuration fields are
+   read-only; the mutable accumulators are private to the function being
+   relocated, so functions can be processed on separate domains and their
+   results merged in emission order. [ns] (the function's entry address)
+   namespaces fresh labels: label generation is then independent of the
+   order in which functions are relocated. *)
 type rctx = {
   p : Parse.t;
   opts : options;
@@ -192,6 +201,7 @@ type rctx = {
   dt_idx : int;
   far : bool;  (** direct branches cannot span .text -> .instr *)
   is_instrumented : int -> bool;  (** by function entry address *)
+  ns : string;  (** per-function fresh-label namespace *)
   mutable items : Asm.item list;  (** .instr, reversed *)
   mutable jt_items : Asm.item list;  (** .jtnew, reversed *)
   mutable ra_pairs : (string * int) list;  (** label, original RA *)
@@ -201,13 +211,13 @@ type rctx = {
   mutable pending_traps : (string * int) list;  (** label, target address *)
   mutable dt_sites : (string * Reg.t) list;  (** dyn-translation call sites *)
   mutable fresh : int;
-  (* per-binary stats *)
+  (* per-function stats *)
   mutable n_cloned : int;
 }
 
 let fresh_label ctx prefix =
   ctx.fresh <- ctx.fresh + 1;
-  Printf.sprintf "%s$%d" prefix ctx.fresh
+  Printf.sprintf "%s%s$%d" prefix ctx.ns ctx.fresh
 
 let emit ctx its = ctx.items <- List.rev_append its ctx.items
 let emit_jt ctx its = ctx.jt_items <- List.rev_append its ctx.jt_items
@@ -601,6 +611,34 @@ let pool_alloc pool ~near ~size ~reach =
   | None -> None
 
 (* ------------------------------------------------------------------ *)
+(* Per-function placement plans                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Pass 1 of trampoline placement decomposes into a pure per-function
+   planning step (CFL classification, region computation, superblock
+   extension, trampoline selection — everything that reads only this
+   function's analysis and the finished label table) and a serial replay
+   that threads the cross-function state: the scratch pool, the write list
+   and the deferred-hop list. Planning fans out across domains; the replay
+   applies plans in sorted function order, so the pool/deferred sequences
+   are identical to a fully serial run. *)
+
+type tramp_class = T_short | T_long | T_trap
+
+type place_event =
+  | Pe_write of int * string * tramp_class  (** trampoline bytes at address *)
+  | Pe_defer of int * int * int * Reg.Set.t
+      (** no local fit: [lo, superblock_end, target, dead] for the hop pass *)
+  | Pe_free of int * int  (** scratch range donated to the pool *)
+
+type place_plan = {
+  pl_blocks : int;
+  pl_cfl : int;
+  pl_preserved : (int * int) list;  (** in-code tables kept in place *)
+  pl_events : place_event list;  (** in serial placement order *)
+}
+
+(* ------------------------------------------------------------------ *)
 (* The rewrite driver                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -655,7 +693,8 @@ let rewrite ?(options = default_options) (p : Parse.t) =
     then [ "runtime.findfunc"; "runtime.pcvalue" ]
     else []
   in
-  let ctx =
+  let jobs = max 1 opts.jobs in
+  let mk_ctx (fa : Parse.func_analysis) =
     {
       p;
       opts;
@@ -665,6 +704,7 @@ let rewrite ?(options = default_options) (p : Parse.t) =
       dt_idx;
       far;
       is_instrumented;
+      ns = Printf.sprintf "$%x" fa.Parse.fa_sym.Symbol.addr;
       items = [];
       jt_items = [];
       ra_pairs = [];
@@ -677,15 +717,33 @@ let rewrite ?(options = default_options) (p : Parse.t) =
       n_cloned = 0;
     }
   in
-  (* 4. Relocate all instrumented functions. *)
+  (* 4. Relocate all instrumented functions — one context per function,
+     fanned out across domains, merged back in emission order. The merged
+     streams are a pure function of the (deterministic) emission order, so
+     any jobs count yields bit-identical output. *)
   let emission_funcs =
     match opts.order with
     | `Original | `Reverse_blocks -> ifuncs
     | `Reverse_funcs -> List.rev ifuncs
   in
-  List.iter (fun fa -> relocate_function ctx fa go_hook_funcs) emission_funcs;
-  let instr_items = List.rev ctx.items in
-  let jt_items = List.rev ctx.jt_items in
+  let fctxs =
+    Pool.map ~jobs
+      (fun fa ->
+        let ctx = mk_ctx fa in
+        relocate_function ctx fa go_hook_funcs;
+        ctx)
+      emission_funcs
+  in
+  let merge proj = List.concat_map (fun c -> List.rev (proj c)) fctxs in
+  let instr_items = merge (fun c -> c.items) in
+  let jt_items = merge (fun c -> c.jt_items) in
+  let all_ra_pairs = merge (fun c -> c.ra_pairs) in
+  let all_throw_pairs = merge (fun c -> c.throw_pairs) in
+  let all_block_pairs = merge (fun c -> c.block_pairs) in
+  let all_counter_sites = merge (fun c -> c.counter_sites) in
+  let all_pending_traps = merge (fun c -> c.pending_traps) in
+  let all_dt_sites = merge (fun c -> c.dt_sites) in
+  let n_cloned = List.fold_left (fun acc c -> acc + c.n_cloned) 0 fctxs in
   (* 5. Assemble .instr and .jtnew in one label namespace. *)
   let labels = Hashtbl.create 1024 in
   let instr_lay = Asm.layout arch ~pie ~labels ~base:instr_base instr_items in
@@ -697,7 +755,7 @@ let rewrite ?(options = default_options) (p : Parse.t) =
   let reloc_of a = label_addr (block_label a) in
   (* 6. RA map, counter-site map, trap seeds from relocated code. *)
   let resolve_pairs l = List.map (fun (lb, orig) -> (label_addr lb, orig)) l in
-  let throw_pairs = resolve_pairs ctx.throw_pairs in
+  let throw_pairs = resolve_pairs all_throw_pairs in
   (* Return-address pairs get an exact twin at ra-1: unwinders match the
      caller frame at the call instruction (IP-1), and that lookup must
      translate to original_ra-1 so landing-pad ranges starting mid-block
@@ -705,7 +763,7 @@ let rewrite ?(options = default_options) (p : Parse.t) =
   let ra_pairs_resolved =
     List.concat_map
       (fun (k, v) -> [ (k, v); (k - 1, v - 1) ])
-      (resolve_pairs ctx.ra_pairs)
+      (resolve_pairs all_ra_pairs)
   in
   (* Under call emulation the throw-site pairs model __cxa_throw's emulated
      caller return address (exact matches only); full RA translation uses
@@ -713,21 +771,21 @@ let rewrite ?(options = default_options) (p : Parse.t) =
   let ra_map =
     if opts.ra_translation then
       Ra_map.of_pairs
-        (throw_pairs @ ra_pairs_resolved @ resolve_pairs ctx.block_pairs)
+        (throw_pairs @ ra_pairs_resolved @ resolve_pairs all_block_pairs)
     else Ra_map.of_pairs ~exact_only:true throw_pairs
   in
   let counter_of_site = Hashtbl.create 64 in
   List.iter
     (fun (l, blk) -> Hashtbl.replace counter_of_site (label_addr l) blk)
-    ctx.counter_sites;
+    all_counter_sites;
   let trap_map = Hashtbl.create 16 in
   List.iter
     (fun (l, target) -> Hashtbl.replace trap_map (label_addr l) target)
-    ctx.pending_traps;
+    all_pending_traps;
   let dt_sites = Hashtbl.create 16 in
   List.iter
     (fun (l, reg) -> Hashtbl.replace dt_sites (label_addr l) reg)
-    ctx.dt_sites;
+    all_dt_sites;
   (* 7. Trampoline placement over the original text. *)
   let writes : (int * string) list ref = ref [] in
   let pool = { chunks = [] } in
@@ -757,55 +815,84 @@ let rewrite ?(options = default_options) (p : Parse.t) =
       max_int
       (Binary.func_symbols bin)
   in
-  (* First pass: place what fits locally; collect deferred hops. *)
+  (* First pass: per-function placement plans, computed in parallel (pure:
+     they read only the function's analysis, read-only binary state and the
+     finished label table)... *)
+  let plan_function fa =
+    let cfl = cfl_blocks opts p fa in
+    let regions = function_regions opts p fa cfl (next_start_of fa) in
+    let events = ref [] in
+    let ev e = events := e :: !events in
+    let rec place = function
+      | [] -> ()
+      | (lo, hi, R_cfl) :: rest ->
+          (* Superblock: extend over following contiguous scratch. *)
+          let rec extend e = function
+            | (lo', hi', R_scratch) :: rest' when lo' = e && opts.use_superblocks ->
+                extend hi' rest'
+            | rest' -> (e, rest')
+          in
+          let se, rest' = extend hi rest in
+          let space = se - lo in
+          let target = reloc_of lo in
+          let dead = Liveness.dead_in arch fa.Parse.fa_liveness lo in
+          (match Trampoline.select arch ~at:lo ~space ~target ~dead ~toc with
+          | Some kind ->
+              let bytes = Trampoline.emit arch ~at:lo ~target ~toc kind in
+              let cls =
+                match kind with
+                | Trampoline.Short -> T_short
+                | Trampoline.Long _ | Trampoline.Long_save_restore _ -> T_long
+                | Trampoline.Trap_tramp -> T_trap
+              in
+              ev (Pe_write (lo, bytes, cls));
+              ev (Pe_free (lo + String.length bytes, se))
+          | None ->
+              ev (Pe_defer (lo, se, target, dead));
+              ev (Pe_free (lo + Encode.short_jmp_len arch, se)));
+          place rest'
+      | (lo, hi, R_scratch) :: rest ->
+          (* Scratch not claimed by a preceding superblock: free space. *)
+          ev (Pe_free (lo, hi));
+          place rest
+      | (_, _, R_preserved) :: rest -> place rest
+    in
+    place regions;
+    {
+      pl_blocks = List.length fa.Parse.fa_cfg.Cfg.blocks;
+      pl_cfl = IntSet.cardinal cfl;
+      pl_preserved =
+        List.filter_map
+          (fun (lo, hi, k) -> if k = R_preserved then Some (lo, hi) else None)
+          regions;
+      pl_events = List.rev !events;
+    }
+  in
+  let plans = Pool.map ~jobs plan_function sorted_ifuncs in
+  (* ...then a serial replay in sorted function order threads the scratch
+     pool and the deferred-hop list exactly as a serial pass would. *)
   let deferred = ref [] in
   let preserved_ranges = ref [] in
   List.iter
-    (fun fa ->
-      let cfl = cfl_blocks opts p fa in
-      n_blocks := !n_blocks + List.length fa.Parse.fa_cfg.Cfg.blocks;
-      n_cfl := !n_cfl + IntSet.cardinal cfl;
-      let regions = function_regions opts p fa cfl (next_start_of fa) in
+    (fun pl ->
+      n_blocks := !n_blocks + pl.pl_blocks;
+      n_cfl := !n_cfl + pl.pl_cfl;
       List.iter
-        (fun (lo, hi, k) ->
-          if k = R_preserved then preserved_ranges := (lo, hi) :: !preserved_ranges)
-        regions;
-      let rec place = function
-        | [] -> ()
-        | (lo, hi, R_cfl) :: rest ->
-            (* Superblock: extend over following contiguous scratch. *)
-            let rec extend e = function
-              | (lo', hi', R_scratch) :: rest' when lo' = e && opts.use_superblocks ->
-                  extend hi' rest'
-              | rest' -> (e, rest')
-            in
-            let se, _ = extend hi rest in
-            let space = se - lo in
-            let target = reloc_of lo in
-            let dead = Liveness.dead_in arch fa.Parse.fa_liveness lo in
-            let rest' = snd (extend hi rest) in
-            (match Trampoline.select arch ~at:lo ~space ~target ~dead ~toc with
-            | Some kind ->
-                let bytes = Trampoline.emit arch ~at:lo ~target ~toc kind in
-                writes := (lo, bytes) :: !writes;
-                (match kind with
-                | Trampoline.Short -> incr n_short
-                | Trampoline.Long _ | Trampoline.Long_save_restore _ ->
-                    incr n_long
-                | Trampoline.Trap_tramp -> incr n_trap);
-                pool_add pool (lo + String.length bytes) se
-            | None ->
-                deferred := (lo, se, target, dead) :: !deferred;
-                pool_add pool (lo + Encode.short_jmp_len arch) se);
-            place rest'
-        | (lo, hi, R_scratch) :: rest ->
-            (* Scratch not claimed by a preceding superblock: free space. *)
-            pool_add pool lo hi;
-            place rest
-        | (_, _, R_preserved) :: rest -> place rest
-      in
-      place regions)
-    sorted_ifuncs;
+        (fun r -> preserved_ranges := r :: !preserved_ranges)
+        pl.pl_preserved;
+      List.iter
+        (function
+          | Pe_write (lo, bytes, cls) ->
+              writes := (lo, bytes) :: !writes;
+              (match cls with
+              | T_short -> incr n_short
+              | T_long -> incr n_long
+              | T_trap -> incr n_trap)
+          | Pe_defer (lo, se, target, dead) ->
+              deferred := (lo, se, target, dead) :: !deferred
+          | Pe_free (lo, hi) -> pool_add pool lo hi)
+        pl.pl_events)
+    plans;
   (* Second pass: multi-trampoline hops, then traps. *)
   List.iter
     (fun (lo, se, target, dead) ->
@@ -980,7 +1067,7 @@ let rewrite ?(options = default_options) (p : Parse.t) =
       s_long_trampolines = !n_long;
       s_multi_hop = !n_hop;
       s_trap_trampolines = !n_trap;
-      s_cloned_tables = ctx.n_cloned;
+      s_cloned_tables = n_cloned;
       s_rewritten_slots = Hashtbl.length slot_patches;
       s_orig_size = Binary.loaded_size bin;
       s_new_size = Binary.loaded_size out;

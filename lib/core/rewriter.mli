@@ -64,6 +64,13 @@ type options = {
           blocks — every CFL-to-instrumented path crosses a callee entry
           trampoline. Execution runs hybrid: unrewritten landings continue
           in the original code until the next call *)
+  jobs : int;
+      (** fan per-function relocation and trampoline planning out across
+          this many domains (see {!Pool}). Any value produces output
+          bit-identical to [jobs = 1]: functions are merged back in
+          emission order, labels are namespaced per function, and the
+          scratch-pool/deferred-hop state is replayed serially in sorted
+          function order. [jobs <= 1] never touches domain machinery *)
 }
 
 val default_options : options

@@ -54,7 +54,10 @@ let strong_test ?(options = Rewriter.default_options) ?fm bin =
       overwrite_original = true;
     }
   in
-  let parse = Parse.parse ?fm bin in
+  let par =
+    { Parse.pmap = (fun f l -> Pool.map ~jobs:(max 1 options.Rewriter.jobs) f l) }
+  in
+  let parse = Parse.parse ?fm ~par bin in
   let rw = Rewriter.rewrite ~options parse in
   (* Which functions were actually instrumented (instrumentable + filter)? *)
   let instrumented fa =

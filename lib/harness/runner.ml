@@ -1,8 +1,23 @@
 module Vm = Icfg_runtime.Vm
 module Runtime_lib = Icfg_runtime.Runtime_lib
 module Rewriter = Icfg_core.Rewriter
+module Pool = Icfg_core.Pool
+module Parse = Icfg_analysis.Parse
 module Binary = Icfg_obj.Binary
 module Baseline = Icfg_baselines.Baseline
+
+(* ------------------------------------------------------------------ *)
+(* The sharded rewriting pipeline entry points                         *)
+(* ------------------------------------------------------------------ *)
+
+let par_of_jobs jobs = { Parse.pmap = (fun f l -> Pool.map ~jobs f l) }
+
+let parse ?fm ?(jobs = 1) bin = Parse.parse ?fm ~par:(par_of_jobs (max 1 jobs)) bin
+
+let rewrite ?fm ?(options = Rewriter.default_options) ?jobs bin =
+  let jobs = max 1 (Option.value ~default:options.Rewriter.jobs jobs) in
+  let p = parse ?fm ~jobs bin in
+  Rewriter.rewrite ~options:{ options with Rewriter.jobs } p
 
 type run = {
   r_outcome : Vm.outcome;

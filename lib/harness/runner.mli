@@ -5,6 +5,31 @@
     overhead source) and the empty instrumentation payload, exactly like the
     paper's block-level empty-instrumentation test. *)
 
+(** {1 Sharded rewriting pipeline}
+
+    The whole-binary pipeline (per-function parse passes, then per-function
+    relocation and trampoline planning) fanned out over [jobs] domains.
+    Output is bit-identical for every [jobs] value; [test_parallel]
+    enforces this. *)
+
+val par_of_jobs : int -> Icfg_analysis.Parse.par
+(** A {!Icfg_core.Pool}-backed mapper for [Parse.parse ~par]. *)
+
+val parse :
+  ?fm:Icfg_analysis.Failure_model.t ->
+  ?jobs:int ->
+  Icfg_obj.Binary.t ->
+  Icfg_analysis.Parse.t
+
+val rewrite :
+  ?fm:Icfg_analysis.Failure_model.t ->
+  ?options:Icfg_core.Rewriter.options ->
+  ?jobs:int ->
+  Icfg_obj.Binary.t ->
+  Icfg_core.Rewriter.t
+(** Parse + rewrite. [jobs] (default: [options.jobs]) is threaded through
+    both stages. *)
+
 type run = {
   r_outcome : Icfg_runtime.Vm.outcome;
   r_cycles : int;

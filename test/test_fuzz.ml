@@ -17,7 +17,7 @@ let spec_gen =
   let open QCheck2.Gen in
   let* seed = int_range 1 100_000 in
   let* n_compute = int_range 1 5 in
-  let* n_switch = int_range 0 3 in
+  let* n_switch = int_range 0 5 in
   let* n_dispatch = int_range 0 2 in
   let* n_hard_spill = int_range 0 (min 1 n_switch) in
   let* n_frameless = int_range 0 1 in
@@ -43,13 +43,19 @@ let spec_gen =
       cases;
     }
 
+(* Go-flavoured cases ride along with conservative settings: Go binaries
+   are PIE, vtable dispatch needs at least [Jt] coverage, and the runtime
+   hooks make the count-check meaningless, so those run output-only. *)
 let config_gen =
   QCheck2.Gen.(
-    quad (oneofl Arch.all) (oneofl Mode.all) bool (* pie *)
-      (oneofl [ `Original; `Reverse_funcs; `Reverse_blocks ]))
+    pair
+      (quad (oneofl Arch.all) (oneofl Mode.all) bool (* pie *)
+         (oneofl [ `Original; `Reverse_funcs; `Reverse_blocks ]))
+      (pair (oneofl [ 1; 2; 4; 8 ]) (frequency [ (4, return false); (1, return true) ])))
 
-let print_case (spec, (arch, mode, pie, order)) =
-  Printf.sprintf "seed=%d sw=%d disp=%d spill=%d fl=%d dt=%d exc=%b %s/%s%s%s"
+let print_case (spec, ((arch, mode, pie, order), (jobs, go))) =
+  Printf.sprintf
+    "seed=%d sw=%d disp=%d spill=%d fl=%d dt=%d exc=%b %s/%s%s%s jobs=%d%s"
     spec.Gen.seed spec.Gen.n_switch spec.Gen.n_dispatch spec.Gen.n_hard_spill
     spec.Gen.n_frameless_tail spec.Gen.n_data_table spec.Gen.exceptions
     (Arch.name arch) (Mode.name mode)
@@ -58,26 +64,41 @@ let print_case (spec, (arch, mode, pie, order)) =
     | `Original -> ""
     | `Reverse_funcs -> " rev-funcs"
     | `Reverse_blocks -> " rev-blocks")
+    jobs
+    (if go then " go" else "")
 
 let rewrite_roundtrip =
   QCheck2.Test.make ~count:60 ~name:"fuzz: rewrite preserves behaviour"
     ~print:print_case
     QCheck2.Gen.(pair spec_gen config_gen)
-    (fun (spec, (arch, mode, pie, order)) ->
-      let prog = Gen.build spec in
+    (fun (spec, ((arch, mode, pie, order), (jobs, go))) ->
+      (* conservative Go constraints; see comment on [config_gen] *)
+      let pie = pie || go in
+      let mode = if go && mode = Mode.Func_ptr then Mode.Jt else mode in
+      let order = if go then `Original else order in
+      let payload = if go then Rewriter.P_empty else Rewriter.P_count in
+      let prog =
+        if go then
+          let adjust = if arch = Arch.X86_64 then 1 else 4 in
+          let gs =
+            Gen.go_spec ~seed:spec.Gen.seed
+              ~name:(Printf.sprintf "gofuzz%d" spec.Gen.seed)
+              ~iters:spec.Gen.iters
+          in
+          Gen.build_go ~vtab_check:false ~goexit_adjust:adjust gs
+        else Gen.build spec
+      in
       let bin, _ = Icfg_codegen.Compile.compile ~pie arch prog in
       let parse = Parse.parse bin in
-      let rw =
-        Rewriter.rewrite
-          ~options:
-            {
-              Rewriter.default_options with
-              Rewriter.mode;
-              payload = Rewriter.P_count;
-              order;
-            }
-          parse
+      let options =
+        { Rewriter.default_options with Rewriter.mode; payload; order }
       in
+      let rw = Rewriter.rewrite ~options parse in
+      (* the sharded engine must reproduce the serial bytes exactly *)
+      if jobs > 1 then
+        assert (
+          Test_parallel.equal_rewrite rw
+            (Icfg_harness.Runner.rewrite ~options ~jobs bin));
       let lb = if pie then 0x20000000 else 0 in
       let base_cfg = { (Vm.default_config ()) with Vm.load_base = lb } in
       (* ground-truth profile *)
@@ -104,7 +125,8 @@ let rewrite_roundtrip =
       match (orig.Vm.outcome, r.Vm.outcome) with
       | Vm.Halted, Vm.Halted ->
           orig.Vm.output = r.Vm.output
-          && List.for_all
+          && (go (* empty payload: nothing to count *)
+             || List.for_all
                (fun fa ->
                  (not fa.Parse.fa_instrumentable)
                  || List.for_all
@@ -119,24 +141,27 @@ let rewrite_roundtrip =
                         in
                         want = got)
                       fa.Parse.fa_cfg.Icfg_analysis.Cfg.blocks)
-               parse.Parse.funcs
+               parse.Parse.funcs)
       | Vm.Crashed _, _ -> QCheck2.assume_fail () (* generator bug, not ours *)
       | Vm.Halted, Vm.Crashed _ -> false)
 
 let go_roundtrip =
   QCheck2.Test.make ~count:20 ~name:"fuzz: go rewriting preserves tracebacks"
     QCheck2.Gen.(
-      triple (int_range 1 10_000) (oneofl Arch.all) (oneofl [ Mode.Dir; Mode.Jt ]))
-    (fun (seed, arch, mode) ->
+      quad (int_range 1 10_000) (oneofl Arch.all)
+        (oneofl [ Mode.Dir; Mode.Jt ])
+        (oneofl [ 1; 4 ]))
+    (fun (seed, arch, mode, jobs) ->
       let adjust = if arch = Arch.X86_64 then 1 else 4 in
       let spec = Gen.go_spec ~seed ~name:(Printf.sprintf "gofuzz%d" seed) ~iters:5 in
       let prog = Gen.build_go ~vtab_check:false ~goexit_adjust:adjust spec in
       let bin, _ = Icfg_codegen.Compile.compile ~pie:true arch prog in
-      let parse = Parse.parse bin in
-      let rw =
-        Rewriter.rewrite ~options:{ Rewriter.default_options with Rewriter.mode }
-          parse
-      in
+      let options = { Rewriter.default_options with Rewriter.mode } in
+      let rw = Icfg_harness.Runner.rewrite ~options ~jobs bin in
+      assert (
+        jobs = 1
+        || Test_parallel.equal_rewrite rw
+             (Rewriter.rewrite ~options (Parse.parse bin)));
       let base_cfg = { (Vm.default_config ()) with Vm.load_base = 0x20000000 } in
       let orig =
         Vm.run ~config:base_cfg ~routines:(Icfg_runtime.Runtime_lib.standard ()) bin

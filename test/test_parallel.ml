@@ -1,0 +1,252 @@
+(* Determinism battery for the sharded rewriting engine.
+
+   The contract under test (lib/core/pool.mli, Rewriter.options.jobs): for
+   every jobs value the rewritten binary is bit-for-bit identical to the
+   serial run — same section bytes, same stats, same RA map, same trap and
+   counter maps, same dynamic relocations.  The battery covers every
+   spec-suite binary on every architecture in every mode, the option
+   variants that exercise different placement machinery, parallel parsing,
+   Go binaries, and a random-program differential property. *)
+
+open Icfg_isa
+open Icfg_core
+module Gen = Icfg_workloads.Gen
+module Parse = Icfg_analysis.Parse
+module Runner = Icfg_harness.Runner
+module Binary = Icfg_obj.Binary
+module Section = Icfg_obj.Section
+module Ra_map = Icfg_runtime.Runtime_lib.Ra_map
+
+(* ------------------------------------------------------------------ *)
+(* Structural comparison of two rewrites                               *)
+(* ------------------------------------------------------------------ *)
+
+let section_image (s : Section.t) =
+  (s.Section.name, s.Section.vaddr, Bytes.to_string s.Section.data,
+   s.Section.perm, s.Section.loaded)
+
+let sorted_tbl tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* Everything observable about a rewrite except [rw_relocated_entry]
+   (a closure; its behaviour is pinned by the trap map and RA map). *)
+let fingerprint (rw : Rewriter.t) =
+  let bin = rw.Rewriter.rw_binary in
+  ( List.map section_image bin.Binary.sections,
+    (bin.Binary.entry, bin.Binary.pie, bin.Binary.relocs, bin.Binary.symbols),
+    rw.Rewriter.rw_stats,
+    Ra_map.pairs rw.Rewriter.rw_ra_map,
+    ( sorted_tbl rw.Rewriter.rw_trap_map,
+      sorted_tbl rw.Rewriter.rw_counter_of_site,
+      sorted_tbl rw.Rewriter.rw_dt_sites,
+      rw.Rewriter.rw_go_hook,
+      rw.Rewriter.rw_translate_hook ) )
+
+let equal_rewrite a b = fingerprint a = fingerprint b
+
+(* Describe the first difference; "" when identical. *)
+let diff_rewrite a b =
+  let (sa, ba, sta, ra, ma) = fingerprint a in
+  let (sb, bb, stb, rb, mb) = fingerprint b in
+  if sa <> sb then
+    match
+      List.find_opt
+        (fun ((n, v, d, p, l), (n', v', d', p', l')) ->
+          (n, v, p, l) <> (n', v', p', l') || d <> d')
+        (try List.combine sa sb with Invalid_argument _ -> [])
+    with
+    | Some ((n, v, _, _, _), _) ->
+        Printf.sprintf "section %s@0x%x differs" n v
+    | None -> "section lists differ in length"
+  else if ba <> bb then "binary header/relocs/symbols differ"
+  else if sta <> stb then "stats differ"
+  else if ra <> rb then "RA maps differ"
+  else if ma <> mb then "runtime maps differ"
+  else ""
+
+let check_same ~what serial parallel =
+  let d = diff_rewrite serial parallel in
+  Alcotest.(check string) what "" d
+
+(* ------------------------------------------------------------------ *)
+(* Spec-suite battery: every binary, arch, mode; jobs in {2,4,8}       *)
+(* ------------------------------------------------------------------ *)
+
+let opts mode = { Rewriter.default_options with Rewriter.mode; payload = Rewriter.P_count }
+
+let spec_battery arch () =
+  List.iter
+    (fun bench ->
+      let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+      List.iter
+        (fun mode ->
+          let options = opts mode in
+          let serial = Runner.rewrite ~options ~jobs:1 bin in
+          List.iter
+            (fun jobs ->
+              let par = Runner.rewrite ~options ~jobs bin in
+              check_same
+                ~what:
+                  (Printf.sprintf "%s/%s/%s jobs=%d"
+                     bench.Icfg_workloads.Spec_suite.bench_name
+                     (Arch.name arch) (Mode.name mode) jobs)
+                serial par)
+            [ 2; 4; 8 ])
+        Mode.all)
+    (Icfg_workloads.Spec_suite.benchmarks arch)
+
+(* ------------------------------------------------------------------ *)
+(* Option variants: each exercises a different placement/codegen path  *)
+(* ------------------------------------------------------------------ *)
+
+let variants =
+  [
+    ("srbi-like", Rewriter.srbi_like Rewriter.P_count);
+    ( "reverse-funcs",
+      { (opts Mode.Jt) with Rewriter.order = `Reverse_funcs } );
+    ( "reverse-blocks",
+      { (opts Mode.Jt) with Rewriter.order = `Reverse_blocks } );
+    ( "sparse-placement",
+      {
+        (opts Mode.Func_ptr) with
+        Rewriter.granularity = Rewriter.G_func_entry;
+        overwrite_original = false;
+        sparse_placement = true;
+      } );
+    ("dyn-translate", { (opts Mode.Jt) with Rewriter.dyn_translate = true });
+  ]
+
+let variant_battery () =
+  let arch = Arch.X86_64 in
+  let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+  let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+  List.iter
+    (fun (name, options) ->
+      let serial = Runner.rewrite ~options ~jobs:1 bin in
+      List.iter
+        (fun jobs ->
+          let par = Runner.rewrite ~options ~jobs bin in
+          check_same ~what:(Printf.sprintf "%s jobs=%d" name jobs) serial par)
+        [ 2; 4; 8 ])
+    variants
+
+(* ------------------------------------------------------------------ *)
+(* Parallel parsing is deterministic                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Liveness carries hashtables, so compare a projection instead of the
+   whole structure. *)
+let parse_view (p : Parse.t) =
+  ( List.map
+      (fun fa ->
+        ( fa.Parse.fa_sym.Icfg_obj.Symbol.name,
+          fa.Parse.fa_sym.Icfg_obj.Symbol.addr,
+          fa.Parse.fa_instrumentable,
+          fa.Parse.fa_fail_reason,
+          List.map
+            (fun (b : Icfg_analysis.Cfg.block) -> b.Icfg_analysis.Cfg.b_start)
+            fa.Parse.fa_cfg.Icfg_analysis.Cfg.blocks,
+          List.length fa.Parse.fa_tables,
+          fa.Parse.fa_tail_jumps ))
+      p.Parse.funcs,
+    List.length p.Parse.fptrs,
+    p.Parse.pointer_targets )
+
+let parse_battery () =
+  List.iter
+    (fun arch ->
+      let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+      let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+      let serial = parse_view (Runner.parse ~jobs:1 bin) in
+      List.iter
+        (fun jobs ->
+          let par = parse_view (Runner.parse ~jobs bin) in
+          Alcotest.(check bool)
+            (Printf.sprintf "parse %s jobs=%d" (Arch.name arch) jobs)
+            true (serial = par))
+        [ 2; 4; 8 ])
+    Arch.all
+
+(* ------------------------------------------------------------------ *)
+(* Go binaries (hooks + vtable paths)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let go_battery () =
+  List.iter
+    (fun arch ->
+      let adjust = if arch = Arch.X86_64 then 1 else 4 in
+      let spec = Gen.go_spec ~seed:7 ~name:"goparallel" ~iters:5 in
+      let prog = Gen.build_go ~vtab_check:false ~goexit_adjust:adjust spec in
+      let bin, _ = Icfg_codegen.Compile.compile ~pie:true arch prog in
+      let options = opts Mode.Jt in
+      let serial = Runner.rewrite ~options ~jobs:1 bin in
+      List.iter
+        (fun jobs ->
+          let par = Runner.rewrite ~options ~jobs bin in
+          check_same
+            ~what:(Printf.sprintf "go/%s jobs=%d" (Arch.name arch) jobs)
+            serial par)
+        [ 2; 4 ])
+    Arch.all
+
+(* ------------------------------------------------------------------ *)
+(* Random programs: differential property                              *)
+(* ------------------------------------------------------------------ *)
+
+let random_spec_gen =
+  let open QCheck2.Gen in
+  let* seed = int_range 1 100_000 in
+  let* n_compute = int_range 1 4 in
+  let* n_switch = int_range 0 3 in
+  let* n_dispatch = int_range 0 2 in
+  let* exceptions = bool in
+  return
+    {
+      Gen.seed;
+      name = Printf.sprintf "par%d" seed;
+      langs = [ Binary.C ];
+      exceptions;
+      n_compute;
+      n_switch;
+      n_dispatch;
+      n_hard_spill = 0;
+      n_frameless_tail = 0;
+      n_data_table = 1;
+      iters = 4;
+      inner = 2;
+      work = 3;
+      cases = 4;
+    }
+
+let parallel_equals_serial =
+  QCheck2.Test.make ~count:30
+    ~name:"parallel: rewrite ~jobs:k = rewrite ~jobs:1"
+    ~print:(fun (spec, (arch, mode, pie, jobs)) ->
+      Printf.sprintf "seed=%d %s/%s%s jobs=%d" spec.Gen.seed (Arch.name arch)
+        (Mode.name mode)
+        (if pie then " pie" else "")
+        jobs)
+    QCheck2.Gen.(
+      pair random_spec_gen
+        (quad (oneofl Arch.all) (oneofl Mode.all) bool (oneofl [ 2; 4; 8 ])))
+    (fun (spec, (arch, mode, pie, jobs)) ->
+      let prog = Gen.build spec in
+      let bin, _ = Icfg_codegen.Compile.compile ~pie arch prog in
+      let options = opts mode in
+      equal_rewrite
+        (Runner.rewrite ~options ~jobs:1 bin)
+        (Runner.rewrite ~options ~jobs bin))
+
+let suite =
+  [
+    ( "parallel",
+      [
+        Alcotest.test_case "spec battery x86_64" `Quick (spec_battery Arch.X86_64);
+        Alcotest.test_case "spec battery aarch64" `Quick (spec_battery Arch.Aarch64);
+        Alcotest.test_case "spec battery ppc64le" `Quick (spec_battery Arch.Ppc64le);
+        Alcotest.test_case "option variants" `Quick variant_battery;
+        Alcotest.test_case "parallel parse" `Quick parse_battery;
+        Alcotest.test_case "go binaries" `Quick go_battery;
+        QCheck_alcotest.to_alcotest parallel_equals_serial;
+      ] );
+  ]
