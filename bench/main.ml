@@ -6,10 +6,16 @@
    Usage:
      bench/main.exe                 -- everything
      bench/main.exe table3 bolt ... -- selected experiments
-     bench/main.exe micro           -- only the bechamel micro-benchmarks *)
+     bench/main.exe micro           -- only the bechamel micro-benchmarks
+     bench/main.exe micro --json BENCH_micro.json
+                                    -- also write machine-readable results
+                                       (CI uploads this per PR, so the
+                                       serial-vs-parallel trajectory
+                                       accumulates across the history) *)
 
 open Icfg_isa
 module Experiments = Icfg_harness.Experiments
+module Asm = Icfg_codegen.Asm
 
 let experiments =
   [
@@ -104,46 +110,159 @@ let micro_tests () =
                 ~only bin)));
   ]
 
-(* Serial vs. parallel rewrite throughput on the largest spec-suite
-   binary.  Wall-clock (bechamel's per-run OLS would hide the domain
-   fan-out), repeated enough to amortize pool startup. *)
-let run_parallel_micro () =
-  print_endline "== Parallel rewrite throughput (largest spec binary) ==";
-  let arch = Arch.X86_64 in
-  let bin =
-    List.fold_left
-      (fun best bench ->
-        let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
-        match best with
-        | Some b when Icfg_obj.Binary.loaded_size b >= Icfg_obj.Binary.loaded_size bin
-          -> best
-        | _ -> Some bin)
-      None
-      (Icfg_workloads.Spec_suite.benchmarks arch)
-    |> Option.get
-  in
-  let reps = 50 in
-  let time_jobs jobs =
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (BENCH_micro.json)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Accumulated rows: bechamel estimates and wall-clock serial-vs-parallel
+   stage timings. Written as JSON by hand — no JSON dependency. *)
+let micro_rows : (string * float) list ref = ref []
+let parallel_rows : (string * int * float) list ref = ref []
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.1f" f
+
+let write_json path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"icfg-bench-micro/1\",\n";
+  out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
+        (json_float ns)
+        (if i = List.length !micro_rows - 1 then "" else ","))
+    !micro_rows;
+  out "  ],\n";
+  out "  \"parallel\": [\n";
+  List.iteri
+    (fun i (stage, jobs, sec) ->
+      out "    {\"stage\": \"%s\", \"jobs\": %d, \"ns_per_run\": %s}%s\n"
+        (json_escape stage) jobs
+        (json_float (sec *. 1e9))
+        (if i = List.length !parallel_rows - 1 then "" else ","))
+    !parallel_rows;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+(* Serial vs. parallel stage timings                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock (bechamel's per-run OLS would hide the domain fan-out),
+   repeated enough to amortize pool startup. Each stage that PR 1 and PR 2
+   sharded gets a serial and a parallel row: whole-binary rewrite, the
+   per-CFG function-pointer scans, and chunked section encoding. *)
+let largest_spec_binary arch =
+  List.fold_left
+    (fun best bench ->
+      let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+      match best with
+      | Some b when Icfg_obj.Binary.loaded_size b >= Icfg_obj.Binary.loaded_size bin
+        -> best
+      | _ -> Some bin)
+    None
+    (Icfg_workloads.Spec_suite.benchmarks arch)
+  |> Option.get
+
+let time_stage ~stage ~reps run jobs_list =
+  let row jobs =
     (* warm up: fault in the domain pool and any lazy state *)
-    ignore (Sys.opaque_identity (Icfg_harness.Runner.rewrite ~jobs bin));
+    ignore (Sys.opaque_identity (run jobs));
     let t0 = Unix.gettimeofday () in
     for _ = 1 to reps do
-      ignore (Sys.opaque_identity (Icfg_harness.Runner.rewrite ~jobs bin))
+      ignore (Sys.opaque_identity (run jobs))
     done;
-    (Unix.gettimeofday () -. t0) /. float_of_int reps
+    let t = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+    parallel_rows := !parallel_rows @ [ (stage, jobs, t) ];
+    Printf.printf "  %-18s jobs=%d %12.0f ns/run  %10.1f runs/s\n%!" stage
+      jobs (t *. 1e9) (1. /. t);
+    t
   in
-  let serial = time_jobs 1 in
-  let parallel = time_jobs 4 in
-  let pr name t =
-    Printf.printf "  %-24s %10.0f ns/rewrite  %8.1f rewrites/s\n" name
-      (t *. 1e9) (1. /. t)
+  match List.map row jobs_list with
+  | serial :: rest ->
+      List.iter
+        (fun par -> Printf.printf "  %-18s speedup: %.2fx\n%!" stage (serial /. par))
+        rest
+  | [] -> ()
+
+(* A synthetic but representative item stream for the encode stage: labels,
+   plain instructions, resolved branches and address-holding data words
+   (which produce relocations under PIE), so every chunk boundary shape is
+   exercised. *)
+let encode_fixture () =
+  let n = 4000 in
+  let items =
+    List.concat
+      (List.init n (fun i ->
+           [
+             Asm.Label (Printf.sprintf "L%d" i);
+             Asm.Insn (Insn.Mov (Reg.r0, Imm i));
+             Asm.Insn Insn.Nop;
+             Asm.Jmp_to (Printf.sprintf "L%d" (i / 2));
+             Asm.Data (W64, Asm.Addr (Printf.sprintf "L%d" (i / 3)), `Reloc);
+           ]))
   in
-  pr "jobs=1 (serial)" serial;
-  pr "jobs=4 (parallel)" parallel;
-  Printf.printf "  speedup: %.2fx on %d core(s) (%d bytes loaded)\n%!"
-    (serial /. parallel)
-    (Domain.recommended_domain_count ())
+  let labels = Hashtbl.create (2 * n) in
+  let lay =
+    Asm.layout Arch.X86_64 ~pie:true ~labels ~base:0x400000 items
+  in
+  (labels, lay)
+
+let run_parallel_micro () =
+  print_endline "== Serial vs parallel stage timings (largest spec binary) ==";
+  let arch = Arch.X86_64 in
+  let bin = largest_spec_binary arch in
+  Printf.printf "  (%d bytes loaded, %d core(s) recommended)\n%!"
     (Icfg_obj.Binary.loaded_size bin)
+    (Domain.recommended_domain_count ());
+  (* Whole-pipeline rewrite. *)
+  time_stage ~stage:"rewrite" ~reps:50
+    (fun jobs -> Icfg_harness.Runner.rewrite ~jobs bin)
+    [ 1; 4 ];
+  (* Function-pointer analysis: serial data-slot pass + sharded per-CFG
+     scans. *)
+  let parse = Icfg_analysis.Parse.parse bin in
+  let cfgs =
+    List.map (fun f -> f.Icfg_analysis.Parse.fa_cfg) parse.Icfg_analysis.Parse.funcs
+  in
+  let fm = Icfg_analysis.Failure_model.ours in
+  time_stage ~stage:"func-ptr" ~reps:200
+    (fun jobs ->
+      let par =
+        if jobs <= 1 then Icfg_analysis.Func_ptr.serial
+        else
+          { Icfg_analysis.Func_ptr.pmap = (fun f l -> Icfg_core.Pool.map ~jobs f l) }
+      in
+      Icfg_analysis.Func_ptr.analyze ~par bin fm cfgs)
+    [ 1; 4 ];
+  (* Section encoding against a frozen label table, chunked. *)
+  let labels, lay = encode_fixture () in
+  time_stage ~stage:"encode" ~reps:100
+    (fun jobs ->
+      if jobs <= 1 then Asm.encode Arch.X86_64 ~pie:true ~toc:0 ~labels lay
+      else
+        Asm.encode_sharded Arch.X86_64 ~pie:true ~toc:0 ~labels
+          ~par:{ Asm.pmap = (fun f l -> Icfg_core.Pool.map ~jobs f l) }
+          ~chunks:(4 * jobs) lay)
+    [ 1; 4 ]
 
 let run_micro () =
   let open Bechamel in
@@ -166,6 +285,7 @@ let run_micro () =
             | Some [ n ] -> n
             | _ -> nan
           in
+          micro_rows := !micro_rows @ [ (Test.Elt.name t, nanos) ];
           Printf.printf "  %-32s %12.0f ns/run\n%!" (Test.Elt.name t) nanos)
         (Test.elements test))
     tests;
@@ -173,6 +293,14 @@ let run_micro () =
 
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  (* Extract a trailing/leading "--json FILE" pair; the rest select
+     experiments. *)
+  let rec split_json acc = function
+    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | x :: rest -> split_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_path, args = split_json [] args in
   let selected =
     match args with
     | [] -> List.map fst experiments @ [ "micro" ]
@@ -190,4 +318,5 @@ let () =
             Printf.eprintf "unknown experiment %s (have: %s, micro)\n" name
               (String.concat ", " (List.map fst experiments));
             exit 1)
-    selected
+    selected;
+  Option.iter write_json json_path

@@ -168,44 +168,68 @@ let fp_scan_block bin (fm : Failure_model.t) entries slot_targets
     env;
   !sites
 
-let analyze bin (fm : Failure_model.t) (cfgs : Cfg.t list) =
-  let entries = entry_set bin in
+(* Deduplicate materializations by provenance, adjusted uses by slot. A
+   materialization's identity is the full (order-insensitive) provenance
+   list plus its target: keying by the provenance sum and length collides
+   distinct sites (e.g. [0x10;0x30] vs [0x20;0x20]) and silently drops a
+   rewrite site in func-ptr mode. *)
+let dedup sites =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun s ->
+      let key =
+        match s with
+        | Fp_slot { slot; _ } -> `Slot slot
+        | Fp_mater { prov; target } -> `Mater (List.sort compare prov, target)
+        | Fp_adjusted { src_slot; adjust; _ } -> `Adjusted (src_slot, adjust)
+      in
+      if Hashtbl.mem seen key then false
+      else (
+        Hashtbl.replace seen key ();
+        true))
+    sites
+
+type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+
+let serial = { pmap = List.map }
+
+(* Serial pass: data-resident slots, which double as the slot-target map
+   the forward slicer consults. Everything the per-CFG scan reads — the
+   binary, the entry set and [slot_targets] — is frozen before the fan-out,
+   and the scan of one CFG touches no other CFG's state, so [analyze] can
+   shard the scans across domains and merge in CFG order. *)
+let data_slot_pass bin (fm : Failure_model.t) entries =
   let data_sites =
     (if fm.reloc_fptrs then reloc_slots bin entries else [])
     @ (if fm.value_match_fptrs && not bin.Binary.pie then
          value_match_slots bin entries
        else [])
   in
-  (* Map of known pointer-holding slots for forward slicing. *)
   let slot_targets = Hashtbl.create 16 in
   List.iter
     (function
       | Fp_slot { slot; target; _ } -> Hashtbl.replace slot_targets slot target
       | Fp_mater _ | Fp_adjusted _ -> ())
     data_sites;
+  (data_sites, slot_targets)
+
+let analyze ?(par = serial) bin (fm : Failure_model.t) (cfgs : Cfg.t list) =
+  let entries = entry_set bin in
+  let data_sites, slot_targets = data_slot_pass bin fm entries in
+  (* Per-CFG scans fan out through the injected mapper; the mapper is
+     order-preserving, so concatenating per-CFG results reproduces the
+     serial [List.concat_map] site order exactly, and dedup (which keeps
+     first occurrences) is schedule-independent. *)
   let code_sites =
-    List.concat_map
-      (fun cfg ->
-        List.concat_map
-          (fun b -> fp_scan_block bin fm entries slot_targets b)
-          cfg.Cfg.blocks)
-      cfgs
+    List.concat
+      (par.pmap
+         (fun cfg ->
+           List.concat_map
+             (fun b -> fp_scan_block bin fm entries slot_targets b)
+             cfg.Cfg.blocks)
+         cfgs)
   in
-  (* Deduplicate materializations by provenance and adjusted uses by slot. *)
-  let seen = Hashtbl.create 16 in
-  List.filter
-    (fun s ->
-      let key =
-        match s with
-        | Fp_slot { slot; _ } -> (0, slot, 0)
-        | Fp_mater { prov; _ } -> (1, List.fold_left ( + ) 0 prov, List.length prov)
-        | Fp_adjusted { src_slot; adjust; _ } -> (2, src_slot, adjust)
-      in
-      if Hashtbl.mem seen key then false
-      else (
-        Hashtbl.replace seen key ();
-        true))
-    (data_sites @ code_sites)
+  dedup (data_sites @ code_sites)
 
 let derived_block_targets sites =
   List.filter_map

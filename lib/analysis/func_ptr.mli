@@ -27,8 +27,27 @@ type site =
           being stored/used: the rewriter must compensate the slot so the
           adjusted value lands on the relocated block of [target + adjust] *)
 
+type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+(** An order-preserving map used to fan the per-CFG scans out across
+    domains (same shape as {!Parse.par}; duplicated so the analysis layer
+    needs no scheduler dependency). *)
+
+val serial : par
+(** [List.map] — the default. *)
+
 val analyze :
-  Icfg_obj.Binary.t -> Failure_model.t -> Cfg.t list -> site list
+  ?par:par -> Icfg_obj.Binary.t -> Failure_model.t -> Cfg.t list -> site list
+(** Two-phase analysis: a serial data-slot pass (relocation- and
+    value-match slots, which also builds the slot-target map the forward
+    slicer reads) followed by per-CFG code scans fanned out through [par].
+    The scans read only frozen state and results are merged in CFG order,
+    so the site list is independent of the mapper used. *)
+
+val dedup : site list -> site list
+(** Keep the first occurrence of each distinct site: materializations are
+    keyed by their full sorted provenance list plus target, slots by
+    address, adjusted uses by (slot, adjust). Exposed for the dedup
+    regression battery; {!analyze} already returns deduplicated sites. *)
 
 val derived_block_targets : site list -> int list
 (** Addresses that unrewritten or adjusted pointers may transfer control to

@@ -146,9 +146,12 @@ let parse ?(fm = Failure_model.ours) ?(par = serial) bin =
   let known_data = Jump_table.known_data bin all_pres in
   (* Function pointers need CFGs; use the pass-1 CFGs (pointer creation
      sites live in code reachable without jump-table edges, and case-body
-     sites are found after the final CFG rebuild below if needed). *)
+     sites are found after the final CFG rebuild below if needed). The
+     per-CFG scans shard through the same injected mapper as the
+     per-function passes; only the data-slot pass stays serial. *)
+  let fpar = { Func_ptr.pmap = par.pmap } in
   let cfg0s = List.map (fun ((_, c, _), _) -> c) pass1 in
-  let fptrs = Func_ptr.analyze bin fm cfg0s in
+  let fptrs = Func_ptr.analyze ~par:fpar bin fm cfg0s in
   let pointer_targets = Func_ptr.derived_block_targets fptrs in
   let funcs =
     par.pmap
@@ -159,7 +162,7 @@ let parse ?(fm = Failure_model.ours) ?(par = serial) bin =
   (* Second function-pointer pass over the final CFGs (covers pointer
      materializations inside switch-case blocks). *)
   let fptrs =
-    Func_ptr.analyze bin fm (List.map (fun f -> f.fa_cfg) funcs)
+    Func_ptr.analyze ~par:fpar bin fm (List.map (fun f -> f.fa_cfg) funcs)
   in
   let pointer_targets = Func_ptr.derived_block_targets fptrs in
   { bin; fm; funcs; fptrs; pointer_targets }

@@ -38,9 +38,10 @@ val serial : par
 
 val parse : ?fm:Failure_model.t -> ?par:par -> Icfg_obj.Binary.t -> t
 (** Whole-binary parse. [par] parallelizes the two per-function passes
-    (initial CFG + jump-table slicing, then finalization + liveness); the
-    cross-function steps (known-data collection, function-pointer analysis)
-    stay serial. Output is independent of the mapper used. *)
+    (initial CFG + jump-table slicing, then finalization + liveness) and
+    the per-CFG function-pointer scans ({!Func_ptr.analyze}); only the
+    cross-function steps (known-data collection, the data-slot pass) stay
+    serial. Output is independent of the mapper used. *)
 
 val func : t -> string -> func_analysis option
 val func_at : t -> int -> func_analysis option

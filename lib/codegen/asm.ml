@@ -121,14 +121,18 @@ let check_data_range w v =
            (Printf.sprintf "data value %d overflows 4 bytes" v))
   | W8 | W16 | W32 | W64 -> ()
 
-let encode arch ~pie ~toc ~labels lay =
-  let base = lay.l_base in
-  let data = Bytes.make (lay.l_end - base) '\000' in
+(* Encode the placed items in [items.(i0) .. items.(i1 - 1)] into [data],
+   whose byte 0 is address [org]. Reads the (frozen) label table only;
+   returns the segment's relocs in item order. [encode] passes the whole
+   layout; the sharded encoder passes contiguous chunks, each with its own
+   buffer. *)
+let encode_run arch ~pie ~toc ~labels ~org data items i0 i1 =
+  let base = org in
   let relocs = ref [] in
   let emit_insn at i = ignore (Encode.encode_into arch data ~pos:(at - base) i) in
-  List.iter
-    (fun (it, at) ->
-      match it with
+  for idx = i0 to i1 - 1 do
+    let it, at = items.(idx) in
+    (match it with
       | Insn i -> emit_insn at i
       | Jmp_to l -> emit_insn at (Insn.Jmp (label_exn labels l - at))
       | Jcc_to (c, l) -> emit_insn at (Insn.Jcc (c, label_exn labels l - at))
@@ -191,8 +195,61 @@ let encode arch ~pie ~toc ~labels lay =
           | _ -> ())
       | Raw s -> Bytes.blit_string s 0 data (at - base) (String.length s)
       | Space _ -> ())
-    lay.items;
-  (data, List.rev !relocs)
+  done;
+  List.rev !relocs
+
+let encode arch ~pie ~toc ~labels lay =
+  let items = Array.of_list lay.items in
+  let data = Bytes.make (lay.l_end - lay.l_base) '\000' in
+  let relocs =
+    encode_run arch ~pie ~toc ~labels ~org:lay.l_base data items 0
+      (Array.length items)
+  in
+  (data, relocs)
+
+type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+
+let serial = { pmap = List.map }
+
+(* Sharded second pass. Layout is inherently sequential (each address
+   depends on every earlier item's size), but once the label table is
+   frozen, encoding any item depends only on its own (item, address) pair
+   and that read-only table — so the item list splits into contiguous
+   chunks encoded independently, each into a private buffer sized by its
+   address extent. Item addresses are contiguous by construction
+   (next addr = addr + size), so chunk extents tile [l_base, l_end) and a
+   serial blit reassembles the exact serial image; per-chunk reloc lists
+   concatenated in chunk order reproduce the serial (item-order) reloc
+   list. Nothing about the result can depend on the schedule or the chunk
+   count — the battery in [test_parallel] pins this byte-for-byte. *)
+let encode_sharded arch ~pie ~toc ~labels ?(par = serial) ?(chunks = 1) lay =
+  let items = Array.of_list lay.items in
+  let n = Array.length items in
+  let chunks = max 1 (min chunks n) in
+  if chunks <= 1 then encode arch ~pie ~toc ~labels lay
+  else begin
+    let start k = k * n / chunks in
+    let addr_of i = if i >= n then lay.l_end else snd items.(i) in
+    let ranges =
+      List.init chunks (fun k ->
+          let i0 = start k and i1 = start (k + 1) in
+          (i0, i1, addr_of i0, addr_of i1))
+    in
+    let encoded =
+      par.pmap
+        (fun (i0, i1, lo, hi) ->
+          let data = Bytes.make (hi - lo) '\000' in
+          let relocs = encode_run arch ~pie ~toc ~labels ~org:lo data items i0 i1 in
+          (lo, data, relocs))
+        ranges
+    in
+    let data = Bytes.make (lay.l_end - lay.l_base) '\000' in
+    List.iter
+      (fun (lo, d, _) ->
+        Bytes.blit d 0 data (lo - lay.l_base) (Bytes.length d))
+      encoded;
+    (data, List.concat_map (fun (_, _, r) -> r) encoded)
+  end
 
 type result = {
   data : Bytes.t;

@@ -74,6 +74,30 @@ val encode :
     {!Icfg_isa.Encode.Not_encodable} if a resolved displacement or a narrow
     data word overflows its field. *)
 
+type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+(** An order-preserving map used to fan chunk encoding out across domains
+    (same shape as [Parse.par]; duplicated so the codegen layer needs no
+    scheduler dependency). *)
+
+val serial : par
+(** [List.map] — the default. *)
+
+val encode_sharded :
+  Icfg_isa.Arch.t ->
+  pie:bool ->
+  toc:int ->
+  labels:(string, int) Hashtbl.t ->
+  ?par:par ->
+  ?chunks:int ->
+  layout ->
+  Bytes.t * Icfg_obj.Reloc.t list
+(** {!encode}, with the item list split into [chunks] contiguous runs
+    encoded independently through [par] (the label table is frozen after
+    {!layout}, so chunk encoding is pure). Bytes and reloc order are
+    identical to {!encode} for every [par] and [chunks] — chunk extents
+    tile the section and per-chunk reloc lists concatenate in chunk
+    order. [chunks <= 1] is exactly {!encode}. *)
+
 type result = {
   data : Bytes.t;
   base : int;

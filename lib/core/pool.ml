@@ -8,6 +8,7 @@ type pool = {
   q : (unit -> unit) Queue.t;
   m : Mutex.t;
   work_available : Condition.t;
+  mutable n_workers : int;
 }
 
 let worker pool () =
@@ -23,34 +24,45 @@ let worker pool () =
   in
   loop ()
 
-(* One cached pool per distinct worker count, spawned on first use and kept
-   for the process lifetime (worker domains block in [Condition.wait] while
-   idle; a domain blocked there does not hold the runtime lock, so idle
-   pools cost nothing). *)
-let pools : (int, pool) Hashtbl.t = Hashtbl.create 4
-let pools_m = Mutex.create ()
+(* One shared pool for the whole process, grown on demand to the largest
+   lane count ever requested and kept for the process lifetime (idle worker
+   domains block in [Condition.wait], which does not hold the runtime lock,
+   so they cost nothing). A single pool — rather than one per distinct
+   worker count — means a process that maps with jobs 2, then 4, then 8
+   ends up with 7 worker domains, not 1+3+7. *)
+let the_pool =
+  {
+    q = Queue.create ();
+    m = Mutex.create ();
+    work_available = Condition.create ();
+    n_workers = 0;
+  }
+
+let pool_m = Mutex.create ()
 
 let get_pool workers =
-  Mutex.lock pools_m;
-  let p =
-    match Hashtbl.find_opt pools workers with
-    | Some p -> p
-    | None ->
-        let p =
-          { q = Queue.create (); m = Mutex.create (); work_available = Condition.create () }
-        in
-        for _ = 1 to workers do
-          ignore (Domain.spawn (worker p))
-        done;
-        Hashtbl.add pools workers p;
-        p
-  in
-  Mutex.unlock pools_m;
-  p
+  Mutex.lock pool_m;
+  if workers > the_pool.n_workers then begin
+    for _ = the_pool.n_workers + 1 to workers do
+      ignore (Domain.spawn (worker the_pool))
+    done;
+    the_pool.n_workers <- workers
+  end;
+  Mutex.unlock pool_m;
+  the_pool
+
+let live_workers () =
+  Mutex.lock pool_m;
+  let n = the_pool.n_workers in
+  Mutex.unlock pool_m;
+  n
 
 let map_array ~jobs f arr =
   let n = Array.length arr in
-  let lanes = min (max 1 jobs) n in
+  (* Lanes beyond the hardware's domain recommendation only oversubscribe
+     the runtime (and OCaml caps the total domain count), so jobs is an
+     upper bound, not a demand. *)
+  let lanes = min (min (max 1 jobs) n) (max 1 (recommended_jobs ())) in
   if lanes <= 1 then Array.map f arr
   else begin
     let pool = get_pool (lanes - 1) in
@@ -63,15 +75,22 @@ let map_array ~jobs f arr =
     (* Every lane (workers and the caller) runs the same batch body: steal
        the next input index, fill the matching result slot. Slots are
        written by exactly one lane and read only after the completion
-       barrier, so results come back in input order by construction. *)
+       barrier, so results come back in input order by construction.
+
+       Once any lane records a failure the others stop applying [f]: they
+       still drain the remaining indices (the completion barrier counts
+       every index exactly once), but each drained index is a counter
+       bump, not a unit of wasted work, so a failing batch aborts after
+       at most the calls already in flight. *)
     let body () =
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (try results.(i) <- Some (f arr.(i))
-           with e ->
-             let bt = Printexc.get_raw_backtrace () in
-             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          (if Atomic.get failure = None then
+             try results.(i) <- Some (f arr.(i))
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set failure None (Some (e, bt))));
           if Atomic.fetch_and_add completed 1 + 1 = n then begin
             Mutex.lock done_m;
             Condition.broadcast all_done;

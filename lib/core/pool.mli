@@ -8,28 +8,36 @@
     serial one — the property the [test_parallel] battery enforces
     byte-for-byte on rewritten binaries.
 
-    Worker domains are spawned lazily, once per distinct worker count, and
-    cached for the lifetime of the process (domain spawn costs dwarf the
-    per-binary work on the synthetic workloads, so a spawn-per-call design
-    would never win). Idle workers block on a condition variable and cost
-    nothing. *)
+    One pool is shared by the whole process: worker domains are spawned
+    lazily and the pool grows to the largest lane count ever requested
+    (never beyond {!recommended_jobs}), so mapping with jobs 2, 4, then 8
+    costs 7 worker domains in total, not 1+3+7. Idle workers block on a
+    condition variable and cost nothing. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: the hardware-sized default for a
-    [--jobs] flag. *)
+    [--jobs] flag, and the hard ceiling on concurrent lanes. *)
+
+val live_workers : unit -> int
+(** Worker domains spawned so far, process-wide. Monotone; at most
+    [recommended_jobs () - 1] (the caller is always the remaining lane).
+    Exposed so tests can pin the shared-pool growth policy. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] computes [List.map f xs] using up to [jobs] domains
-    (the caller participates, so at most [jobs - 1] workers are involved).
-    Results are returned in input order regardless of how items were
-    scheduled. With [jobs <= 1], or a singleton/empty list, the computation
-    runs inline and no domain machinery is touched, so the serial path is
-    the textbook [List.map].
+    (the caller participates, so at most [jobs - 1] workers are involved;
+    lanes are additionally clamped to {!recommended_jobs}, so asking for
+    more parallelism than the hardware has never oversubscribes the
+    runtime). Results are returned in input order regardless of how items
+    were scheduled. With [jobs <= 1], or a singleton/empty list, the
+    computation runs inline and no domain machinery is touched, so the
+    serial path is the textbook [List.map].
 
     Items are distributed dynamically (an atomic index per item), which
-    keeps domains busy under skewed per-item costs. If [f] raises, one of
-    the raised exceptions is re-raised (with its backtrace) after every
-    in-flight item has settled.
+    keeps domains busy under skewed per-item costs. If [f] raises, the
+    remaining items are abandoned — no lane starts another [f] call once a
+    failure is recorded — and one of the raised exceptions is re-raised
+    (with its backtrace) after the in-flight calls have settled.
 
     [f] must not itself call {!map} or {!map_array}: the pool is a flat,
     single-level fan-out, and nested calls could deadlock by consuming

@@ -744,13 +744,29 @@ let rewrite ?(options = default_options) (p : Parse.t) =
   let all_pending_traps = merge (fun c -> c.pending_traps) in
   let all_dt_sites = merge (fun c -> c.dt_sites) in
   let n_cloned = List.fold_left (fun acc c -> acc + c.n_cloned) 0 fctxs in
-  (* 5. Assemble .instr and .jtnew in one label namespace. *)
+  (* 5. Assemble .instr and .jtnew in one label namespace. Layout
+     (address/label assignment) is inherently sequential; encoding then
+     runs against the frozen label table, so it shards into contiguous
+     chunks across the same domain pool. Several chunks per lane keep the
+     lanes busy when chunk costs are skewed (data-heavy vs code-heavy
+     runs); bytes and reloc order are chunking-independent. *)
   let labels = Hashtbl.create 1024 in
   let instr_lay = Asm.layout arch ~pie ~labels ~base:instr_base instr_items in
   let jt_base = align_up instr_lay.Asm.l_end 0x100 in
   let jt_lay = Asm.layout arch ~pie ~labels ~base:jt_base jt_items in
-  let instr_bytes, instr_relocs = Asm.encode arch ~pie ~toc ~labels instr_lay in
-  let jt_bytes, jt_relocs = Asm.encode arch ~pie ~toc ~labels jt_lay in
+  let apar =
+    if jobs <= 1 then Asm.serial
+    else { Asm.pmap = (fun f l -> Pool.map ~jobs f l) }
+  in
+  let enc_chunks = if jobs <= 1 then 1 else 4 * jobs in
+  let instr_bytes, instr_relocs =
+    Asm.encode_sharded arch ~pie ~toc ~labels ~par:apar ~chunks:enc_chunks
+      instr_lay
+  in
+  let jt_bytes, jt_relocs =
+    Asm.encode_sharded arch ~pie ~toc ~labels ~par:apar ~chunks:enc_chunks
+      jt_lay
+  in
   let label_addr l = Asm.label_exn labels l in
   let reloc_of a = label_addr (block_label a) in
   (* 6. RA map, counter-site map, trap seeds from relocated code. *)

@@ -443,6 +443,104 @@ let test_fptr_no_forward_slice_baseline () =
       Alcotest.(check int) (Arch.name arch ^ " baseline misses it") 0
         (List.length adjusted))
 
+(* Regression: the dedup key for materializations was (sum of prov,
+   length of prov), so distinct sites with equal provenance sums — e.g.
+   [0x10;0x30] vs [0x20;0x20] — collided and one rewrite site was
+   silently dropped in func-ptr mode. The key is now the full sorted
+   provenance list plus the target. *)
+let test_fptr_dedup_collision () =
+  let t = 0x1000 in
+  let sites =
+    [
+      Func_ptr.Fp_mater { prov = [ 0x10; 0x30 ]; target = t };
+      Func_ptr.Fp_mater { prov = [ 0x20; 0x20 ]; target = t };
+    ]
+  in
+  Alcotest.(check int)
+    "equal-sum sites both survive" 2
+    (List.length (Func_ptr.dedup sites));
+  (* Same provenance set in a different order is the same site. *)
+  Alcotest.(check int)
+    "true duplicate collapses" 1
+    (List.length
+       (Func_ptr.dedup
+          [
+            Func_ptr.Fp_mater { prov = [ 0x10; 0x30 ]; target = t };
+            Func_ptr.Fp_mater { prov = [ 0x30; 0x10 ]; target = t };
+          ]));
+  (* Same provenance, different targets: distinct sites. *)
+  Alcotest.(check int)
+    "distinct targets survive" 2
+    (List.length
+       (Func_ptr.dedup
+          [
+            Func_ptr.Fp_mater { prov = [ 0x10 ]; target = t };
+            Func_ptr.Fp_mater { prov = [ 0x10 ]; target = t + 8 };
+          ]))
+
+(* The same collision driven through [Func_ptr.analyze], with hand-built
+   CFGs: two Movhi/Orlo materializations of the same function entry whose
+   instruction addresses sum equal ([0x10;0x30] vs [0x20;0x20]). *)
+let test_fptr_dedup_analyze () =
+  let arch = Arch.X86_64 in
+  let bin, _ = compile arch Test_codegen.prog_loop in
+  let entry = (Option.get (Binary.symbol bin "main")).Icfg_obj.Symbol.addr in
+  let hi = entry asr 16 and lo = entry land 0xffff in
+  let block insns =
+    let a0 = match insns with (a, _, _) :: _ -> a | [] -> 0 in
+    { Cfg.b_start = a0; b_end = a0 + 8; b_insns = insns }
+  in
+  let cfg blocks =
+    {
+      Cfg.fsym = Option.get (Binary.symbol bin "main");
+      blocks;
+      succs = Hashtbl.create 1;
+      preds = Hashtbl.create 1;
+      calls = [];
+      ind_jumps = [];
+      tail_targets = [];
+    }
+  in
+  let b1 =
+    block [ (0x10, Insn.Movhi (Reg.r0, hi), 4); (0x30, Insn.Orlo (Reg.r0, lo), 4) ]
+  in
+  let b2 =
+    block [ (0x20, Insn.Movhi (Reg.r1, hi), 4); (0x20, Insn.Orlo (Reg.r1, lo), 4) ]
+  in
+  let sites = Func_ptr.analyze bin Failure_model.ours [ cfg [ b1; b2 ] ] in
+  let maters =
+    List.filter_map
+      (function
+        | Func_ptr.Fp_mater { prov; target } when target = entry ->
+            Some (List.sort compare prov)
+        | _ -> None)
+      sites
+  in
+  Alcotest.(check bool)
+    "site [0x10;0x30] survives" true
+    (List.mem [ 0x10; 0x30 ] maters);
+  Alcotest.(check bool)
+    "site [0x20;0x20] survives" true
+    (List.mem [ 0x20; 0x20 ] maters)
+
+(* Property: dedup never drops a materialization whose (provenance set,
+   target) is distinct from every other site's. *)
+let fptr_dedup_never_drops =
+  QCheck2.Test.make ~count:200
+    ~name:"func-ptr dedup keeps every distinct (prov, target)"
+    QCheck2.Gen.(
+      small_list (pair (small_list (int_range 0 64)) (int_range 0 8)))
+    (fun pairs ->
+      let pairs = List.filter (fun (p, _) -> p <> []) pairs in
+      let sites =
+        List.map (fun (prov, target) -> Func_ptr.Fp_mater { prov; target }) pairs
+      in
+      let distinct =
+        List.sort_uniq compare
+          (List.map (fun (p, t) -> (List.sort compare p, t)) pairs)
+      in
+      List.length (Func_ptr.dedup sites) = List.length distinct)
+
 (* ------------------------------------------------------------------ *)
 (* Liveness                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -532,6 +630,11 @@ let suite =
         Alcotest.test_case "adjusted pointer (Listing 1)" `Quick test_fptr_adjusted;
         Alcotest.test_case "baseline misses adjusted" `Quick
           test_fptr_no_forward_slice_baseline;
+        Alcotest.test_case "dedup: equal-provenance-sum collision" `Quick
+          test_fptr_dedup_collision;
+        Alcotest.test_case "dedup collision through analyze" `Quick
+          test_fptr_dedup_analyze;
+        QCheck_alcotest.to_alcotest fptr_dedup_never_drops;
       ] );
     ( "analysis:liveness",
       [

@@ -45,13 +45,18 @@ let spec_gen =
 
 (* Go-flavoured cases ride along with conservative settings: Go binaries
    are PIE, vtable dispatch needs at least [Jt] coverage, and the runtime
-   hooks make the count-check meaningless, so those run output-only. *)
+   hooks make the count-check meaningless, so those run output-only.
+
+   jobs > 1 shards parsing, function-pointer scans, relocation, placement
+   planning and section encoding; 3 is deliberately not a power of two so
+   the chunked encoder's uneven contiguous splits (chunks = 4*jobs) get
+   fuzzed too. *)
 let config_gen =
   QCheck2.Gen.(
     pair
       (quad (oneofl Arch.all) (oneofl Mode.all) bool (* pie *)
          (oneofl [ `Original; `Reverse_funcs; `Reverse_blocks ]))
-      (pair (oneofl [ 1; 2; 4; 8 ]) (frequency [ (4, return false); (1, return true) ])))
+      (pair (oneofl [ 1; 2; 3; 4; 8 ]) (frequency [ (4, return false); (1, return true) ])))
 
 let print_case (spec, ((arch, mode, pie, order), (jobs, go))) =
   Printf.sprintf

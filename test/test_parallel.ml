@@ -135,7 +135,9 @@ let variant_battery () =
 (* ------------------------------------------------------------------ *)
 
 (* Liveness carries hashtables, so compare a projection instead of the
-   whole structure. *)
+   whole structure. The full function-pointer site list is included: the
+   per-CFG scans shard across domains, and both site order and site
+   contents must be schedule-independent. *)
 let parse_view (p : Parse.t) =
   ( List.map
       (fun fa ->
@@ -149,7 +151,7 @@ let parse_view (p : Parse.t) =
           List.length fa.Parse.fa_tables,
           fa.Parse.fa_tail_jumps ))
       p.Parse.funcs,
-    List.length p.Parse.fptrs,
+    p.Parse.fptrs,
     p.Parse.pointer_targets )
 
 let parse_battery () =
@@ -166,6 +168,152 @@ let parse_battery () =
             true (serial = par))
         [ 2; 4; 8 ])
     Arch.all
+
+(* ------------------------------------------------------------------ *)
+(* Sharded function-pointer analysis is deterministic                  *)
+(* ------------------------------------------------------------------ *)
+
+module Func_ptr = Icfg_analysis.Func_ptr
+
+let pool_fpar jobs =
+  { Func_ptr.pmap = (fun f l -> Icfg_core.Pool.map ~jobs f l) }
+
+let funcptr_battery () =
+  List.iter
+    (fun arch ->
+      let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+      let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+      let p = Runner.parse ~jobs:1 bin in
+      let cfgs = List.map (fun fa -> fa.Parse.fa_cfg) p.Parse.funcs in
+      let fm = Icfg_analysis.Failure_model.ours in
+      let serial = Func_ptr.analyze bin fm cfgs in
+      List.iter
+        (fun jobs ->
+          let par = Func_ptr.analyze ~par:(pool_fpar jobs) bin fm cfgs in
+          Alcotest.(check bool)
+            (Printf.sprintf "func-ptr %s jobs=%d" (Arch.name arch) jobs)
+            true (serial = par))
+        [ 2; 4; 8 ])
+    Arch.all
+
+(* ------------------------------------------------------------------ *)
+(* Sharded section encoding is byte-identical for any chunking         *)
+(* ------------------------------------------------------------------ *)
+
+module Asm = Icfg_codegen.Asm
+
+(* An item stream exercising every boundary shape a chunk split can cut
+   through: zero-size labels, address-dependent alignment, multi-insn
+   materializations, raw bytes, space, and data words that resolve labels
+   both backwards and forwards (and emit relocs under PIE). *)
+let shard_items n =
+  List.concat
+    (List.init n (fun i ->
+         [
+           Asm.Label (Printf.sprintf "S%d" i);
+           Asm.Insn (Insn.Mov (Reg.r0, Imm (i * 7)));
+           Asm.Jcc_to (Insn.Eq, Printf.sprintf "S%d" (i / 2));
+           Asm.Align (8, `Nop);
+           Asm.Data
+             ( Insn.W64,
+               Asm.Addr (Printf.sprintf "S%d" (min (n - 1) (i + 1))),
+               `Reloc );
+           Asm.Data (Insn.W32, Asm.Diff (Printf.sprintf "S%d" i, "S0", 1), `No_reloc);
+           (* sizes stay multiples of 4 so RISC branch targets remain
+              aligned, as in any real item stream *)
+           Asm.Raw "abcd";
+           Asm.Space 4;
+           Asm.Mater_const (Reg.r0, 0x400000 + (i * 16));
+         ]))
+
+let asm_shard_battery () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun pie ->
+          let labels = Hashtbl.create 256 in
+          let lay =
+            Asm.layout arch ~pie ~labels ~base:0x400000 (shard_items 97)
+          in
+          let serial_bytes, serial_relocs =
+            Asm.encode arch ~pie ~toc:0 ~labels lay
+          in
+          List.iter
+            (fun chunks ->
+              let bytes, relocs =
+                Asm.encode_sharded arch ~pie ~toc:0 ~labels
+                  ~par:{ Asm.pmap = (fun f l -> Icfg_core.Pool.map ~jobs:4 f l) }
+                  ~chunks lay
+              in
+              let what =
+                Printf.sprintf "encode %s pie=%b chunks=%d" (Arch.name arch)
+                  pie chunks
+              in
+              Alcotest.(check bool)
+                (what ^ " bytes") true
+                (Bytes.equal serial_bytes bytes);
+              Alcotest.(check bool)
+                (what ^ " relocs") true (serial_relocs = relocs))
+            [ 2; 3; 7; 16; 64; 1000 ])
+        [ false; true ])
+    Arch.all
+
+(* ------------------------------------------------------------------ *)
+(* Pool: shared growth, lane clamping, fail-fast on exceptions         *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Icfg_core.Pool
+
+let pool_shared_growth () =
+  let xs = List.init 64 (fun i -> i) in
+  let run jobs = Pool.map ~jobs (fun x -> x * x) xs in
+  let want = List.map (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "jobs=2 result" want (run 2);
+  let w2 = Pool.live_workers () in
+  Alcotest.(check (list int)) "jobs=8 result" want (run 8);
+  let w8 = Pool.live_workers () in
+  Alcotest.(check (list int)) "jobs=4 result" want (run 4);
+  let w4 = Pool.live_workers () in
+  (* One shared pool: growing to 8 lanes then mapping with 4 spawns
+     nothing new, and the total never exceeds the clamp (lanes are capped
+     at recommended_jobs, the caller being one lane). *)
+  Alcotest.(check bool) "monotone growth" true (w2 <= w8);
+  Alcotest.(check int) "no extra pool for smaller jobs" w8 w4;
+  Alcotest.(check bool) "clamped to recommended_jobs" true
+    (w8 <= max 0 (Pool.recommended_jobs () - 1) && w8 <= 7)
+
+exception Boom of int
+
+let pool_fail_fast () =
+  let n = 10_000 in
+  let arr = Array.init n (fun i -> i) in
+  let calls = Atomic.make 0 in
+  let f i =
+    Atomic.incr calls;
+    raise (Boom i)
+  in
+  (match Pool.map_array ~jobs:8 f arr with
+  | _ -> Alcotest.fail "expected the failure to propagate"
+  | exception Boom _ -> ());
+  (* Every call raises, so the first call on each lane records the
+     failure; after that the steal loop only drains indices without
+     applying [f]. Anything near [n] calls would mean the batch kept
+     doing the wasted work. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "aborted promptly (%d calls)" (Atomic.get calls))
+    true
+    (Atomic.get calls <= 8)
+
+let pool_partial_failure () =
+  let xs = List.init 1000 (fun i -> i) in
+  (match Pool.map ~jobs:4 (fun x -> if x = 500 then failwith "mid" else x) xs with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure m -> Alcotest.(check string) "message" "mid" m);
+  (* The pool survives a failed batch and serves later ones. *)
+  Alcotest.(check (list int))
+    "pool usable after failure"
+    (List.map (fun x -> x + 1) xs)
+    (Pool.map ~jobs:4 (fun x -> x + 1) xs)
 
 (* ------------------------------------------------------------------ *)
 (* Go binaries (hooks + vtable paths)                                  *)
@@ -246,6 +394,11 @@ let suite =
         Alcotest.test_case "spec battery ppc64le" `Quick (spec_battery Arch.Ppc64le);
         Alcotest.test_case "option variants" `Quick variant_battery;
         Alcotest.test_case "parallel parse" `Quick parse_battery;
+        Alcotest.test_case "sharded func-ptr analysis" `Quick funcptr_battery;
+        Alcotest.test_case "sharded section encoding" `Quick asm_shard_battery;
+        Alcotest.test_case "pool: shared growth + clamp" `Quick pool_shared_growth;
+        Alcotest.test_case "pool: fail-fast abort" `Quick pool_fail_fast;
+        Alcotest.test_case "pool: usable after failure" `Quick pool_partial_failure;
         Alcotest.test_case "go binaries" `Quick go_battery;
         QCheck_alcotest.to_alcotest parallel_equals_serial;
       ] );
