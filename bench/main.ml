@@ -11,7 +11,10 @@
                                     -- also write machine-readable results
                                        (CI uploads this per PR, so the
                                        serial-vs-parallel trajectory
-                                       accumulates across the history) *)
+                                       accumulates across the history)
+     bench/main.exe micro --json BENCH_micro.json --trace BENCH_trace.json
+                                    -- additionally dump the full span tree
+                                       of the traced pipeline run *)
 
 open Icfg_isa
 module Experiments = Icfg_harness.Experiments
@@ -114,10 +117,17 @@ let micro_tests () =
 (* Machine-readable results (BENCH_micro.json)                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Accumulated rows: bechamel estimates and wall-clock serial-vs-parallel
-   stage timings. Written as JSON by hand — no JSON dependency. *)
+(* Accumulated rows: bechamel estimates, wall-clock serial-vs-parallel
+   stage timings, and per-stage rows flattened out of a Trace of the full
+   pipeline. Written as JSON by hand — no JSON dependency. *)
 let micro_rows : (string * float) list ref = ref []
 let parallel_rows : (string * int * float) list ref = ref []
+
+(* (span path, jobs, spans merged, summed ns) from the traced rewrites. *)
+let stage_rows : (string * int * int * int) list ref = ref []
+
+(* Full trace tree of the last traced rewrite, for --trace FILE. *)
+let trace_json : string option ref = ref None
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -157,6 +167,14 @@ let write_json path =
         (json_float (sec *. 1e9))
         (if i = List.length !parallel_rows - 1 then "" else ","))
     !parallel_rows;
+  out "  ],\n";
+  out "  \"stages\": [\n";
+  List.iteri
+    (fun i (path, jobs, count, ns) ->
+      out "    {\"stage\": \"%s\", \"jobs\": %d, \"spans\": %d, \"ns\": %d}%s\n"
+        (json_escape path) jobs count ns
+        (if i = List.length !stage_rows - 1 then "" else ","))
+    !stage_rows;
   out "  ]\n";
   out "}\n";
   close_out oc;
@@ -264,6 +282,30 @@ let run_parallel_micro () =
           ~chunks:(4 * jobs) lay)
     [ 1; 4 ]
 
+(* Per-stage wall-time rows sourced from Trace: one traced parse+rewrite per
+   jobs value, flattened into slash-joined span paths. This is the
+   measurement the ROADMAP's "measure before touching the serial stages"
+   item asks for — layout/replay/hop timings come straight out of the
+   instrumented pipeline rather than ad-hoc stopwatches. *)
+let run_trace_stages () =
+  print_endline "== Per-stage pipeline trace (largest spec binary) ==";
+  let arch = Arch.X86_64 in
+  let bin = largest_spec_binary arch in
+  List.iter
+    (fun jobs ->
+      let t = Icfg_core.Trace.create () in
+      Icfg_core.Trace.with_current t (fun () ->
+          ignore (Sys.opaque_identity (Icfg_harness.Runner.rewrite ~jobs bin)));
+      List.iter
+        (fun (r : Icfg_core.Trace.row) ->
+          stage_rows :=
+            !stage_rows @ [ (r.r_path, jobs, r.r_count, r.r_ns) ];
+          if jobs = 1 then
+            Printf.printf "  %-28s %12d ns\n%!" r.r_path r.r_ns)
+        (Icfg_core.Trace.rows t);
+      trace_json := Some (Icfg_core.Trace.to_json t))
+    [ 1; 4 ]
+
 let run_micro () =
   let open Bechamel in
   print_endline "== Micro-benchmarks (bechamel; one per table/figure) ==";
@@ -289,18 +331,20 @@ let run_micro () =
           Printf.printf "  %-32s %12.0f ns/run\n%!" (Test.Elt.name t) nanos)
         (Test.elements test))
     tests;
-  run_parallel_micro ()
+  run_parallel_micro ();
+  run_trace_stages ()
 
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
-  (* Extract a trailing/leading "--json FILE" pair; the rest select
-     experiments. *)
-  let rec split_json acc = function
-    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
-    | x :: rest -> split_json (x :: acc) rest
+  (* Extract "--json FILE" / "--trace FILE" pairs anywhere in the argument
+     list; the rest select experiments. *)
+  let rec split_flag flag acc = function
+    | f :: file :: rest when f = flag -> (Some file, List.rev_append acc rest)
+    | x :: rest -> split_flag flag (x :: acc) rest
     | [] -> (None, List.rev acc)
   in
-  let json_path, args = split_json [] args in
+  let json_path, args = split_flag "--json" [] args in
+  let trace_path, args = split_flag "--trace" [] args in
   let selected =
     match args with
     | [] -> List.map fst experiments @ [ "micro" ]
@@ -319,4 +363,15 @@ let () =
               (String.concat ", " (List.map fst experiments));
             exit 1)
     selected;
-  Option.iter write_json json_path
+  Option.iter write_json json_path;
+  Option.iter
+    (fun path ->
+      match !trace_json with
+      | Some json ->
+          let oc = open_out path in
+          output_string oc json;
+          close_out oc;
+          Printf.printf "wrote %s\n%!" path
+      | None ->
+          Printf.eprintf "--trace: no trace recorded (run the micro suite)\n")
+    trace_path

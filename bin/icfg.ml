@@ -102,6 +102,32 @@ let jobs_t =
 let resolve_jobs jobs =
   if jobs <= 0 then Icfg_core.Pool.recommended_jobs () else jobs
 
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:
+          "Record a pipeline trace (timed span tree per stage + named \
+           counters, including VM runtime counters where a VM runs) and \
+           write it to $(docv) as JSON (schema icfg-trace/1)."
+        ~docv:"FILE")
+
+(* Run [f] under an ambient trace when [--trace FILE] was given, then write
+   the JSON report. Tracing is observation-only: [f]'s outputs are
+   byte-identical either way. *)
+let with_trace path f =
+  match path with
+  | None -> f ()
+  | Some file ->
+      let t = Icfg_core.Trace.create () in
+      let r = Icfg_core.Trace.with_current t f in
+      let oc = open_out file in
+      output_string oc (Icfg_core.Trace.to_json t);
+      close_out oc;
+      Format.printf "wrote trace %s@." file;
+      r
+
 (* ------------------------------------------------------------------ *)
 (* Subcommands                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -125,9 +151,10 @@ let analyze workload arch pie jobs =
         (if fa.Parse.fa_instrumentable then "" else "  [UNINSTRUMENTABLE]"))
     p.Parse.funcs
 
-let rewrite_cmd workload arch pie mode jobs output =
+let rewrite_cmd workload arch pie mode jobs output trace =
   let bin, _ = load_workload workload arch pie in
   let rw =
+    with_trace trace @@ fun () ->
     Icfg_harness.Runner.rewrite
       ~options:{ Rewriter.default_options with Rewriter.mode }
       ~jobs:(resolve_jobs jobs) bin
@@ -140,7 +167,7 @@ let rewrite_cmd workload arch pie mode jobs output =
       Format.printf "wrote %s@." path
   | None -> ()
 
-let verify_cmd workload arch pie mode jobs =
+let verify_cmd workload arch pie mode jobs trace =
   let bin, _ = load_workload workload arch pie in
   let options =
     {
@@ -151,12 +178,18 @@ let verify_cmd workload arch pie mode jobs =
   in
   let report = Icfg_core.Verify.strong_test ~options bin in
   Format.printf "%a" Icfg_core.Verify.pp_report report;
+  (* The strong test always records its own trace; --trace just saves it. *)
+  (match trace with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Icfg_core.Trace.to_json report.Icfg_core.Verify.trace);
+      close_out oc;
+      Format.printf "wrote trace %s@." file
+  | None -> ());
   if not report.Icfg_core.Verify.ok then exit 1
 
-let run_cmd workload arch pie mode jobs =
+let run_cmd workload arch pie mode jobs trace =
   let bin, _ = load_workload workload arch pie in
-  let cfg = Icfg_harness.Runner.measure_config ~pie in
-  let orig = Vm.run ~config:cfg ~routines:(Icfg_runtime.Runtime_lib.standard ()) bin in
   let show label (r : Vm.result) =
     Format.printf "%-10s %-8s cycles %10d, steps %9d, traps %5d, output [%s]@."
       label
@@ -164,18 +197,30 @@ let run_cmd workload arch pie mode jobs =
       r.Vm.cycles r.Vm.steps r.Vm.trap_hits
       (String.concat "; " (List.map string_of_int r.Vm.output))
   in
+  let orig, r =
+    with_trace trace @@ fun () ->
+    let cfg = Icfg_harness.Runner.measure_config ~pie in
+    let orig =
+      Icfg_core.Trace.span "run:original" @@ fun () ->
+      Vm.run ~config:cfg ~routines:(Icfg_runtime.Runtime_lib.standard ()) bin
+    in
+    Icfg_core.Trace.add_vm ~prefix:"vm/original" orig;
+    let rw =
+      Icfg_harness.Runner.rewrite
+        ~options:{ Rewriter.default_options with Rewriter.mode }
+        ~jobs:(resolve_jobs jobs) bin
+    in
+    let counters = Hashtbl.create 16 in
+    let cfg = Rewriter.vm_config_for rw cfg in
+    let r =
+      Icfg_core.Trace.span "run:rewritten" @@ fun () ->
+      Vm.run ~config:cfg ~routines:(Rewriter.routines_for rw ~counters)
+        rw.Rewriter.rw_binary
+    in
+    Icfg_core.Trace.add_vm ~prefix:"vm/rewritten" r;
+    (orig, r)
+  in
   show "original" orig;
-  let rw =
-    Icfg_harness.Runner.rewrite
-      ~options:{ Rewriter.default_options with Rewriter.mode }
-      ~jobs:(resolve_jobs jobs) bin
-  in
-  let counters = Hashtbl.create 16 in
-  let cfg = Rewriter.vm_config_for rw cfg in
-  let r =
-    Vm.run ~config:cfg ~routines:(Rewriter.routines_for rw ~counters)
-      rw.Rewriter.rw_binary
-  in
   show (Mode.name mode) r;
   if r.Vm.outcome = Vm.Halted && r.Vm.output = orig.Vm.output then
     Format.printf "outputs match; overhead %+.2f%%@."
@@ -269,20 +314,25 @@ let output_t =
 
 let cmd_rewrite =
   Cmd.v (Cmd.info "rewrite" ~doc:"Rewrite a workload and print the statistics.")
-    Term.(const rewrite_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t $ output_t)
+    Term.(
+      const rewrite_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t
+      $ output_t $ trace_t)
 
 let cmd_verify =
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Run the paper's strong correctness test: per-block counting,           original bytes destroyed, output and counts compared.")
-    Term.(const verify_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t)
+    Term.(
+      const verify_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t
+      $ trace_t)
 
 let cmd_run =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run a workload before and after rewriting and compare.")
-    Term.(const run_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t)
+    Term.(
+      const run_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t $ trace_t)
 
 let func_opt_t =
   Arg.(value & opt (some string) None & info [ "f"; "function" ] ~doc:"Function name.")

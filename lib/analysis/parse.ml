@@ -130,20 +130,34 @@ type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
 
 let serial = { pmap = List.map }
 
-let parse ?(fm = Failure_model.ours) ?(par = serial) bin =
+(* Observability hooks injected by the caller (the core library's Trace sits
+   above this one, so it cannot be named here — same inversion as [par]).
+   The default probe is pass-through, so unprobed parses cost nothing. *)
+type probe = {
+  pspan : 'a. string -> (unit -> 'a) -> 'a;
+  pcount : string -> int -> unit;
+}
+
+let no_probe = { pspan = (fun _ f -> f ()); pcount = (fun _ _ -> ()) }
+
+let parse ?(fm = Failure_model.ours) ?(par = serial) ?(probe = no_probe) bin =
+  probe.pspan "parse" @@ fun () ->
   let syms = Binary.func_symbols bin in
   (* Pass 1 over every function: slices for global known-data collection.
      Per-function analysis only reads the (immutable) binary, so both
      per-function passes fan out through [par]. *)
   let pass1 =
-    par.pmap
-      (fun sym ->
-        let cfg0, slices, pres = analyze_function bin fm sym in
-        ((sym, cfg0, slices), pres))
-      syms
+    probe.pspan "pass1" (fun () ->
+        par.pmap
+          (fun sym ->
+            let cfg0, slices, pres = analyze_function bin fm sym in
+            ((sym, cfg0, slices), pres))
+          syms)
   in
   let all_pres = List.concat_map snd pass1 in
-  let known_data = Jump_table.known_data bin all_pres in
+  let known_data =
+    probe.pspan "known-data" (fun () -> Jump_table.known_data bin all_pres)
+  in
   (* Function pointers need CFGs; use the pass-1 CFGs (pointer creation
      sites live in code reachable without jump-table edges, and case-body
      sites are found after the final CFG rebuild below if needed). The
@@ -151,21 +165,37 @@ let parse ?(fm = Failure_model.ours) ?(par = serial) bin =
      per-function passes; only the data-slot pass stays serial. *)
   let fpar = { Func_ptr.pmap = par.pmap } in
   let cfg0s = List.map (fun ((_, c, _), _) -> c) pass1 in
-  let fptrs = Func_ptr.analyze ~par:fpar bin fm cfg0s in
+  let fptrs =
+    probe.pspan "func-ptr" (fun () -> Func_ptr.analyze ~par:fpar bin fm cfg0s)
+  in
   let pointer_targets = Func_ptr.derived_block_targets fptrs in
   let funcs =
-    par.pmap
-      (fun ((sym, cfg0, slices), _) ->
-        finalize_function bin fm ~known_data pointer_targets (sym, cfg0, slices))
-      pass1
+    probe.pspan "finalize" (fun () ->
+        par.pmap
+          (fun ((sym, cfg0, slices), _) ->
+            finalize_function bin fm ~known_data pointer_targets
+              (sym, cfg0, slices))
+          pass1)
   in
   (* Second function-pointer pass over the final CFGs (covers pointer
      materializations inside switch-case blocks). *)
   let fptrs =
-    Func_ptr.analyze ~par:fpar bin fm (List.map (fun f -> f.fa_cfg) funcs)
+    probe.pspan "func-ptr-2" (fun () ->
+        Func_ptr.analyze ~par:fpar bin fm (List.map (fun f -> f.fa_cfg) funcs))
   in
   let pointer_targets = Func_ptr.derived_block_targets fptrs in
-  { bin; fm; funcs; fptrs; pointer_targets }
+  let t = { bin; fm; funcs; fptrs; pointer_targets } in
+  probe.pcount "parse/funcs" (List.length t.funcs);
+  probe.pcount "parse/instrumentable"
+    (List.length (List.filter (fun f -> f.fa_instrumentable) t.funcs));
+  probe.pcount "parse/jump-tables"
+    (List.fold_left (fun n f -> n + List.length f.fa_tables) 0 t.funcs);
+  probe.pcount "parse/tail-jumps"
+    (List.fold_left (fun n f -> n + List.length f.fa_tail_jumps) 0 t.funcs);
+  probe.pcount "parse/known-data-addrs" (List.length known_data);
+  probe.pcount "parse/fptr-sites" (List.length t.fptrs);
+  probe.pcount "parse/pointer-targets" (List.length t.pointer_targets);
+  t
 
 let func t name =
   List.find_opt (fun f -> f.fa_sym.Symbol.name = name) t.funcs

@@ -36,12 +36,28 @@ type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
 val serial : par
 (** [List.map] — the default. *)
 
-val parse : ?fm:Failure_model.t -> ?par:par -> Icfg_obj.Binary.t -> t
+type probe = {
+  pspan : 'a. string -> (unit -> 'a) -> 'a;
+  pcount : string -> int -> unit;
+}
+(** Observability hooks, injected the same way as [par] (the tracing layer
+    lives above this library): [pspan name f] times [f] as a nested span,
+    [pcount name n] bumps a named counter. Probes must be observation-only —
+    [parse] output does not depend on them. *)
+
+val no_probe : probe
+(** Pass-through — the default. *)
+
+val parse :
+  ?fm:Failure_model.t -> ?par:par -> ?probe:probe -> Icfg_obj.Binary.t -> t
 (** Whole-binary parse. [par] parallelizes the two per-function passes
     (initial CFG + jump-table slicing, then finalization + liveness) and
     the per-CFG function-pointer scans ({!Func_ptr.analyze}); only the
     cross-function steps (known-data collection, the data-slot pass) stay
-    serial. Output is independent of the mapper used. *)
+    serial. Output is independent of the mapper used. [probe] wraps each
+    stage in a span ([pass1], [known-data], [func-ptr], [finalize],
+    [func-ptr-2] under [parse]) and reports whole-binary counters
+    ([parse/funcs], [parse/instrumentable], [parse/jump-tables], ...). *)
 
 val func : t -> string -> func_analysis option
 val func_at : t -> int -> func_analysis option

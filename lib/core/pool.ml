@@ -82,6 +82,10 @@ let map_array ~jobs f arr =
        every index exactly once), but each drained index is a counter
        bump, not a unit of wasted work, so a failing batch aborts after
        at most the calls already in flight. *)
+    (* Capture the caller's open span so each lane's span tree attaches
+       under it even from a worker domain; [trace_ctx] is [None] (and the
+       wrappers are pass-through) when no trace is ambient. *)
+    let trace_ctx = Trace.fork () in
     let body () =
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
@@ -102,12 +106,14 @@ let map_array ~jobs f arr =
       go ()
     in
     Mutex.lock pool.m;
-    for _ = 1 to lanes - 1 do
-      Queue.push body pool.q
+    for k = 1 to lanes - 1 do
+      Queue.push
+        (fun () -> Trace.lane trace_ctx ("lane-" ^ string_of_int k) body)
+        pool.q
     done;
     Condition.broadcast pool.work_available;
     Mutex.unlock pool.m;
-    body ();
+    Trace.lane trace_ctx "lane-0" body;
     Mutex.lock done_m;
     while Atomic.get completed < n do
       Condition.wait all_done done_m

@@ -642,7 +642,7 @@ type place_plan = {
 (* The rewrite driver                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let rewrite ?(options = default_options) (p : Parse.t) =
+let rewrite_inner ~options (p : Parse.t) =
   let opts = options in
   if opts.sparse_placement && opts.overwrite_original then
     invalid_arg
@@ -727,6 +727,7 @@ let rewrite ?(options = default_options) (p : Parse.t) =
     | `Reverse_funcs -> List.rev ifuncs
   in
   let fctxs =
+    Trace.span "relocate" @@ fun () ->
     Pool.map ~jobs
       (fun fa ->
         let ctx = mk_ctx fa in
@@ -751,19 +752,27 @@ let rewrite ?(options = default_options) (p : Parse.t) =
      lanes busy when chunk costs are skewed (data-heavy vs code-heavy
      runs); bytes and reloc order are chunking-independent. *)
   let labels = Hashtbl.create 1024 in
-  let instr_lay = Asm.layout arch ~pie ~labels ~base:instr_base instr_items in
+  let instr_lay =
+    Trace.span "layout:instr" @@ fun () ->
+    Asm.layout arch ~pie ~labels ~base:instr_base instr_items
+  in
   let jt_base = align_up instr_lay.Asm.l_end 0x100 in
-  let jt_lay = Asm.layout arch ~pie ~labels ~base:jt_base jt_items in
+  let jt_lay =
+    Trace.span "layout:jtnew" @@ fun () ->
+    Asm.layout arch ~pie ~labels ~base:jt_base jt_items
+  in
   let apar =
     if jobs <= 1 then Asm.serial
     else { Asm.pmap = (fun f l -> Pool.map ~jobs f l) }
   in
   let enc_chunks = if jobs <= 1 then 1 else 4 * jobs in
   let instr_bytes, instr_relocs =
+    Trace.span "encode:instr" @@ fun () ->
     Asm.encode_sharded arch ~pie ~toc ~labels ~par:apar ~chunks:enc_chunks
       instr_lay
   in
   let jt_bytes, jt_relocs =
+    Trace.span "encode:jtnew" @@ fun () ->
     Asm.encode_sharded arch ~pie ~toc ~labels ~par:apar ~chunks:enc_chunks
       jt_lay
   in
@@ -785,6 +794,7 @@ let rewrite ?(options = default_options) (p : Parse.t) =
      caller return address (exact matches only); full RA translation uses
      every pair. *)
   let ra_map =
+    Trace.span "ra-map" @@ fun () ->
     if opts.ra_translation then
       Ra_map.of_pairs
         (throw_pairs @ ra_pairs_resolved @ resolve_pairs all_block_pairs)
@@ -884,11 +894,15 @@ let rewrite ?(options = default_options) (p : Parse.t) =
       pl_events = List.rev !events;
     }
   in
-  let plans = Pool.map ~jobs plan_function sorted_ifuncs in
+  let plans =
+    Trace.span "place:plan" @@ fun () ->
+    Pool.map ~jobs plan_function sorted_ifuncs
+  in
   (* ...then a serial replay in sorted function order threads the scratch
      pool and the deferred-hop list exactly as a serial pass would. *)
   let deferred = ref [] in
   let preserved_ranges = ref [] in
+  (Trace.span "place:replay" @@ fun () ->
   List.iter
     (fun pl ->
       n_blocks := !n_blocks + pl.pl_blocks;
@@ -908,8 +922,9 @@ let rewrite ?(options = default_options) (p : Parse.t) =
               deferred := (lo, se, target, dead) :: !deferred
           | Pe_free (lo, hi) -> pool_add pool lo hi)
         pl.pl_events)
-    plans;
+    plans);
   (* Second pass: multi-trampoline hops, then traps. *)
+  (Trace.span "place:hops" @@ fun () ->
   List.iter
     (fun (lo, se, target, dead) ->
       let short_len = Encode.short_jmp_len arch in
@@ -947,8 +962,9 @@ let rewrite ?(options = default_options) (p : Parse.t) =
         writes := (lo, Encode.encode arch Insn.Trap) :: !writes;
         Hashtbl.replace trap_map lo target;
         incr n_trap))
-    !deferred;
+    !deferred);
   (* 8. Build the output binary. *)
+  Trace.span "emit" @@ fun () ->
   let out = Binary.copy bin in
   (* Rename the retired dynamic-linking sections and make them executable
      scratch. *)
@@ -1090,6 +1106,29 @@ let rewrite ?(options = default_options) (p : Parse.t) =
     }
   in
   ignore translate_idx;
+  (* Named counters mirror [stats] plus byte-level measures. Everything
+     reported here must be a pure function of the rewrite output — never of
+     the parallel schedule (lane/chunk counts) — so totals are identical for
+     any jobs value (asserted by test/test_trace.ml). *)
+  if Trace.active () then begin
+    Trace.add "rewrite/funcs-total" stats.s_funcs_total;
+    Trace.add "rewrite/funcs-instrumented" stats.s_funcs_instrumented;
+    Trace.add "rewrite/blocks" stats.s_blocks;
+    Trace.add "rewrite/cfl-blocks" stats.s_cfl_blocks;
+    Trace.add "rewrite/trampolines" stats.s_trampolines;
+    Trace.add "rewrite/trampolines:short" stats.s_short_trampolines;
+    Trace.add "rewrite/trampolines:long" stats.s_long_trampolines;
+    Trace.add "rewrite/trampolines:hop" stats.s_multi_hop;
+    Trace.add "rewrite/trampolines:trap" stats.s_trap_trampolines;
+    Trace.add "rewrite/trampoline-bytes"
+      (List.fold_left (fun a (_, b) -> a + String.length b) 0 !writes);
+    Trace.add "rewrite/cloned-tables" stats.s_cloned_tables;
+    Trace.add "rewrite/rewritten-slots" stats.s_rewritten_slots;
+    Trace.add "rewrite/instr-bytes" (Bytes.length instr_bytes);
+    Trace.add "rewrite/jtnew-bytes" (Bytes.length jt_bytes);
+    Trace.add "rewrite/ra-pairs" (List.length (Ra_map.pairs ra_map));
+    Trace.add "rewrite/size-growth" (stats.s_new_size - stats.s_orig_size)
+  end;
   {
     rw_binary = out;
     rw_ra_map = ra_map;
@@ -1102,6 +1141,9 @@ let rewrite ?(options = default_options) (p : Parse.t) =
     rw_relocated_entry =
       (fun a -> Hashtbl.find_opt labels (block_label a));
   }
+
+let rewrite ?(options = default_options) (p : Parse.t) =
+  Trace.span "rewrite" (fun () -> rewrite_inner ~options p)
 
 let vm_config_for t (cfg : Icfg_runtime.Vm.config) =
   let translate = Ra_map.translate t.rw_ra_map in

@@ -1,0 +1,85 @@
+(** Pipeline observability: hierarchical timed spans + named counters.
+
+    A [Trace.t] collects a tree of wall-clock spans (monotonic-clock
+    start/stop, nestable) and a flat bag of named integer counters. The
+    pipeline is instrumented against an *ambient* trace installed with
+    [with_current]: when none is installed every probe below is a no-op, so
+    tracing is strictly observation-only — rewriting with tracing on and off
+    produces byte-identical output (enforced by [test/test_trace.ml]).
+
+    Domain-safety: span nesting is tracked per-domain ([Domain.DLS]), and
+    attaching finished spans / bumping counters takes the trace's mutex, so
+    sharded [Pool] stages can record per-lane child spans concurrently.
+    Counter *totals* are required to be independent of the lane count —
+    instrumentation must only count properties of the input/output, never of
+    the parallel schedule (chunk or lane counts); span shapes may differ per
+    run, totals may not. *)
+
+type t
+
+val create : unit -> t
+
+val with_current : t -> (unit -> 'a) -> 'a
+(** Install [t] as the ambient trace for the duration of [f] (restoring the
+    previous ambient trace on exit, exceptional or not). Spans and counters
+    recorded by the pipeline anywhere under [f] — including from pool worker
+    domains servicing [f]'s batches — land in [t]. *)
+
+val active : unit -> bool
+(** Is an ambient trace installed? Lets instrumentation skip work whose only
+    purpose is feeding a counter. *)
+
+(** {1 Recording} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** Time [f] as a child of the innermost open span on this domain (or as a
+    root span). No-op wrapper when no trace is ambient. *)
+
+val add : string -> int -> unit
+(** Add [n] to the named counter (created at 0). No-op when no trace is
+    ambient. *)
+
+val incr : string -> unit
+
+(** {1 Cross-domain span parenting}
+
+    [Pool.map] captures the caller's innermost open span with [fork] before
+    fanning out, and each lane (worker domains and the caller itself) runs
+    its batch body under [lane ctx "lane-<k>"], which re-parents the lane's
+    span tree under the captured span even though it runs on another domain. *)
+
+type ctx
+
+val fork : unit -> ctx
+val lane : ctx -> string -> (unit -> 'a) -> 'a
+
+(** {1 Reading} *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val find_counter : t -> string -> int option
+
+type row = { r_path : string; r_count : int; r_ns : int }
+(** Flattened span tree: ["rewrite/place:plan"]-style slash-joined path,
+    number of spans merged into the row, summed wall time in ns. *)
+
+val rows : t -> row list
+(** First-seen (chronological) order. *)
+
+val to_json : t -> string
+(** Schema ["icfg-trace/1"]: [{"schema", "counters": {name: total},
+    "spans": [{"name", "ns", "children": [...]}]}]. Counters sorted by
+    name; spans in completion order. *)
+
+(** {1 Pipeline adapters} *)
+
+val add_vm : prefix:string -> Icfg_runtime.Vm.result -> unit
+(** Record a finished VM run's runtime counters under [prefix] (e.g.
+    ["vm/rewritten"]): cycles (total and per cost bucket), steps, traps
+    delivered, RA translations, icache hits/misses, unwind steps. *)
+
+val parse_probe : unit -> Icfg_analysis.Parse.probe
+(** Probe record wired to the ambient trace, for injection into
+    [Parse.parse] (the analysis layer sits below this library and cannot
+    call [span]/[add] directly). *)

@@ -19,6 +19,7 @@ type report = {
   rewritten_cycles : int;
   rewritten_traps : int;
   stats : Rewriter.stats;
+  trace : Trace.t;
 }
 
 let pp_failure ppf = function
@@ -57,7 +58,13 @@ let strong_test ?(options = Rewriter.default_options) ?fm bin =
   let par =
     { Parse.pmap = (fun f l -> Pool.map ~jobs:(max 1 options.Rewriter.jobs) f l) }
   in
-  let parse = Parse.parse ?fm ~par bin in
+  (* The whole strong test runs under its own trace so the report can say
+     where cycles and traps went; when the caller already installed an
+     ambient trace it is shadowed for the duration (nesting would double
+     count the shared counter namespace). *)
+  let trace = Trace.create () in
+  Trace.with_current trace @@ fun () ->
+  let parse = Parse.parse ?fm ~par ~probe:(Trace.parse_probe ()) bin in
   let rw = Rewriter.rewrite ~options parse in
   (* Which functions were actually instrumented (instrumentable + filter)? *)
   let instrumented fa =
@@ -76,16 +83,20 @@ let strong_test ?(options = Rewriter.default_options) ?fm bin =
         fa.Parse.fa_cfg.Cfg.blocks)
     parse.Parse.funcs;
   let orig =
+    Trace.span "run:original" @@ fun () ->
     Vm.run
       ~config:{ (base_config bin) with Vm.profile = Some profile }
       ~routines:(Runtime_lib.standard ()) bin
   in
+  Trace.add_vm ~prefix:"vm/original" orig;
   let counters = Hashtbl.create 512 in
   let config = Rewriter.vm_config_for rw (base_config bin) in
   let rewritten =
+    Trace.span "run:rewritten" @@ fun () ->
     Vm.run ~config ~routines:(Rewriter.routines_for rw ~counters)
       rw.Rewriter.rw_binary
   in
+  Trace.add_vm ~prefix:"vm/rewritten" rewritten;
   let failures = ref [] in
   (match orig.Vm.outcome with
   | Vm.Crashed m -> failures := Original_crashed m :: !failures
@@ -99,6 +110,7 @@ let strong_test ?(options = Rewriter.default_options) ?fm bin =
     && orig.Vm.output <> rewritten.Vm.output
   then failures := Output_mismatch :: !failures;
   let blocks_checked = ref 0 and blocks_executed = ref 0 in
+  (Trace.span "check-counts" @@ fun () ->
   if !failures = [] then
     List.iter
       (fun fa ->
@@ -118,7 +130,7 @@ let strong_test ?(options = Rewriter.default_options) ?fm bin =
                   Count_mismatch { block = b.Cfg.b_start; expected; got }
                   :: !failures)
             fa.Parse.fa_cfg.Cfg.blocks)
-      parse.Parse.funcs;
+      parse.Parse.funcs);
   {
     ok = !failures = [];
     failures = List.rev !failures;
@@ -128,4 +140,5 @@ let strong_test ?(options = Rewriter.default_options) ?fm bin =
     rewritten_cycles = rewritten.Vm.cycles;
     rewritten_traps = rewritten.Vm.trap_hits;
     stats = rw.Rewriter.rw_stats;
+    trace;
   }

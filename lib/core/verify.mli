@@ -25,6 +25,10 @@ type report = {
   rewritten_cycles : int;
   rewritten_traps : int;
   stats : Rewriter.stats;
+  trace : Trace.t;
+      (** spans and counters for the whole test — the parse/rewrite
+          pipeline plus both VM runs ([vm/original/*], [vm/rewritten/*]) —
+          so a report explains where cycles and traps went *)
 }
 
 val pp_failure : Format.formatter -> failure -> unit

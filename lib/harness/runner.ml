@@ -12,7 +12,10 @@ module Baseline = Icfg_baselines.Baseline
 
 let par_of_jobs jobs = { Parse.pmap = (fun f l -> Pool.map ~jobs f l) }
 
-let parse ?fm ?(jobs = 1) bin = Parse.parse ?fm ~par:(par_of_jobs (max 1 jobs)) bin
+let parse ?fm ?(jobs = 1) bin =
+  Parse.parse ?fm
+    ~par:(par_of_jobs (max 1 jobs))
+    ~probe:(Icfg_core.Trace.parse_probe ()) bin
 
 let rewrite ?fm ?(options = Rewriter.default_options) ?jobs bin =
   let jobs = max 1 (Option.value ~default:options.Rewriter.jobs jobs) in
@@ -54,13 +57,23 @@ let of_result (r : Vm.result) =
 
 let run_original (bin : Binary.t) =
   let config = measure_config ~pie:bin.Binary.pie in
-  of_result (Vm.run ~config ~routines:(Runtime_lib.standard ()) bin)
+  let r =
+    Icfg_core.Trace.span "run:original" @@ fun () ->
+    Vm.run ~config ~routines:(Runtime_lib.standard ()) bin
+  in
+  Icfg_core.Trace.add_vm ~prefix:"vm/original" r;
+  of_result r
 
 let run_rewritten (rw : Rewriter.t) =
   let bin = rw.Rewriter.rw_binary in
   let config = Rewriter.vm_config_for rw (measure_config ~pie:bin.Binary.pie) in
   let counters = Hashtbl.create 16 in
-  of_result (Vm.run ~config ~routines:(Rewriter.routines_for rw ~counters) bin)
+  let r =
+    Icfg_core.Trace.span "run:rewritten" @@ fun () ->
+    Vm.run ~config ~routines:(Rewriter.routines_for rw ~counters) bin
+  in
+  Icfg_core.Trace.add_vm ~prefix:"vm/rewritten" r;
+  of_result r
 
 type verdict = {
   v_pass : bool;

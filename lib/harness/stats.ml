@@ -4,7 +4,14 @@ let mean = function
 
 let max_f = function [] -> 0. | l -> List.fold_left max neg_infinity l
 let min_f = function [] -> 0. | l -> List.fold_left min infinity l
-let pct v = Printf.sprintf "%+.2f%%" v
 
+(* NaN/infinity reach this formatter when a ratio was computed by hand from
+   an empty bench (0/0); render them as "n/a" rather than "+nan%". *)
+let pct v = if Float.is_finite v then Printf.sprintf "%+.2f%%" v else "n/a"
+
+(* An empty or degenerate base (no cycles measured, empty bench) has no
+   meaningful growth ratio; define it as 0 rather than dividing by zero —
+   the old [max 1 base] clamp reported value*100 for base = 0. *)
 let ratio_pct ~base ~value =
-  100. *. float_of_int (value - base) /. float_of_int (max 1 base)
+  if base <= 0 then 0.
+  else 100. *. float_of_int (value - base) /. float_of_int base

@@ -4,7 +4,9 @@ val mean : float list -> float
 val max_f : float list -> float
 val min_f : float list -> float
 val pct : float -> string
-(** Format as a signed percentage with two decimals ("+1.35%"). *)
+(** Format as a signed percentage with two decimals ("+1.35%"); non-finite
+    values (a ratio over an empty bench) render as ["n/a"]. *)
 
 val ratio_pct : base:int -> value:int -> float
-(** [(value - base) / base * 100]. *)
+(** [(value - base) / base * 100], or [0.] when [base <= 0] (an empty bench
+    has no meaningful growth ratio). *)

@@ -112,6 +112,7 @@ let translate_r0_routine map =
        runtime address. *)
     let lb = Vm.load_base vm in
     let v = Vm.reg vm Icfg_isa.Reg.r0 in
+    Vm.count_ra_translation vm;
     Vm.set_reg vm Icfg_isa.Reg.r0 (Ra_map.translate map (v - lb) + lb)
   in
   (Abi.translate_r0, routine)

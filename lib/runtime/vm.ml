@@ -53,9 +53,28 @@ type result = {
   steps : int;
   cycles : int;
   icache_misses : int;
+  icache_accesses : int;
   trap_hits : int;
   unwind_steps : int;
+  ra_translations : int;
+  cycle_buckets : (string * int) list;
 }
+
+(* Every cycle charged is attributed to exactly one bucket, so the bucket
+   totals partition [cycles] (asserted by test/test_trace.ml). *)
+let bucket_names =
+  [| "base"; "mem"; "mul"; "branch"; "indirect"; "callrt"; "trap"; "unwind";
+     "icache" |]
+
+let b_base = 0
+and b_mem = 1
+and b_mul = 2
+and b_branch = 3
+and b_indirect = 4
+and b_callrt = 5
+and b_trap = 6
+and b_unwind = 7
+and b_icache = 8
 
 (* ------------------------------------------------------------------ *)
 (* Memory                                                              *)
@@ -85,8 +104,10 @@ type t = {
   mutable out_rev : int list;
   mutable steps : int;
   mutable cycles : int;
+  buckets : int array;  (** per-cost-bucket cycle attribution *)
   mutable trap_hits : int;
   mutable unwind_count : int;
+  mutable ra_count : int;  (** RA-translation hook invocations *)
   mutable state : [ `Running | `Halted | `Crashed of string ];
   icache : Icache.t option;
   routines : (t -> unit) option array;
@@ -98,6 +119,10 @@ exception Vm_stop
 let crash vm msg =
   (match vm.state with `Running -> vm.state <- `Crashed msg | _ -> ());
   raise Vm_stop
+
+let charge vm bucket n =
+  vm.cycles <- vm.cycles + n;
+  vm.buckets.(bucket) <- vm.buckets.(bucket) + n
 
 let find_segment vm addr =
   let segs = vm.segments in
@@ -182,6 +207,8 @@ let binary vm = vm.bin
 let emit_output vm v = vm.out_rev <- v :: vm.out_rev
 let abort vm msg = crash vm msg
 
+let count_ra_translation vm = vm.ra_count <- vm.ra_count + 1
+
 let find_symbol vm name =
   match Binary.symbol vm.bin name with
   | Some s -> Some (s.Icfg_obj.Symbol.addr + load_base vm)
@@ -196,7 +223,13 @@ let compiled_unwind_step_cost = 6 (* frdwarf-style compiled unwind recipes *)
 
 let fde_at vm ~hook pc_rt =
   let link = pc_rt - load_base vm in
-  let link = match hook with Some f -> f link | None -> link in
+  let link =
+    match hook with
+    | Some f ->
+        vm.ra_count <- vm.ra_count + 1;
+        f link
+    | None -> link
+  in
   (link, Ehframe.find vm.bin.Binary.eh_frame link)
 
 let ra_of_frame vm fde sp lr =
@@ -212,10 +245,9 @@ let throw vm =
   let rec go pc_rt sp lr depth =
     if depth > 512 then crash vm "unwind: too many frames";
     vm.unwind_count <- vm.unwind_count + 1;
-    vm.cycles <-
-      vm.cycles
-      + (if vm.cfg.compiled_unwind then compiled_unwind_step_cost
-         else dwarf_unwind_step_cost);
+    charge vm b_unwind
+      (if vm.cfg.compiled_unwind then compiled_unwind_step_cost
+       else dwarf_unwind_step_cost);
     let link, fde = fde_at vm ~hook:vm.cfg.translate pc_rt in
     match fde with
     | None ->
@@ -296,11 +328,14 @@ let step vm =
         Hashtbl.replace tbl key (1 + Hashtbl.find tbl key)
   | None -> ());
   (match vm.icache with
-  | Some ic -> if Icache.access ic pc0 then vm.cycles <- vm.cycles + (match vm.cfg.icache with Some c -> c.Icache.miss_cost | None -> 0)
+  | Some ic ->
+      if Icache.access ic pc0 then
+        charge vm b_icache
+          (match vm.cfg.icache with Some c -> c.Icache.miss_cost | None -> 0)
   | None -> ());
   let insn, len = fetch vm pc0 in
   let c = vm.cfg.costs in
-  vm.cycles <- vm.cycles + c.base;
+  charge vm b_base c.base;
   let next = pc0 + len in
   let setr r v = vm.regs.(Reg.index r) <- v in
   let getr r = vm.regs.(Reg.index r) in
@@ -312,7 +347,7 @@ let step vm =
   | Illegal -> crash vm (Printf.sprintf "illegal instruction at 0x%x" pc0)
   | Trap -> (
       vm.trap_hits <- vm.trap_hits + 1;
-      vm.cycles <- vm.cycles + c.trap;
+      charge vm b_trap c.trap;
       let link = pc0 - load_base vm in
       match Hashtbl.find_opt vm.cfg.trap_map link with
       | Some target -> vm.pc_ <- target + load_base vm
@@ -336,7 +371,7 @@ let step vm =
       setr r (getr r - operand_value vm o);
       vm.pc_ <- next
   | Mul (r, o) ->
-      vm.cycles <- vm.cycles + c.mul;
+      charge vm b_mul c.mul;
       setr r (getr r * operand_value vm o);
       vm.pc_ <- next
   | And_ (r, o) ->
@@ -358,15 +393,15 @@ let step vm =
       vm.cmp_delta <- getr r - operand_value vm o;
       vm.pc_ <- next
   | Load (w, rd, b, d) ->
-      vm.cycles <- vm.cycles + c.mem;
+      charge vm b_mem c.mem;
       setr rd (read_mem vm (base_value vm b + d) w);
       vm.pc_ <- next
   | Store (w, b, d, rs) ->
-      vm.cycles <- vm.cycles + c.mem;
+      charge vm b_mem c.mem;
       write_mem vm (base_value vm b + d) w (getr rs);
       vm.pc_ <- next
   | LoadIdx (w, rd, rb, ri, s) ->
-      vm.cycles <- vm.cycles + c.mem;
+      charge vm b_mem c.mem;
       setr rd (read_mem vm (getr rb + (getr ri * s)) w);
       vm.pc_ <- next
   | Lea (r, d) ->
@@ -376,35 +411,36 @@ let step vm =
       vm.sp_ <- vm.sp_ + n;
       vm.pc_ <- next
   | Jmp d ->
-      vm.cycles <- vm.cycles + c.branch_taken;
+      charge vm b_branch c.branch_taken;
       vm.pc_ <- pc0 + d
   | Jcc (cond, d) ->
       if cond_holds vm.cmp_delta cond then (
-        vm.cycles <- vm.cycles + c.branch_taken;
+        charge vm b_branch c.branch_taken;
         vm.pc_ <- pc0 + d)
       else vm.pc_ <- next
   | Call d ->
-      vm.cycles <- vm.cycles + c.branch_taken;
+      charge vm b_branch c.branch_taken;
       do_call vm ~retaddr:next ~target:(pc0 + d)
   | IndJmp r ->
-      vm.cycles <- vm.cycles + c.indirect;
+      charge vm b_indirect c.indirect;
       vm.pc_ <- getr r
   | IndCall r ->
-      vm.cycles <- vm.cycles + c.indirect;
+      charge vm b_indirect c.indirect;
       do_call vm ~retaddr:next ~target:(getr r)
   | IndCallMem (b, d) ->
-      vm.cycles <- vm.cycles + c.mem + c.indirect;
+      charge vm b_mem c.mem;
+      charge vm b_indirect c.indirect;
       let target = read_mem vm (base_value vm b + d) W64 in
       do_call vm ~retaddr:next ~target
   | Ret ->
-      vm.cycles <- vm.cycles + c.branch_taken;
+      charge vm b_branch c.branch_taken;
       if has_lr vm then vm.pc_ <- vm.lr_
       else (
         let ra = read_mem vm vm.sp_ W64 in
         vm.sp_ <- vm.sp_ + 8;
         vm.pc_ <- ra)
   | CallRt idx -> (
-      vm.cycles <- vm.cycles + c.callrt;
+      charge vm b_callrt c.callrt;
       if idx >= Array.length vm.routines then
         crash vm (Printf.sprintf "callrt: bad dynamic symbol index %d" idx)
       else
@@ -416,7 +452,7 @@ let step vm =
             f vm;
             vm.pc_ <- next)
   | Throw ->
-      vm.cycles <- vm.cycles + c.indirect;
+      charge vm b_indirect c.indirect;
       throw vm
   | Out r ->
       emit_output vm (getr r);
@@ -431,7 +467,7 @@ let step vm =
       vm.tar <- getr r;
       vm.pc_ <- next
   | Btar ->
-      vm.cycles <- vm.cycles + c.indirect;
+      charge vm b_indirect c.indirect;
       vm.pc_ <- vm.tar
   | Adrp (r, d) ->
       setr r ((pc0 land lnot 4095) + d);
@@ -523,8 +559,10 @@ let load ?(config : config option) ?(routines = []) (bin : Binary.t) =
       out_rev = [];
       steps = 0;
       cycles = 0;
+      buckets = Array.make (Array.length bucket_names) 0;
       trap_hits = 0;
       unwind_count = 0;
+      ra_count = 0;
       state = `Running;
       icache = Option.map Icache.create cfg.icache;
       routines = resolved;
@@ -562,6 +600,11 @@ let run ?config ?routines bin =
     steps = vm.steps;
     cycles = vm.cycles;
     icache_misses = (match vm.icache with Some ic -> Icache.misses ic | None -> 0);
+    icache_accesses =
+      (match vm.icache with Some ic -> Icache.accesses ic | None -> 0);
     trap_hits = vm.trap_hits;
     unwind_steps = vm.unwind_count;
+    ra_translations = vm.ra_count;
+    cycle_buckets =
+      Array.to_list (Array.mapi (fun i n -> (bucket_names.(i), n)) vm.buckets);
   }

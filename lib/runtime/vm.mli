@@ -62,9 +62,19 @@ type result = {
   steps : int;
   cycles : int;
   icache_misses : int;
+  icache_accesses : int;  (** total icache line touches (0 with no icache) *)
   trap_hits : int;
   unwind_steps : int;
+  ra_translations : int;
+      (** invocations of the RA-translation hooks ([translate],
+          [go_translate], and explicit runtime-library translation calls) *)
+  cycle_buckets : (string * int) list;
+      (** per-cost-bucket cycle attribution, in [bucket_names] order; the
+          bucket totals partition [cycles] *)
 }
+
+val bucket_names : string array
+(** base, mem, mul, branch, indirect, callrt, trap, unwind, icache. *)
 
 type t
 (** A running VM instance (exposed so runtime-library routines can inspect
@@ -97,6 +107,10 @@ val write_mem : t -> int -> Icfg_isa.Insn.width -> int -> unit
 val emit_output : t -> int -> unit
 val abort : t -> string -> unit
 (** Terminate the run with [Crashed]. *)
+
+val count_ra_translation : t -> unit
+(** Bump the run's [ra_translations] counter; for runtime-library routines
+    that translate return addresses outside the unwinder's hook. *)
 
 val call_function : t -> addr:int -> args:int list -> int
 (** Re-entrant call: execute the function at runtime address [addr] with the

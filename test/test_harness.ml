@@ -142,7 +142,16 @@ let test_stats () =
   Alcotest.(check (float 0.0001)) "max" 3.0 (Stats.max_f [ 1.; 3.; 2. ]);
   Alcotest.(check (float 0.0001)) "min" 1.0 (Stats.min_f [ 2.; 1.; 3. ]);
   Alcotest.(check (float 0.0001)) "empty mean" 0.0 (Stats.mean []);
-  Alcotest.(check (float 0.0001)) "ratio" 50.0 (Stats.ratio_pct ~base:100 ~value:150)
+  Alcotest.(check (float 0.0001)) "ratio" 50.0 (Stats.ratio_pct ~base:100 ~value:150);
+  (* Degenerate bases (empty bench, zero cycles) must not divide by zero:
+     the growth ratio over nothing is defined as 0, not value*100. *)
+  Alcotest.(check (float 0.0001)) "ratio over zero base" 0.0
+    (Stats.ratio_pct ~base:0 ~value:37);
+  Alcotest.(check (float 0.0001)) "ratio over negative base" 0.0
+    (Stats.ratio_pct ~base:(-4) ~value:10);
+  Alcotest.(check string) "pct finite" "+50.00%" (Stats.pct 50.);
+  Alcotest.(check string) "pct nan" "n/a" (Stats.pct Float.nan);
+  Alcotest.(check string) "pct infinity" "n/a" (Stats.pct Float.infinity)
 
 let test_table_render () =
   let s = Icfg_harness.Table.render ~header:[ "a"; "bb" ] [ [ "xxx"; "y" ] ] in
