@@ -14,7 +14,10 @@
                                        accumulates across the history)
      bench/main.exe micro --json BENCH_micro.json --trace BENCH_trace.json
                                     -- additionally dump the full span tree
-                                       of the traced pipeline run *)
+                                       of the traced pipeline run
+     bench/main.exe diff OLD.json NEW.json [--gate pct]
+                                    -- regression gate between two --json
+                                       runs; non-zero exit on regression *)
 
 open Icfg_isa
 module Experiments = Icfg_harness.Experiments
@@ -33,6 +36,7 @@ let experiments =
     ("bolt", Experiments.bolt);
     ("diogenes", Experiments.diogenes);
     ("ablation", Experiments.ablation);
+    ("attribution", Experiments.attribution);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -123,8 +127,11 @@ let micro_tests () =
 let micro_rows : (string * float) list ref = ref []
 let parallel_rows : (string * int * float) list ref = ref []
 
-(* (span path, jobs, spans merged, summed ns) from the traced rewrites. *)
-let stage_rows : (string * int * int * int) list ref = ref []
+(* (span path, jobs, spans merged, summed ns, counter totals) from the
+   traced rewrites. The whole-run counter bag rides along on every row of
+   that run so `bench diff` can gate counters without a second file. *)
+let stage_rows : (string * int * int * int * (string * int) list) list ref =
+  ref []
 
 (* Full trace tree of the last traced rewrite, for --trace FILE. *)
 let trace_json : string option ref = ref None
@@ -170,9 +177,18 @@ let write_json path =
   out "  ],\n";
   out "  \"stages\": [\n";
   List.iteri
-    (fun i (path, jobs, count, ns) ->
-      out "    {\"stage\": \"%s\", \"jobs\": %d, \"spans\": %d, \"ns\": %d}%s\n"
-        (json_escape path) jobs count ns
+    (fun i (path, jobs, count, ns, counters) ->
+      let counters_json =
+        String.concat ", "
+          (List.map
+             (fun (name, v) ->
+               Printf.sprintf "\"%s\": %d" (json_escape name) v)
+             counters)
+      in
+      out
+        "    {\"stage\": \"%s\", \"jobs\": %d, \"spans\": %d, \"ns\": %d, \
+         \"counters\": {%s}}%s\n"
+        (json_escape path) jobs count ns counters_json
         (if i = List.length !stage_rows - 1 then "" else ","))
     !stage_rows;
   out "  ]\n";
@@ -296,10 +312,11 @@ let run_trace_stages () =
       let t = Icfg_core.Trace.create () in
       Icfg_core.Trace.with_current t (fun () ->
           ignore (Sys.opaque_identity (Icfg_harness.Runner.rewrite ~jobs bin)));
+      let counters = Icfg_core.Trace.counters t in
       List.iter
         (fun (r : Icfg_core.Trace.row) ->
           stage_rows :=
-            !stage_rows @ [ (r.r_path, jobs, r.r_count, r.r_ns) ];
+            !stage_rows @ [ (r.r_path, jobs, r.r_count, r.r_ns, counters) ];
           if jobs = 1 then
             Printf.printf "  %-28s %12d ns\n%!" r.r_path r.r_ns)
         (Icfg_core.Trace.rows t);
@@ -334,8 +351,39 @@ let run_micro () =
   run_parallel_micro ();
   run_trace_stages ()
 
+(* The regression gate: `bench/main.exe diff OLD.json NEW.json [--gate pct]`
+   compares two BENCH_micro.json runs and exits non-zero on regression (CI
+   runs this against the committed baseline). *)
+let run_diff args =
+  let rec split_flag flag acc = function
+    | f :: v :: rest when f = flag -> (Some v, List.rev_append acc rest)
+    | x :: rest -> split_flag flag (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let gate_s, args = split_flag "--gate" [] args in
+  let gate = Option.map float_of_string gate_s in
+  match args with
+  | [ old_path; new_path ] -> (
+      match Icfg_harness.Bench_diff.diff_files ?gate old_path new_path with
+      | Error e ->
+          Printf.eprintf "diff: %s\n" e;
+          exit 2
+      | Ok findings ->
+          print_string (Icfg_harness.Bench_diff.render findings);
+          if Icfg_harness.Bench_diff.has_regression findings then (
+            Printf.eprintf "diff: regressions found\n";
+            exit 1))
+  | _ ->
+      Printf.eprintf "usage: bench/main.exe diff OLD.json NEW.json [--gate pct]\n";
+      exit 2
+
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  (match args with
+  | "diff" :: rest ->
+      run_diff rest;
+      exit 0
+  | _ -> ());
   (* Extract "--json FILE" / "--trace FILE" pairs anywhere in the argument
      list; the rest select experiments. *)
   let rec split_flag flag acc = function

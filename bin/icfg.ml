@@ -114,17 +114,14 @@ let trace_t =
         ~docv:"FILE")
 
 (* Run [f] under an ambient trace when [--trace FILE] was given, then write
-   the JSON report. Tracing is observation-only: [f]'s outputs are
-   byte-identical either way. *)
+   the JSON report — also when [f] raises or exits, so a failed pipeline
+   still leaves its trace behind for diagnosis. Tracing is
+   observation-only: [f]'s outputs are byte-identical either way. *)
 let with_trace path f =
   match path with
   | None -> f ()
   | Some file ->
-      let t = Icfg_core.Trace.create () in
-      let r = Icfg_core.Trace.with_current t f in
-      let oc = open_out file in
-      output_string oc (Icfg_core.Trace.to_json t);
-      close_out oc;
+      let r = Icfg_core.Trace.with_file file f in
       Format.printf "wrote trace %s@." file;
       r
 
@@ -227,6 +224,39 @@ let run_cmd workload arch pie mode jobs trace =
       (100. *. float_of_int (r.Vm.cycles - orig.Vm.cycles)
       /. float_of_int (max 1 orig.Vm.cycles))
 
+let report_cmd workload arch pie mode jobs json trace =
+  let module A = Icfg_core.Attribution in
+  let bin, _ = load_workload workload arch pie in
+  with_trace trace @@ fun () ->
+  let rewrite mode =
+    Icfg_harness.Runner.rewrite
+      ~options:{ Rewriter.default_options with Rewriter.mode }
+      ~jobs:(resolve_jobs jobs) bin
+  in
+  let rw = rewrite mode in
+  let attr = rw.Rewriter.rw_attribution in
+  (* The Dir baseline gives the mode's incremental delta. *)
+  let dir =
+    if mode = Mode.Dir then None
+    else Some (rewrite Mode.Dir).Rewriter.rw_attribution
+  in
+  Format.printf "%a@." Rewriter.pp_stats rw.Rewriter.rw_stats;
+  Format.printf "%a" A.pp attr;
+  (match dir with
+  | Some d ->
+      let dl = A.delta ~dir:d attr in
+      Format.printf
+        "delta vs dir: cfl blocks %+d, trampolines %+d, traps %+d@." dl.A.d_cfl
+        dl.A.d_trampolines dl.A.d_traps
+  | None -> ());
+  match json with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (A.to_json ?dir attr);
+      close_out oc;
+      Format.printf "wrote report %s@." path
+  | None -> ()
+
 let source workload =
   let prog =
     match workload with
@@ -287,6 +317,7 @@ let bench_cmd names =
       ("bolt", Icfg_harness.Experiments.bolt);
       ("diogenes", Icfg_harness.Experiments.diogenes);
       ("ablation", Icfg_harness.Experiments.ablation);
+      ("attribution", Icfg_harness.Experiments.attribution);
     ]
   in
   let names = if names = [] then List.map fst all else names in
@@ -334,6 +365,27 @@ let cmd_run =
     Term.(
       const run_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t $ trace_t)
 
+let report_json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ]
+        ~doc:
+          "Also write the machine-readable report (schema icfg-report/1) to \
+           $(docv)."
+        ~docv:"FILE")
+
+let cmd_report =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Rewrite a workload and print the coverage-attribution report: \
+          per-function CFL/trampoline causes, the cause histogram, and the \
+          mode's incremental delta vs the dir baseline.")
+    Term.(
+      const report_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t
+      $ report_json_t $ trace_t)
+
 let func_opt_t =
   Arg.(value & opt (some string) None & info [ "f"; "function" ] ~doc:"Function name.")
 
@@ -367,4 +419,4 @@ let () =
     Cmd.info "icfg" ~version:"1.0.0"
       ~doc:"Incremental CFG patching for binary rewriting (ASPLOS 2021)"
   in
-  exit (Cmd.eval (Cmd.group info [ cmd_inspect; cmd_analyze; cmd_rewrite; cmd_run; cmd_verify; cmd_source; cmd_disasm; cmd_dot; cmd_bench ]))
+  exit (Cmd.eval (Cmd.group info [ cmd_inspect; cmd_analyze; cmd_rewrite; cmd_run; cmd_verify; cmd_report; cmd_source; cmd_disasm; cmd_dot; cmd_bench ]))

@@ -19,6 +19,9 @@ type sym =
   | SMemLoad of Insn.width * sym  (** plain pointer load *)
   | SOrlo of sym * int
   | STop
+  | STopSpill
+      (** top introduced by an untracked stack spill ([track_spills] off);
+          behaves exactly like [STop] but keeps the failure attributable *)
 
 let rec simplify = function
   | SAdd (a, b) -> (
@@ -37,7 +40,7 @@ let rec simplify = function
       | a' -> SOrlo (a', lo))
   | STableLoad (w, b, s, i, l) -> STableLoad (w, simplify b, s, i, l)
   | SMemLoad (w, a) -> SMemLoad (w, simplify a)
-  | (SReg _ | SStack _ | SConst _ | STop) as e -> e
+  | (SReg _ | SStack _ | SConst _ | STop | STopSpill) as e -> e
 
 and simp_add a b =
   (* Normalize constants to the right and re-associate. *)
@@ -52,7 +55,7 @@ let rec contains_reg r = function
   | SAdd (a, b) -> contains_reg r a || contains_reg r b
   | SMul (a, _) | SOrlo (a, _) | SMemLoad (_, a) -> contains_reg r a
   | STableLoad (_, b, _, _, _) -> contains_reg r b
-  | SStack _ | SConst _ | STop -> false
+  | SStack _ | SConst _ | STop | STopSpill -> false
 
 let rec subst_reg r repl = function
   | SReg r' when Reg.equal r r' -> repl
@@ -61,7 +64,7 @@ let rec subst_reg r repl = function
   | SOrlo (a, lo) -> SOrlo (subst_reg r repl a, lo)
   | SMemLoad (w, a) -> SMemLoad (w, subst_reg r repl a)
   | STableLoad (w, b, s, i, l) -> STableLoad (w, subst_reg r repl b, s, i, l)
-  | (SReg _ | SStack _ | SConst _ | STop) as e -> e
+  | (SReg _ | SStack _ | SConst _ | STop | STopSpill) as e -> e
 
 let rec subst_stack off repl = function
   | SStack o when o = off -> repl
@@ -70,21 +73,29 @@ let rec subst_stack off repl = function
   | SOrlo (a, lo) -> SOrlo (subst_stack off repl a, lo)
   | SMemLoad (w, a) -> SMemLoad (w, subst_stack off repl a)
   | STableLoad (w, b, s, i, l) -> STableLoad (w, subst_stack off repl b, s, i, l)
-  | (SReg _ | SStack _ | SConst _ | STop) as e -> e
+  | (SReg _ | SStack _ | SConst _ | STop | STopSpill) as e -> e
 
 let rec has_unknowns = function
   | SReg _ | SStack _ -> true
-  | STop -> false
+  | STop | STopSpill -> false
   | SAdd (a, b) -> has_unknowns a || has_unknowns b
   | SMul (a, _) | SOrlo (a, _) | SMemLoad (_, a) -> has_unknowns a
   | STableLoad (_, b, _, _, _) -> has_unknowns b
   | SConst _ -> false
 
 let rec has_top = function
-  | STop -> true
+  | STop | STopSpill -> true
   | SAdd (a, b) -> has_top a || has_top b
   | SMul (a, _) | SOrlo (a, _) | SMemLoad (_, a) -> has_top a
   | STableLoad (_, b, _, _, _) -> has_top b
+  | SReg _ | SStack _ | SConst _ -> false
+
+let rec has_spill_top = function
+  | STopSpill -> true
+  | STop -> false
+  | SAdd (a, b) -> has_spill_top a || has_spill_top b
+  | SMul (a, _) | SOrlo (a, _) | SMemLoad (_, a) -> has_spill_top a
+  | STableLoad (_, b, _, _, _) -> has_spill_top b
   | SReg _ | SStack _ | SConst _ -> false
 
 (* ------------------------------------------------------------------ *)
@@ -121,7 +132,8 @@ let back_subst bin (fm : Failure_model.t) addr insn expr =
   | LoadIdx (w, r, rb, ri, s) when contains_reg r expr ->
       def_subst r (STableLoad (w, SReg rb, s, ri, addr))
   | Load (_, r, BSp, off) when contains_reg r expr ->
-      if fm.track_spills then def_subst r (SStack off) else def_subst r STop
+      if fm.track_spills then def_subst r (SStack off)
+      else def_subst r STopSpill
   | Load (w, r, BReg rb, d) when contains_reg r expr ->
       def_subst r (SMemLoad (w, SAdd (SReg rb, SConst (d, []))))
   | Store (W64, BSp, off, rs) -> simplify (subst_stack off (SReg rs) expr)
@@ -148,7 +160,29 @@ type pre_table = {
   p_guard : int option;  (** entry count from the range-check guard *)
 }
 
-type slice = S_table of pre_table | S_pointer_load | S_unresolved of string
+(* Typed failure kinds backing the attribution layer's cause taxonomy: each
+   [Unresolved] carries the machine-readable kind alongside the human
+   message, so reports never have to parse message strings. *)
+type unres =
+  | U_spill  (** slice hit an untracked stack spill (track_spills off) *)
+  | U_join  (** slice crossed a join point *)
+  | U_opaque  (** opaque computation in the slice *)
+  | U_base_writable  (** table base resolved into writable memory *)
+  | U_base_unknown  (** table base is not a constant *)
+  | U_no_bound  (** no range-check guard to bound the table *)
+  | U_no_targets  (** every candidate entry was infeasible *)
+  | U_pointer_load  (** plain pointer load — indirect tail-call shape *)
+  | U_bad_jump  (** the jump itself could not be analyzed *)
+
+(* How the final entry count relates to the range-check guard: exact, or
+   perturbed by the injected over-/under-approximation policy (after the
+   known-data clamp). The graded-failure taxonomy of section 4.3. *)
+type bound_cause = B_exact | B_over | B_under
+
+type slice =
+  | S_table of pre_table
+  | S_pointer_load
+  | S_unresolved of unres * string
 
 type table = {
   t_jump : int;
@@ -166,6 +200,7 @@ type table = {
   t_targets : int list;
   t_mater : int list;
   t_in_code : bool;
+  t_bound : bound_cause;
 }
 
 let pre_table_addr p = p.p_table
@@ -200,7 +235,7 @@ let find_guard (cfg : Cfg.t) dispatch_start idx =
 
 let slice_jump bin fm (cfg : Cfg.t) jump_addr =
   match Cfg.block_containing cfg jump_addr with
-  | None -> S_unresolved "indirect jump not in any block"
+  | None -> S_unresolved (U_bad_jump, "indirect jump not in any block")
   | Some block -> (
       let jump_insn =
         List.find_opt (fun (a, _, _) -> a = jump_addr) block.Cfg.b_insns
@@ -232,11 +267,13 @@ let slice_jump bin fm (cfg : Cfg.t) jump_addr =
             walk (SReg r) (List.rev before_jump) block.Cfg.b_start 0
           in
           match expr with
-          | None -> S_unresolved "slice crossed a join point"
+          | None -> S_unresolved (U_join, "slice crossed a join point")
           | Some expr -> (
               let expr = simplify expr in
               if has_top expr || has_unknowns expr then
-                S_unresolved "opaque computation in slice"
+                if has_spill_top expr then
+                  S_unresolved (U_spill, "untracked stack spill in slice")
+                else S_unresolved (U_opaque, "opaque computation in slice")
               else
                 let classify w base_sym scale idx load base =
                   match base_sym with
@@ -252,7 +289,8 @@ let slice_jump bin fm (cfg : Cfg.t) jump_addr =
                         | None -> true
                       in
                       if writable then
-                        S_unresolved "table base in writable memory"
+                        S_unresolved
+                          (U_base_writable, "table base in writable memory")
                       else
                         S_table
                           {
@@ -269,7 +307,8 @@ let slice_jump bin fm (cfg : Cfg.t) jump_addr =
                             p_in_code = in_code;
                             p_guard = find_guard cfg block.Cfg.b_start idx;
                           }
-                  | _ -> S_unresolved "table base is not constant"
+                  | _ ->
+                      S_unresolved (U_base_unknown, "table base is not constant")
                 in
                 match expr with
                 | STableLoad (w, base_sym, s, idx, load) ->
@@ -282,9 +321,11 @@ let slice_jump bin fm (cfg : Cfg.t) jump_addr =
                     | S_table p -> S_table { p with p_mult = m }
                     | other -> other)
                 | SMemLoad _ -> S_pointer_load
-                | _ -> S_unresolved "unrecognized jump-target expression"))
-      | Some _ -> S_unresolved "not an indirect jump"
-      | None -> S_unresolved "jump address not decoded")
+                | _ ->
+                    S_unresolved
+                      (U_opaque, "unrecognized jump-target expression")))
+      | Some _ -> S_unresolved (U_bad_jump, "not an indirect jump")
+      | None -> S_unresolved (U_bad_jump, "jump address not decoded"))
 
 (* ------------------------------------------------------------------ *)
 (* Bounds and finalization                                             *)
@@ -299,7 +340,7 @@ let known_data bin pres =
   in
   List.sort_uniq compare (tables @ section_ends)
 
-type result = Resolved of table | Unresolved of string
+type result = Resolved of table | Unresolved of unres * string
 
 let finalize bin (fm : Failure_model.t) ~known_data (cfg : Cfg.t) p =
   let entry_bytes = Insn.width_bytes p.p_width in
@@ -311,7 +352,7 @@ let finalize bin (fm : Failure_model.t) ~known_data (cfg : Cfg.t) p =
     | None, _ -> None
   in
   match count with
-  | None -> Unresolved "cannot infer the table bound"
+  | None -> Unresolved (U_no_bound, "cannot infer the table bound")
   | Some count ->
       (* Assumption 2: never let the table run into known non-table data or
          another jump table. *)
@@ -350,7 +391,8 @@ let finalize bin (fm : Failure_model.t) ~known_data (cfg : Cfg.t) p =
           entries raw_targets
       in
       let targets = List.filter_map (fun x -> x) slots in
-      if targets = [] then Unresolved "no feasible targets"
+      if targets = [] then
+        Unresolved (U_no_targets, "no feasible targets")
       else
         let base_tied =
           match p.p_base with
@@ -374,6 +416,14 @@ let finalize bin (fm : Failure_model.t) ~known_data (cfg : Cfg.t) p =
             t_targets = targets;
             t_mater = List.sort_uniq compare p.p_table_prov;
             t_in_code = p.p_in_code;
+            t_bound =
+              (* Relative to the guard's entry count: the *effective* count
+                 (after the policy and the known-data clamp), so a clamp
+                 that undoes an injected over-approximation reads as exact. *)
+              (match p.p_guard with
+              | Some n when List.length slots > n -> B_over
+              | Some n when List.length slots < n -> B_under
+              | _ -> B_exact);
           }
 
 let analyze bin fm ~known_data:kd (cfg : Cfg.t) =
@@ -381,6 +431,6 @@ let analyze bin fm ~known_data:kd (cfg : Cfg.t) =
     (fun j ->
       match slice_jump bin fm cfg j with
       | S_table p -> (j, finalize bin fm ~known_data:kd cfg p)
-      | S_pointer_load -> (j, Unresolved "pointer-load")
-      | S_unresolved msg -> (j, Unresolved msg))
+      | S_pointer_load -> (j, Unresolved (U_pointer_load, "pointer-load"))
+      | S_unresolved (u, msg) -> (j, Unresolved (u, msg)))
     cfg.Cfg.ind_jumps

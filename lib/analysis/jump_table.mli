@@ -14,6 +14,27 @@
     range-check guard or from the injected over/under-approximation policy,
     with extension trimmed at known non-table data (Assumption 2). *)
 
+type unres =
+  | U_spill  (** slice hit a stack value spilled while [track_spills] is off *)
+  | U_join  (** slice crossed a CFG join point *)
+  | U_opaque  (** opaque or unrecognized computation in the slice *)
+  | U_base_writable  (** table base points into writable memory *)
+  | U_base_unknown  (** table base is not a constant *)
+  | U_no_bound  (** no range-check guard found, table bound unknown *)
+  | U_no_targets  (** bound applied but no entry yields a feasible target *)
+  | U_pointer_load  (** single pointer load — indirect tail-call shape *)
+  | U_bad_jump  (** not an indirect jump / not decoded / not in a block *)
+
+(** Why slicing or finalization failed, for coverage attribution. *)
+
+type bound_cause =
+  | B_exact  (** effective entry count matches the guard *)
+  | B_over  (** effective count exceeds the guard (wasted clone space) *)
+  | B_under  (** effective count below the guard (lost coverage) *)
+
+(** How the applied bound relates to the range-check guard's entry count
+    (section 4.3's graded-failure axis for jump tables). *)
+
 type table = {
   t_jump : int;  (** address of the indirect jump *)
   t_load : int;  (** address of the table-read instruction *)
@@ -36,12 +57,15 @@ type table = {
       (** addresses of the instructions that materialize the table address
           (patched by jump-table cloning) *)
   t_in_code : bool;  (** the table lives in an executable section *)
+  t_bound : bound_cause;
+      (** effective count vs the guard, after policy and known-data clamp *)
 }
 
 type slice =
   | S_table of pre_table  (** recognized dispatch; bound not yet applied *)
   | S_pointer_load  (** a single pointer load — indirect tail-call shape *)
-  | S_unresolved of string  (** slicing failed (reported failure) *)
+  | S_unresolved of unres * string
+      (** slicing failed: typed cause plus human-readable message *)
 
 and pre_table
 
@@ -57,7 +81,7 @@ val known_data :
 
 type result =
   | Resolved of table
-  | Unresolved of string
+  | Unresolved of unres * string
 
 val finalize :
   Icfg_obj.Binary.t ->
@@ -75,4 +99,4 @@ val analyze :
   Cfg.t ->
   (int * result) list
 (** Slice and finalize every indirect jump of the function; pointer loads
-    surface as [Unresolved "pointer-load"]. *)
+    surface as [Unresolved (U_pointer_load, _)]. *)

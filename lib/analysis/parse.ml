@@ -2,11 +2,17 @@ open Icfg_isa
 module Binary = Icfg_obj.Binary
 module Symbol = Icfg_obj.Symbol
 
+type jt_site =
+  | Js_resolved of Jump_table.bound_cause
+  | Js_tail_call
+  | Js_unresolved of Jump_table.unres * string
+
 type func_analysis = {
   fa_sym : Symbol.t;
   fa_cfg : Cfg.t;
   fa_tables : Jump_table.table list;
   fa_tail_jumps : int list;
+  fa_jt_sites : (int * jt_site) list;
   fa_instrumentable : bool;
   fa_fail_reason : string option;
   fa_liveness : Liveness.t;
@@ -62,8 +68,9 @@ let finalize_function bin (fm : Failure_model.t) ~known_data fptr_targets
         match s with
         | Jump_table.S_table p ->
             (j, Jump_table.finalize bin fm ~known_data cfg0 p)
-        | Jump_table.S_pointer_load -> (j, Jump_table.Unresolved "pointer-load")
-        | Jump_table.S_unresolved m -> (j, Jump_table.Unresolved m))
+        | Jump_table.S_pointer_load ->
+            (j, Jump_table.Unresolved (Jump_table.U_pointer_load, "pointer-load"))
+        | Jump_table.S_unresolved (u, m) -> (j, Jump_table.Unresolved (u, m)))
       slices
   in
   let tables =
@@ -75,7 +82,7 @@ let finalize_function bin (fm : Failure_model.t) ~known_data fptr_targets
   let unresolved =
     List.filter_map
       (fun (j, r) ->
-        match r with Jump_table.Unresolved m -> Some (j, m) | _ -> None)
+        match r with Jump_table.Unresolved (u, m) -> Some (j, (u, m)) | _ -> None)
       results
   in
   let jump_table_edges =
@@ -106,21 +113,37 @@ let finalize_function bin (fm : Failure_model.t) ~known_data fptr_targets
     else if fm.layout_tail_call_heuristic then
       if List.for_all gap_is_benign (Cfg.gaps cfg1) then
         (List.map fst unresolved, None)
-      else ([], Some (snd (List.hd unresolved) ^ " (function has code gaps)"))
+      else
+        ( [],
+          Some (snd (snd (List.hd unresolved)) ^ " (function has code gaps)") )
     else
       (* Baseline heuristic: frame tear-down right before the jump. *)
       let tails, fails =
         List.partition (fun (j, _) -> teardown_before_jump cfg1 j) unresolved
       in
       if fails = [] then (List.map fst tails, None)
-      else ([], Some (snd (List.hd fails)))
+      else ([], Some (snd (snd (List.hd fails))))
   in
   let instrumentable = fail_reason = None in
+  (* Per-site outcome record for coverage attribution: every indirect jump
+     resolves to a table (with its bound grading), is accepted as a tail
+     call, or stays unresolved with its typed cause. *)
+  let jt_sites =
+    List.map
+      (fun (j, r) ->
+        match r with
+        | Jump_table.Resolved t -> (j, Js_resolved t.Jump_table.t_bound)
+        | Jump_table.Unresolved (u, m) ->
+            if List.mem j tail_jumps then (j, Js_tail_call)
+            else (j, Js_unresolved (u, m)))
+      results
+  in
   {
     fa_sym = sym;
     fa_cfg = cfg1;
     fa_tables = tables;
     fa_tail_jumps = tail_jumps;
+    fa_jt_sites = jt_sites;
     fa_instrumentable = instrumentable;
     fa_fail_reason = fail_reason;
     fa_liveness = Liveness.analyze cfg1;

@@ -7,11 +7,22 @@
     function-pointer sites and the pointer-derived block targets that every
     rewriting mode must treat as potential control-flow landing points. *)
 
+type jt_site =
+  | Js_resolved of Jump_table.bound_cause
+      (** resolved table, graded by how its bound relates to the guard *)
+  | Js_tail_call  (** unresolved jump accepted as an indirect tail call *)
+  | Js_unresolved of Jump_table.unres * string
+      (** unresolved: typed cause plus human-readable message *)
+
+(** Per-indirect-jump analysis outcome, for coverage attribution. *)
+
 type func_analysis = {
   fa_sym : Icfg_obj.Symbol.t;
   fa_cfg : Cfg.t;  (** final CFG (jump-table edges and pointer targets added) *)
   fa_tables : Jump_table.table list;  (** resolved jump tables *)
   fa_tail_jumps : int list;  (** unresolved jumps classified as tail calls *)
+  fa_jt_sites : (int * jt_site) list;
+      (** outcome of every indirect jump, keyed by jump address *)
   fa_instrumentable : bool;
   fa_fail_reason : string option;
   fa_liveness : Liveness.t;

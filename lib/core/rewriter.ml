@@ -100,13 +100,15 @@ type stats = {
 let pp_stats ppf s =
   Format.fprintf ppf
     "funcs %d/%d, blocks %d (cfl %d), trampolines %d (short %d, long %d, \
-     hop %d, trap %d), %d cloned tables, %d slots, size %d -> %d (+%.1f%%)"
+     hop %d, trap %d; %.2f/cfl, trap share %.1f%%), %d cloned tables, %d \
+     slots, size %d -> %d (%s)"
     s.s_funcs_instrumented s.s_funcs_total s.s_blocks s.s_cfl_blocks
     s.s_trampolines s.s_short_trampolines s.s_long_trampolines s.s_multi_hop
-    s.s_trap_trampolines s.s_cloned_tables s.s_rewritten_slots s.s_orig_size
-    s.s_new_size
-    (100. *. float_of_int (s.s_new_size - s.s_orig_size)
-    /. float_of_int (max 1 s.s_orig_size))
+    s.s_trap_trampolines
+    (Stats.ratio ~den:s.s_cfl_blocks ~num:s.s_trampolines)
+    (Stats.share ~total:s.s_trampolines ~part:s.s_trap_trampolines)
+    s.s_cloned_tables s.s_rewritten_slots s.s_orig_size s.s_new_size
+    (Stats.pct (Stats.ratio_pct ~base:s.s_orig_size ~value:s.s_new_size))
 
 type t = {
   rw_binary : Binary.t;
@@ -117,6 +119,7 @@ type t = {
   rw_go_hook : bool;
   rw_translate_hook : bool;
   rw_stats : stats;
+  rw_attribution : Attribution.t;
   rw_relocated_entry : int -> int option;
 }
 
@@ -130,8 +133,15 @@ module IntSet = Set.Make (Int)
 (* CFL classification (section 4)                                      *)
 (* ------------------------------------------------------------------ *)
 
-let cfl_blocks opts (p : Parse.t) (fa : Parse.func_analysis) =
+(* Returns the function's CFL blocks as a sorted [(block_start, cause)]
+   list — the key set feeds region classification, the causes feed
+   attribution. A block can be a candidate for several reasons (an entry
+   that is also a pointer target); the recorded cause is the
+   highest-priority one: entry > landing pad > pointer target > jump-table
+   target > call fall-through. *)
+let cfl_causes opts (p : Parse.t) (fa : Parse.func_analysis) =
   let cfg = fa.Parse.fa_cfg in
+  let entry = fa.Parse.fa_sym.Symbol.addr in
   if
     (* B_inst-aware refinement (the paper's section 4.2 note): when only
        function entries are instrumented and the original code is left
@@ -141,11 +151,17 @@ let cfl_blocks opts (p : Parse.t) (fa : Parse.func_analysis) =
     opts.sparse_placement
     && opts.granularity = G_func_entry
     && not opts.overwrite_original
-  then IntSet.singleton fa.Parse.fa_sym.Symbol.addr
+  then [ (entry, Attribution.Cfl_entry) ]
   else if opts.tramp_at_every_block then
-    IntSet.of_list (List.map (fun b -> b.Cfg.b_start) cfg.Cfg.blocks)
+    List.sort_uniq
+      (fun (a, _) (b, _) -> compare a b)
+      (List.map
+         (fun b ->
+           ( b.Cfg.b_start,
+             if b.Cfg.b_start = entry then Attribution.Cfl_entry
+             else Attribution.Cfl_every_block ))
+         cfg.Cfg.blocks)
   else
-    let entry = fa.Parse.fa_sym.Symbol.addr in
     let fend = entry + fa.Parse.fa_sym.Symbol.size in
     let in_func a = a >= entry && a < fend in
     let pads =
@@ -173,14 +189,19 @@ let cfl_blocks opts (p : Parse.t) (fa : Parse.func_analysis) =
             | _ -> [])
           cfg.Cfg.blocks
     in
-    let candidates = (entry :: pads) @ ptr_targets @ jt_targets @ call_falls in
-    IntSet.of_list
-      (List.filter_map
-         (fun a ->
-           match Cfg.block_at cfg a with
-           | Some b -> Some b.Cfg.b_start
-           | None -> None)
-         candidates)
+    let tbl = Hashtbl.create 16 in
+    let add cause a =
+      match Cfg.block_at cfg a with
+      | Some b -> if not (Hashtbl.mem tbl b.Cfg.b_start) then
+          Hashtbl.add tbl b.Cfg.b_start cause
+      | None -> ()
+    in
+    add Attribution.Cfl_entry entry;
+    List.iter (add Attribution.Cfl_landing_pad) pads;
+    List.iter (add Attribution.Cfl_ptr_target) ptr_targets;
+    List.iter (add Attribution.Cfl_jt_target) jt_targets;
+    List.iter (add Attribution.Cfl_call_fallthrough) call_falls;
+    List.sort compare (Hashtbl.fold (fun a c acc -> (a, c) :: acc) tbl [])
 
 (* ------------------------------------------------------------------ *)
 (* Relocation context                                                  *)
@@ -632,8 +653,10 @@ type place_event =
   | Pe_free of int * int  (** scratch range donated to the pool *)
 
 type place_plan = {
+  pl_entry : int;  (** function entry address *)
   pl_blocks : int;
-  pl_cfl : int;
+  pl_cfl_causes : (int * Attribution.cause) list;
+      (** CFL blocks with why each is one, sorted by address *)
   pl_preserved : (int * int) list;  (** in-code tables kept in place *)
   pl_events : place_event list;  (** in serial placement order *)
 }
@@ -845,7 +868,8 @@ let rewrite_inner ~options (p : Parse.t) =
      they read only the function's analysis, read-only binary state and the
      finished label table)... *)
   let plan_function fa =
-    let cfl = cfl_blocks opts p fa in
+    let cfl_causes_l = cfl_causes opts p fa in
+    let cfl = IntSet.of_list (List.map fst cfl_causes_l) in
     let regions = function_regions opts p fa cfl (next_start_of fa) in
     let events = ref [] in
     let ev e = events := e :: !events in
@@ -885,8 +909,9 @@ let rewrite_inner ~options (p : Parse.t) =
     in
     place regions;
     {
+      pl_entry = fa.Parse.fa_sym.Symbol.addr;
       pl_blocks = List.length fa.Parse.fa_cfg.Cfg.blocks;
-      pl_cfl = IntSet.cardinal cfl;
+      pl_cfl_causes = cfl_causes_l;
       pl_preserved =
         List.filter_map
           (fun (lo, hi, k) -> if k = R_preserved then Some (lo, hi) else None)
@@ -902,11 +927,15 @@ let rewrite_inner ~options (p : Parse.t) =
      pool and the deferred-hop list exactly as a serial pass would. *)
   let deferred = ref [] in
   let preserved_ranges = ref [] in
+  (* Placement cause per CFL block start (block starts are unique across
+     functions), filled by the replay (direct writes) and the hop pass
+     (deferred outcomes) — attribution input only. *)
+  let place_causes : (int, Attribution.cause) Hashtbl.t = Hashtbl.create 64 in
   (Trace.span "place:replay" @@ fun () ->
   List.iter
     (fun pl ->
       n_blocks := !n_blocks + pl.pl_blocks;
-      n_cfl := !n_cfl + pl.pl_cfl;
+      n_cfl := !n_cfl + List.length pl.pl_cfl_causes;
       List.iter
         (fun r -> preserved_ranges := r :: !preserved_ranges)
         pl.pl_preserved;
@@ -917,7 +946,12 @@ let rewrite_inner ~options (p : Parse.t) =
               (match cls with
               | T_short -> incr n_short
               | T_long -> incr n_long
-              | T_trap -> incr n_trap)
+              | T_trap -> incr n_trap);
+              Hashtbl.replace place_causes lo
+                (match cls with
+                | T_short -> Attribution.Tramp_short
+                | T_long -> Attribution.Tramp_long
+                | T_trap -> Attribution.Trap_no_reach)
           | Pe_defer (lo, se, target, dead) ->
               deferred := (lo, se, target, dead) :: !deferred
           | Pe_free (lo, hi) -> pool_add pool lo hi)
@@ -940,29 +974,65 @@ let rewrite_inner ~options (p : Parse.t) =
             if Reg.Set.is_empty dead then None
             else Some (Trampoline.Long (Some (Reg.Set.choose dead)), 12)
       in
-      let placed =
-        if not opts.use_scratch_pool then false
+      (* The pool allocation must stay ahead of the reach guards: a chunk
+         that then fails them is consumed anyway, exactly as the serial
+         placement always did — only the trap's *cause* is refined here. *)
+      let outcome =
+        if not opts.use_scratch_pool then
+          `Trap Attribution.Scratch_pool_disabled
         else
           match hop_kind_len with
-          | None -> false
+          | None -> `Trap Attribution.No_hop_kind
           | Some (kind, size) -> (
               match pool_alloc pool ~near:lo ~size ~reach with
-              | Some chunk
-                when se - lo >= short_len
-                     && Encode.jmp_fits arch ~wide:false (chunk - lo)
-                     && Trampoline.long_reaches arch ~at:chunk ~target ~toc ->
-                  let hop1 = Encode.encode_jmp arch ~wide:false (chunk - lo) in
-                  let hop2 = Trampoline.emit arch ~at:chunk ~target ~toc kind in
-                  writes := (lo, hop1) :: (chunk, hop2) :: !writes;
-                  incr n_hop;
-                  true
-              | _ -> false)
+              | None -> `Trap Attribution.No_scratch_space
+              | Some chunk ->
+                  if
+                    se - lo >= short_len
+                    && Encode.jmp_fits arch ~wide:false (chunk - lo)
+                    && Trampoline.long_reaches arch ~at:chunk ~target ~toc
+                  then `Hop (chunk, kind)
+                  else `Trap Attribution.Trap_no_reach)
       in
-      if not placed then (
-        writes := (lo, Encode.encode arch Insn.Trap) :: !writes;
-        Hashtbl.replace trap_map lo target;
-        incr n_trap))
+      match outcome with
+      | `Hop (chunk, kind) ->
+          let hop1 = Encode.encode_jmp arch ~wide:false (chunk - lo) in
+          let hop2 = Trampoline.emit arch ~at:chunk ~target ~toc kind in
+          writes := (lo, hop1) :: (chunk, hop2) :: !writes;
+          incr n_hop;
+          Hashtbl.replace place_causes lo Attribution.Tramp_hop
+      | `Trap cause ->
+          writes := (lo, Encode.encode arch Insn.Trap) :: !writes;
+          Hashtbl.replace trap_map lo target;
+          incr n_trap;
+          Hashtbl.replace place_causes lo cause)
     !deferred);
+  (* Coverage attribution: assembled from the per-function plans in sorted
+     function order plus the placement-cause map, so it is a pure function
+     of the rewrite output (jobs-independent) and never feeds back into it. *)
+  let attribution =
+    let block_sites =
+      List.map
+        (fun pl ->
+          ( pl.pl_entry,
+            List.map
+              (fun (a, c) ->
+                {
+                  Attribution.bs_addr = a;
+                  bs_cfl = c;
+                  bs_place = Hashtbl.find_opt place_causes a;
+                })
+              pl.pl_cfl_causes ))
+        plans
+    in
+    let blocks_tbl = Hashtbl.create 64 in
+    List.iter (fun pl -> Hashtbl.replace blocks_tbl pl.pl_entry pl.pl_blocks) plans;
+    Attribution.build ~mode:opts.mode ~instrumented:is_instrumented
+      ~block_sites
+      ~blocks_of:(fun a ->
+        Option.value ~default:0 (Hashtbl.find_opt blocks_tbl a))
+      p
+  in
   (* 8. Build the output binary. *)
   Trace.span "emit" @@ fun () ->
   let out = Binary.copy bin in
@@ -1138,6 +1208,7 @@ let rewrite_inner ~options (p : Parse.t) =
     rw_go_hook = go_hook_funcs <> [];
     rw_translate_hook = opts.ra_translation || opts.call_emulation;
     rw_stats = stats;
+    rw_attribution = attribution;
     rw_relocated_entry =
       (fun a -> Hashtbl.find_opt labels (block_label a));
   }

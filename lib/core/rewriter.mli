@@ -97,6 +97,8 @@ type stats = {
 }
 
 val pp_stats : Format.formatter -> stats -> unit
+(** Raw counts plus the derived ratios the report JSON carries: trampolines
+    per CFL block, trap share, size growth percentage ({!Stats}). *)
 
 type t = {
   rw_binary : Icfg_obj.Binary.t;
@@ -110,6 +112,10 @@ type t = {
   rw_go_hook : bool;  (** findfunc/pcvalue entry translation installed *)
   rw_translate_hook : bool;  (** libunwind-style step wrapping installed *)
   rw_stats : stats;
+  rw_attribution : Attribution.t;
+      (** per-block / per-site cause attribution; observation-only — a pure
+          function of the rewrite output, identical for any [jobs], and its
+          totals exactly tile [rw_stats] (see {!Attribution}) *)
   rw_relocated_entry : int -> int option;
       (** original block/entry address -> relocated address *)
 }

@@ -181,6 +181,19 @@ let to_json t =
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
 
+(* Write-in-finally: the trace file must land on disk even when [f] raises
+   (a failed rewrite is exactly when the trace is wanted), so the JSON dump
+   runs under [Fun.protect] — after the ambient trace is uninstalled, so
+   every span recorded before the raise is already attached. *)
+let with_file path f =
+  let t = create () in
+  Fun.protect
+    ~finally:(fun () ->
+      let oc = open_out path in
+      output_string oc (to_json t);
+      close_out oc)
+    (fun () -> with_current t f)
+
 let add_vm ~prefix (r : Icfg_runtime.Vm.result) =
   if active () then begin
     add (prefix ^ "/cycles") r.cycles;

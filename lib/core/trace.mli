@@ -72,6 +72,11 @@ val to_json : t -> string
     "spans": [{"name", "ns", "children": [...]}]}]. Counters sorted by
     name; spans in completion order. *)
 
+val with_file : string -> (unit -> 'a) -> 'a
+(** Run [f] under a fresh ambient trace and write the {!to_json} report to
+    [path] — {e also when [f] raises} (the exception is re-raised after the
+    file is written), so failed pipelines stay diagnosable. *)
+
 (** {1 Pipeline adapters} *)
 
 val add_vm : prefix:string -> Icfg_runtime.Vm.result -> unit

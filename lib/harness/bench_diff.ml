@@ -1,0 +1,352 @@
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+(* -------------------------------------------------------------------- *)
+(* Parser                                                                *)
+(* -------------------------------------------------------------------- *)
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then (
+      pos := !pos + l;
+      v)
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' ->
+              Buffer.add_char b '\n';
+              advance ();
+              go ()
+          | Some 't' ->
+              Buffer.add_char b '\t';
+              advance ();
+              go ()
+          | Some 'r' ->
+              Buffer.add_char b '\r';
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "bad \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with Failure _ -> fail "bad \\u escape"
+              in
+              (* Non-ASCII escapes keep a replacement byte; counter/stage
+                 names are ASCII so this never loses a key. *)
+              Buffer.add_char b
+                (if code < 0x80 then Char.chr code else '?');
+              go ()
+          | Some c ->
+              Buffer.add_char b c;
+              advance ();
+              go ()
+          | None -> fail "unterminated escape")
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> f
+    | None -> fail (Printf.sprintf "bad number %S" tok)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          List [])
+        else
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (number ())
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+(* -------------------------------------------------------------------- *)
+(* Accessors                                                             *)
+(* -------------------------------------------------------------------- *)
+
+let member k = function Obj l -> List.assoc_opt k l | _ -> None
+let as_list = function List l -> l | _ -> []
+let as_num = function Num f -> Some f | _ -> None
+let as_str = function Str s -> Some s | _ -> None
+
+let str_member k j = Option.bind (member k j) as_str
+let num_member k j = Option.bind (member k j) as_num
+
+(* -------------------------------------------------------------------- *)
+(* Diff                                                                  *)
+(* -------------------------------------------------------------------- *)
+
+type severity = Regression | Info
+
+type finding = { f_severity : severity; f_metric : string; f_msg : string }
+
+let contains ~sub s =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  lb = 0 || go 0
+
+(* Counters where a higher value is unambiguously worse; everything else
+   moving is reported but does not gate. *)
+let counter_worse_higher name =
+  List.exists
+    (fun sub -> contains ~sub name)
+    [ "trampolines:trap"; "/traps"; "size-growth"; "icache-misses" ]
+
+(* A [lane-<k>] path segment marks a schedule-dependent span: lanes exist
+   only when the domain pool actually spawns, so their presence varies
+   across machines and must not gate. *)
+let is_lane_row path = contains ~sub:"lane-" path
+
+(* Sub-50µs one-shot spans are dominated by scheduling jitter; a relative
+   gate alone flaps on them, so a time regression also needs this much
+   absolute growth. *)
+let time_noise_floor_ns = 50_000.
+
+let diff ?gate old_json new_json =
+  let schema j = str_member "schema" j in
+  match (schema old_json, schema new_json) with
+  | Some "icfg-bench-micro/1", Some "icfg-bench-micro/1" ->
+      let findings = ref [] in
+      let report sev metric msg =
+        findings := { f_severity = sev; f_metric = metric; f_msg = msg } :: !findings
+      in
+      let same_cores =
+        match (num_member "cores" old_json, num_member "cores" new_json) with
+        | Some a, Some b -> a = b
+        | _ -> false
+      in
+      let gate_times = gate <> None && same_cores in
+      (if gate <> None && not same_cores then
+         report Info "cores"
+           "core counts differ between runs; time metrics not gated");
+      let check_time metric old_ns new_ns =
+        match (old_ns, new_ns) with
+        | Some o, Some nw when Float.is_finite o && Float.is_finite nw ->
+            if gate_times then
+              let g = Option.get gate in
+              if nw > o *. (1. +. (g /. 100.)) && nw -. o > time_noise_floor_ns
+              then
+                report Regression metric
+                  (Printf.sprintf "time %.0f ns -> %.0f ns (+%.1f%%, gate %.1f%%)"
+                     o nw
+                     (100. *. (nw -. o) /. Float.max 1. o)
+                     g)
+        | _ -> ()
+      in
+      (* Generic keyed-row comparison: OLD rows drive the regression check,
+         NEW-only rows are informational. *)
+      let compare_rows ~section ~key_of ~on_pair =
+        let old_rows = as_list (Option.value ~default:(List []) (member section old_json)) in
+        let new_rows = as_list (Option.value ~default:(List []) (member section new_json)) in
+        let keyed rows =
+          List.filter_map
+            (fun r -> match key_of r with Some k -> Some (k, r) | None -> None)
+            rows
+        in
+        let olds = keyed old_rows and news = keyed new_rows in
+        List.iter
+          (fun (k, orow) ->
+            match List.assoc_opt k news with
+            | Some nrow -> on_pair k orow nrow
+            | None ->
+                if is_lane_row k then
+                  report Info (section ^ ":" ^ k)
+                    "schedule-dependent lane row absent in NEW run"
+                else
+                  report Regression (section ^ ":" ^ k)
+                    "row present in OLD but missing in NEW")
+          olds;
+        List.iter
+          (fun (k, _) ->
+            if List.assoc_opt k olds = None then
+              report Info (section ^ ":" ^ k) "new row (not in OLD)")
+          news
+      in
+      compare_rows ~section:"micro"
+        ~key_of:(fun r -> str_member "name" r)
+        ~on_pair:(fun k orow nrow ->
+          check_time ("micro:" ^ k) (num_member "ns_per_run" orow)
+            (num_member "ns_per_run" nrow));
+      let stage_jobs_key r =
+        match (str_member "stage" r, num_member "jobs" r) with
+        | Some st, Some j -> Some (Printf.sprintf "%s@j%d" st (int_of_float j))
+        | _ -> None
+      in
+      compare_rows ~section:"parallel" ~key_of:stage_jobs_key
+        ~on_pair:(fun k orow nrow ->
+          check_time ("parallel:" ^ k) (num_member "ns_per_run" orow)
+            (num_member "ns_per_run" nrow));
+      compare_rows ~section:"stages" ~key_of:stage_jobs_key
+        ~on_pair:(fun k orow nrow ->
+          check_time ("stages:" ^ k) (num_member "ns" orow)
+            (num_member "ns" nrow);
+          (* Counter totals merged into the row: exact comparison. *)
+          let counters r =
+            match member "counters" r with Some (Obj l) -> l | _ -> []
+          in
+          let oc = counters orow and nc = counters nrow in
+          List.iter
+            (fun (name, ov) ->
+              let metric = Printf.sprintf "counter:%s:%s" k name in
+              match (as_num ov, Option.bind (List.assoc_opt name nc) as_num) with
+              | Some o, Some nw when o <> nw ->
+                  if nw > o && counter_worse_higher name then
+                    report Regression metric
+                      (Printf.sprintf "counter %.0f -> %.0f" o nw)
+                  else
+                    report Info metric
+                      (Printf.sprintf "counter %.0f -> %.0f" o nw)
+              | Some _, None ->
+                  report Info metric "counter absent in NEW run"
+              | _ -> ())
+            oc;
+          List.iter
+            (fun (name, _) ->
+              if List.assoc_opt name oc = None then
+                report Info
+                  (Printf.sprintf "counter:%s:%s" k name)
+                  "new counter (not in OLD)")
+            nc);
+      Ok (List.rev !findings)
+  | _ -> Error "not icfg-bench-micro/1 documents"
+
+let diff_strings ?gate old_s new_s =
+  match (parse_json old_s, parse_json new_s) with
+  | Ok o, Ok nw -> diff ?gate o nw
+  | Error e, _ -> Error ("OLD: " ^ e)
+  | _, Error e -> Error ("NEW: " ^ e)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    Ok s
+  with Sys_error e -> Error e
+
+let diff_files ?gate old_path new_path =
+  match (read_file old_path, read_file new_path) with
+  | Ok o, Ok nw -> diff_strings ?gate o nw
+  | Error e, _ | _, Error e -> Error e
+
+let has_regression = List.exists (fun f -> f.f_severity = Regression)
+
+let render findings =
+  let b = Buffer.create 1024 in
+  let part sev label =
+    let fs = List.filter (fun f -> f.f_severity = sev) findings in
+    if fs <> [] then begin
+      Printf.bprintf b "%s (%d):\n" label (List.length fs);
+      List.iter
+        (fun f -> Printf.bprintf b "  %-40s %s\n" f.f_metric f.f_msg)
+        fs
+    end
+  in
+  part Regression "REGRESSIONS";
+  part Info "info";
+  if findings = [] then Buffer.add_string b "no differences\n";
+  Buffer.contents b

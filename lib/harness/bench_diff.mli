@@ -1,0 +1,56 @@
+(** The bench regression gate: compare two [BENCH_micro.json] runs
+    (schema [icfg-bench-micro/1]) — micro rows, parallel rows, per-stage
+    trace rows and their merged counter totals — and classify every
+    difference.
+
+    Policy:
+
+    - Counters are compared exactly per [(stage, jobs, name)]. An increase
+      in a worse-is-higher counter (trap trampolines, runtime traps, size
+      growth, icache misses) is a {e regression}; any other change is
+      informational (deterministic counters should not move, but a changed
+      workload legitimately moves them).
+    - Time metrics ([ns_per_run], stage [ns]) are gated only when [gate]
+      is given {e and} both runs report the same core count — wall-clock
+      comparisons across machines are noise. A new value above
+      [old * (1 + gate/100)] that also grew by more than an absolute
+      50µs noise floor is a regression (one-shot sub-µs spans jitter by
+      integer factors and must not flap the gate).
+    - A row present in OLD but missing in NEW is a regression (lost
+      coverage), except [lane-*] trace rows, which exist only when the
+      domain pool actually spawns and are schedule-dependent. New rows are
+      informational. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+val parse_json : string -> (json, string) result
+(** Hand-rolled recursive-descent JSON parser (no JSON dependency — same
+    policy as the writers in [bench/main.ml] and {!Icfg_core.Trace}). *)
+
+type severity = Regression | Info
+
+type finding = { f_severity : severity; f_metric : string; f_msg : string }
+
+val diff : ?gate:float -> json -> json -> (finding list, string) result
+(** [diff ?gate old new] compares two parsed [icfg-bench-micro/1]
+    documents. [gate] is the allowed time growth in percent; when absent,
+    times are never gated. [Error] on documents that are not bench-micro
+    objects. *)
+
+val diff_strings : ?gate:float -> string -> string -> (finding list, string) result
+
+val diff_files :
+  ?gate:float -> string -> string -> (finding list, string) result
+(** [diff_files ?gate old_path new_path]. [Error] on unreadable files or
+    parse failures. *)
+
+val has_regression : finding list -> bool
+
+val render : finding list -> string
+(** Human-readable report, regressions first. *)

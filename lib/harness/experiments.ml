@@ -647,6 +647,134 @@ let ablation () =
             { Rewriter.default_options with Rewriter.ra_translation = false } );
         ])
 
+(* ------------------------------------------------------------------ *)
+(* Coverage attribution across modes and baselines                     *)
+(* ------------------------------------------------------------------ *)
+
+module Attribution = Icfg_core.Attribution
+
+type attribution_cell = {
+  at_cfl : int;
+  at_trampolines : int;
+  at_traps : int;
+}
+
+(* Per benchmark: SRBI baseline plus the three incremental modes, in
+   [dir; jt; func-ptr] order for the monotonicity check. *)
+let attribution_data arch =
+  List.map
+    (fun bench ->
+      let bin, _ = Spec_suite.compile arch bench in
+      let p_ours = Parse.parse bin in
+      let p_srbi = Parse.parse ~fm:Failure_model.srbi bin in
+      let srbi =
+        (Rewriter.rewrite ~options:(Rewriter.srbi_like Rewriter.P_empty) p_srbi)
+          .Rewriter.rw_attribution
+      in
+      let by_mode mode =
+        (Rewriter.rewrite
+           ~options:{ Rewriter.default_options with Rewriter.mode }
+           p_ours)
+          .Rewriter.rw_attribution
+      in
+      ( bench.Spec_suite.bench_name,
+        srbi,
+        [ by_mode Mode.Dir; by_mode Mode.Jt; by_mode Mode.Func_ptr ] ))
+    (Spec_suite.benchmarks arch)
+
+let attribution_cell a =
+  {
+    at_cfl = Attribution.cfl_total a;
+    at_trampolines = Attribution.tramp_total a;
+    at_traps = Attribution.trap_total a;
+  }
+
+let attribution () =
+  buf_out (fun b ->
+      line b "== Coverage attribution: causes across modes and baselines ==";
+      let arch = Arch.X86_64 in
+      let data = attribution_data arch in
+      let columns = [ "SRBI"; "dir"; "jt"; "func-ptr" ] in
+      (* The paper's coverage-table view: residual CFL blocks, placed
+         trampolines and trap fallbacks per benchmark and configuration. *)
+      line b "-- per-benchmark coverage (cfl blocks / trampolines / traps) --";
+      Buffer.add_string b
+        (Table.render
+           ~header:("benchmark" :: columns)
+           (List.map
+              (fun (name, srbi, modes) ->
+                name
+                :: List.map
+                     (fun a ->
+                       let c = attribution_cell a in
+                       Printf.sprintf "%d/%d/%d" c.at_cfl c.at_trampolines
+                         c.at_traps)
+                     (srbi :: modes))
+              data));
+      (* Aggregate per-cause histogram, one column per configuration. *)
+      let agg =
+        List.map
+          (fun i ->
+            let tbl = Hashtbl.create 32 in
+            List.iter
+              (fun (_, srbi, modes) ->
+                let a = List.nth (srbi :: modes) i in
+                List.iter
+                  (fun (c, n) ->
+                    Hashtbl.replace tbl c
+                      (n + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+                  (Attribution.histogram a))
+              data;
+            tbl)
+          [ 0; 1; 2; 3 ]
+      in
+      let causes =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun tbl -> Hashtbl.fold (fun c _ acc -> Attribution.key c :: acc) tbl [])
+             agg)
+      in
+      let by_key tbl k =
+        Hashtbl.fold
+          (fun c n acc -> if Attribution.key c = k then acc + n else acc)
+          tbl 0
+      in
+      line b "-- aggregate cause histogram --";
+      Buffer.add_string b
+        (Table.render
+           ~header:("cause" :: columns)
+           (List.map
+              (fun k -> k :: List.map (fun tbl -> string_of_int (by_key tbl k)) agg)
+              causes));
+      (* Each mode rewrites strictly more control flow than the previous
+         one, so residual CFL blocks and trap fallbacks must not increase
+         along dir -> jt -> func-ptr. *)
+      let violations =
+        List.concat_map
+          (fun (name, _, modes) ->
+            let cells = List.map attribution_cell modes in
+            let rec pairs = function
+              | a :: (bx :: _ as rest) -> (a, bx) :: pairs rest
+              | _ -> []
+            in
+            List.concat_map
+              (fun (a, bx) ->
+                (if bx.at_cfl > a.at_cfl then
+                   [ Printf.sprintf "%s: cfl blocks increased (%d -> %d)" name a.at_cfl bx.at_cfl ]
+                 else [])
+                @
+                if bx.at_traps > a.at_traps then
+                  [ Printf.sprintf "%s: traps increased (%d -> %d)" name a.at_traps bx.at_traps ]
+                else [])
+              (pairs cells))
+          data
+      in
+      match violations with
+      | [] -> line b "monotonicity dir -> jt -> func-ptr: OK"
+      | vs ->
+          line b "monotonicity dir -> jt -> func-ptr: VIOLATED";
+          List.iter (fun v -> line b "  %s" v) vs)
+
 let all () =
   String.concat "\n"
     [
@@ -660,4 +788,5 @@ let all () =
       bolt ();
       diogenes ();
       ablation ();
+      attribution ();
     ]

@@ -83,5 +83,27 @@ val ablation : unit -> string
     branch-range-stressed benchmark), and RA translation vs. call emulation
     (on the C++ exception benchmark). *)
 
+(** {1 Coverage attribution} *)
+
+type attribution_cell = {
+  at_cfl : int;  (** residual CFL blocks *)
+  at_trampolines : int;  (** placed trampolines *)
+  at_traps : int;  (** trap fallbacks among them *)
+}
+
+val attribution_data :
+  Icfg_isa.Arch.t ->
+  (string * Icfg_core.Attribution.t * Icfg_core.Attribution.t list) list
+(** Per benchmark: name, the SRBI-baseline attribution, and the attributions
+    for modes [dir; jt; func-ptr] in that order. *)
+
+val attribution_cell : Icfg_core.Attribution.t -> attribution_cell
+
+val attribution : unit -> string
+(** The paper's coverage-table view (per-benchmark CFL/trampoline/trap
+    counts per configuration), the aggregate per-cause histogram, and a
+    monotonicity check that residual CFL blocks and traps never increase
+    along [dir -> jt -> func-ptr]. *)
+
 val all : unit -> string
 (** Every experiment, in paper order, plus the ablations. *)

@@ -1,17 +1,9 @@
-let mean = function
-  | [] -> 0.
-  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+(* Thin re-export of the core helpers so harness reports and the core
+   rewriter's [pp_stats] format percentages identically (the rewriter sits
+   below this library and cannot use harness modules). *)
 
-let max_f = function [] -> 0. | l -> List.fold_left max neg_infinity l
-let min_f = function [] -> 0. | l -> List.fold_left min infinity l
-
-(* NaN/infinity reach this formatter when a ratio was computed by hand from
-   an empty bench (0/0); render them as "n/a" rather than "+nan%". *)
-let pct v = if Float.is_finite v then Printf.sprintf "%+.2f%%" v else "n/a"
-
-(* An empty or degenerate base (no cycles measured, empty bench) has no
-   meaningful growth ratio; define it as 0 rather than dividing by zero —
-   the old [max 1 base] clamp reported value*100 for base = 0. *)
-let ratio_pct ~base ~value =
-  if base <= 0 then 0.
-  else 100. *. float_of_int (value - base) /. float_of_int base
+let mean = Icfg_core.Stats.mean
+let max_f = Icfg_core.Stats.max_f
+let min_f = Icfg_core.Stats.min_f
+let pct = Icfg_core.Stats.pct
+let ratio_pct = Icfg_core.Stats.ratio_pct
