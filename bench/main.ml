@@ -15,6 +15,10 @@
      bench/main.exe micro --json BENCH_micro.json --trace BENCH_trace.json
                                     -- additionally dump the full span tree
                                        of the traced pipeline run
+     bench/main.exe micro --cache-json BENCH_cache.json
+                                    -- also write the incremental-cache
+                                       cold/warm rows as a standalone
+                                       document (CI uploads this artifact)
      bench/main.exe diff OLD.json NEW.json [--gate pct]
                                     -- regression gate between two --json
                                        runs; non-zero exit on regression *)
@@ -133,6 +137,10 @@ let parallel_rows : (string * int * float) list ref = ref []
 let stage_rows : (string * int * int * int * (string * int) list) list ref =
   ref []
 
+(* (name, ns_per_run, cache counters of a representative run) for the
+   cold/warm incremental-cache rewrites. *)
+let cache_rows : (string * float * (string * int) list) list ref = ref []
+
 (* Full trace tree of the last traced rewrite, for --trace FILE. *)
 let trace_json : string option ref = ref None
 
@@ -151,6 +159,21 @@ let json_escape s =
   Buffer.contents b
 
 let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.1f" f
+
+let counters_json counters =
+  String.concat ", "
+    (List.map
+       (fun (name, v) -> Printf.sprintf "\"%s\": %d" (json_escape name) v)
+       counters)
+
+let write_cache_rows oc =
+  List.iteri
+    (fun i (name, ns, counters) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"counters\": {%s}}%s\n"
+        (json_escape name) (json_float ns) (counters_json counters)
+        (if i = List.length !cache_rows - 1 then "" else ","))
+    !cache_rows
 
 let write_json path =
   let oc = open_out path in
@@ -178,19 +201,31 @@ let write_json path =
   out "  \"stages\": [\n";
   List.iteri
     (fun i (path, jobs, count, ns, counters) ->
-      let counters_json =
-        String.concat ", "
-          (List.map
-             (fun (name, v) ->
-               Printf.sprintf "\"%s\": %d" (json_escape name) v)
-             counters)
-      in
       out
         "    {\"stage\": \"%s\", \"jobs\": %d, \"spans\": %d, \"ns\": %d, \
          \"counters\": {%s}}%s\n"
-        (json_escape path) jobs count ns counters_json
+        (json_escape path) jobs count ns (counters_json counters)
         (if i = List.length !stage_rows - 1 then "" else ","))
     !stage_rows;
+  out "  ],\n";
+  out "  \"cache\": [\n";
+  write_cache_rows oc;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* Standalone cache-only document (schema icfg-bench-cache/1) for the CI
+   artifact: the same rows as the "cache" section of BENCH_micro.json,
+   without dragging the whole micro suite along. *)
+let write_cache_json path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"icfg-bench-cache/1\",\n";
+  out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"cache\": [\n";
+  write_cache_rows oc;
   out "  ]\n";
   out "}\n";
   close_out oc;
@@ -323,6 +358,95 @@ let run_trace_stages () =
       trace_json := Some (Icfg_core.Trace.to_json t))
     [ 1; 4 ]
 
+(* Cold-vs-warm incremental cache rows: a full rewrite populating a fresh
+   cache, an identical re-rewrite against a warm cache (the headline: only
+   layout + emit remain), and a re-rewrite after perturbing one function's
+   bytes (exactly that function's entries miss). Each row also records the
+   cache counters of one representative run, and every cached output is
+   checked byte-identical against the uncached rewrite. *)
+let run_cache_micro () =
+  print_endline "== Incremental cache: cold vs warm rewrites (largest spec binary) ==";
+  let module Cache = Icfg_core.Cache in
+  let module Runner = Icfg_harness.Runner in
+  let arch = Arch.X86_64 in
+  let bin = largest_spec_binary arch in
+  let rewrite ?cache b = Runner.rewrite ~jobs:1 ?cache b in
+  let fingerprint (rw : Icfg_core.Rewriter.t) =
+    Digest.to_hex (Digest.string (Marshal.to_string rw.Icfg_core.Rewriter.rw_binary []))
+  in
+  let counters_of c =
+    let s = Cache.stats c in
+    [
+      ("hits", s.Cache.c_hits);
+      ("misses", s.Cache.c_misses);
+      ("stores", s.Cache.c_stores);
+      ("bytes_reused", s.Cache.c_bytes_reused);
+      ("evict_corrupt", s.Cache.c_evict_corrupt);
+    ]
+  in
+  let row name ~reps ~counters run =
+    ignore (Sys.opaque_identity (run ()));
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (run ()))
+    done;
+    let ns = (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e9 in
+    cache_rows := !cache_rows @ [ (name, ns, counters) ];
+    Printf.printf "  %-24s %12.0f ns/run  (%s)\n%!" name ns
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counters));
+    ns
+  in
+  let baseline = rewrite bin in
+  let base_fp = fingerprint baseline in
+  (* Warm store shared by the warm rows; each representative/timed run
+     replays it through a clone so per-run counters start from zero and
+     stores never accumulate across reps. *)
+  let warm = Cache.create () in
+  ignore (Sys.opaque_identity (rewrite ~cache:warm bin));
+  let check name rw =
+    if fingerprint rw <> base_fp then
+      Printf.printf "  WARNING: %s output differs from uncached rewrite\n%!" name
+  in
+  let cold_counters =
+    let c = Cache.create () in
+    let rw = rewrite ~cache:c bin in
+    check "cache-cold-rewrite" rw;
+    counters_of c
+  in
+  let cold =
+    row "cache-cold-rewrite" ~reps:20 ~counters:cold_counters (fun () ->
+        rewrite ~cache:(Cache.create ()) bin)
+  in
+  let warm_counters =
+    let c = Cache.clone warm in
+    let rw = rewrite ~cache:c bin in
+    check "cache-warm-identical" rw;
+    counters_of c
+  in
+  let warm_ns =
+    row "cache-warm-identical" ~reps:20 ~counters:warm_counters (fun () ->
+        rewrite ~cache:(Cache.clone warm) bin)
+  in
+  Printf.printf "  %-24s cold/warm speedup: %.2fx\n%!" "cache" (cold /. warm_ns);
+  match Runner.perturb_function (Icfg_analysis.Parse.parse bin) with
+  | None ->
+      print_endline "  (no safely perturbable function; skipping perturbed row)"
+  | Some (pbin, fname) ->
+      let pert_fp = fingerprint (rewrite pbin) in
+      let pert_counters =
+        let c = Cache.clone warm in
+        let rw = rewrite ~cache:c pbin in
+        if fingerprint rw <> pert_fp then
+          Printf.printf
+            "  WARNING: cache-warm-perturbed output differs from uncached\n%!";
+        counters_of c
+      in
+      Printf.printf "  (perturbed function: %s)\n%!" fname;
+      ignore
+        (row "cache-warm-perturbed" ~reps:20 ~counters:pert_counters (fun () ->
+             rewrite ~cache:(Cache.clone warm) pbin))
+
 let run_micro () =
   let open Bechamel in
   print_endline "== Micro-benchmarks (bechamel; one per table/figure) ==";
@@ -349,7 +473,8 @@ let run_micro () =
         (Test.elements test))
     tests;
   run_parallel_micro ();
-  run_trace_stages ()
+  run_trace_stages ();
+  run_cache_micro ()
 
 (* The regression gate: `bench/main.exe diff OLD.json NEW.json [--gate pct]`
    compares two BENCH_micro.json runs and exits non-zero on regression (CI
@@ -393,6 +518,7 @@ let () =
   in
   let json_path, args = split_flag "--json" [] args in
   let trace_path, args = split_flag "--trace" [] args in
+  let cache_json_path, args = split_flag "--cache-json" [] args in
   let selected =
     match args with
     | [] -> List.map fst experiments @ [ "micro" ]
@@ -412,6 +538,7 @@ let () =
             exit 1)
     selected;
   Option.iter write_json json_path;
+  Option.iter write_cache_json cache_json_path;
   Option.iter
     (fun path ->
       match !trace_json with

@@ -113,6 +113,31 @@ let trace_t =
            write it to $(docv) as JSON (schema icfg-trace/1)."
         ~docv:"FILE")
 
+let cache_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ]
+        ~doc:
+          "Reuse per-function rewrite artifacts from the content-addressed \
+           cache rooted at $(docv) (created if missing). Warm re-rewrites \
+           skip analysis, relocation, planning and chunk encoding for \
+           unchanged functions; output bytes are identical with or without \
+           the cache, and corrupt or stale entries silently degrade to \
+           misses."
+        ~docv:"DIR")
+
+let cache_of dir = Option.map (fun d -> Icfg_core.Cache.create ~dir:d ()) dir
+
+let pp_cache_line = function
+  | None -> ()
+  | Some c ->
+      let s = Icfg_core.Cache.stats c in
+      Format.printf
+        "cache: %d hits, %d misses, %d bytes reused, %d corrupt evictions@."
+        s.Icfg_core.Cache.c_hits s.Icfg_core.Cache.c_misses
+        s.Icfg_core.Cache.c_bytes_reused s.Icfg_core.Cache.c_evict_corrupt
+
 (* Run [f] under an ambient trace when [--trace FILE] was given, then write
    the JSON report — also when [f] raises or exits, so a failed pipeline
    still leaves its trace behind for diagnosis. Tracing is
@@ -148,15 +173,17 @@ let analyze workload arch pie jobs =
         (if fa.Parse.fa_instrumentable then "" else "  [UNINSTRUMENTABLE]"))
     p.Parse.funcs
 
-let rewrite_cmd workload arch pie mode jobs output trace =
+let rewrite_cmd workload arch pie mode jobs output trace cache_dir =
   let bin, _ = load_workload workload arch pie in
+  let cache = cache_of cache_dir in
   let rw =
     with_trace trace @@ fun () ->
     Icfg_harness.Runner.rewrite
       ~options:{ Rewriter.default_options with Rewriter.mode }
-      ~jobs:(resolve_jobs jobs) bin
+      ~jobs:(resolve_jobs jobs) ?cache bin
   in
   Format.printf "%a@." Rewriter.pp_stats rw.Rewriter.rw_stats;
+  pp_cache_line cache;
   Format.printf "%a" Binary.pp rw.Rewriter.rw_binary;
   match output with
   | Some path ->
@@ -185,8 +212,9 @@ let verify_cmd workload arch pie mode jobs trace =
   | None -> ());
   if not report.Icfg_core.Verify.ok then exit 1
 
-let run_cmd workload arch pie mode jobs trace =
+let run_cmd workload arch pie mode jobs trace cache_dir =
   let bin, _ = load_workload workload arch pie in
+  let cache = cache_of cache_dir in
   let show label (r : Vm.result) =
     Format.printf "%-10s %-8s cycles %10d, steps %9d, traps %5d, output [%s]@."
       label
@@ -205,7 +233,7 @@ let run_cmd workload arch pie mode jobs trace =
     let rw =
       Icfg_harness.Runner.rewrite
         ~options:{ Rewriter.default_options with Rewriter.mode }
-        ~jobs:(resolve_jobs jobs) bin
+        ~jobs:(resolve_jobs jobs) ?cache bin
     in
     let counters = Hashtbl.create 16 in
     let cfg = Rewriter.vm_config_for rw cfg in
@@ -219,19 +247,23 @@ let run_cmd workload arch pie mode jobs trace =
   in
   show "original" orig;
   show (Mode.name mode) r;
+  pp_cache_line cache;
   if r.Vm.outcome = Vm.Halted && r.Vm.output = orig.Vm.output then
     Format.printf "outputs match; overhead %+.2f%%@."
       (100. *. float_of_int (r.Vm.cycles - orig.Vm.cycles)
       /. float_of_int (max 1 orig.Vm.cycles))
 
-let report_cmd workload arch pie mode jobs json trace =
+let report_cmd workload arch pie mode jobs json trace cache_dir =
   let module A = Icfg_core.Attribution in
   let bin, _ = load_workload workload arch pie in
+  let cache = cache_of cache_dir in
   with_trace trace @@ fun () ->
+  (* Both rewrites (the mode and its Dir baseline) share the cache: parse
+     artifacts hit across modes, mode-dependent stages key apart. *)
   let rewrite mode =
     Icfg_harness.Runner.rewrite
       ~options:{ Rewriter.default_options with Rewriter.mode }
-      ~jobs:(resolve_jobs jobs) bin
+      ~jobs:(resolve_jobs jobs) ?cache bin
   in
   let rw = rewrite mode in
   let attr = rw.Rewriter.rw_attribution in
@@ -241,6 +273,7 @@ let report_cmd workload arch pie mode jobs json trace =
     else Some (rewrite Mode.Dir).Rewriter.rw_attribution
   in
   Format.printf "%a@." Rewriter.pp_stats rw.Rewriter.rw_stats;
+  pp_cache_line cache;
   Format.printf "%a" A.pp attr;
   (match dir with
   | Some d ->
@@ -347,7 +380,7 @@ let cmd_rewrite =
   Cmd.v (Cmd.info "rewrite" ~doc:"Rewrite a workload and print the statistics.")
     Term.(
       const rewrite_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t
-      $ output_t $ trace_t)
+      $ output_t $ trace_t $ cache_t)
 
 let cmd_verify =
   Cmd.v
@@ -363,7 +396,8 @@ let cmd_run =
     (Cmd.info "run"
        ~doc:"Run a workload before and after rewriting and compare.")
     Term.(
-      const run_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t $ trace_t)
+      const run_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t $ trace_t
+      $ cache_t)
 
 let report_json_t =
   Arg.(
@@ -384,7 +418,7 @@ let cmd_report =
           mode's incremental delta vs the dir baseline.")
     Term.(
       const report_cmd $ workload_t $ arch_t $ pie_t $ mode_t $ jobs_t
-      $ report_json_t $ trace_t)
+      $ report_json_t $ trace_t $ cache_t)
 
 let func_opt_t =
   Arg.(value & opt (some string) None & info [ "f"; "function" ] ~doc:"Function name.")

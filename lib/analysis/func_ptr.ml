@@ -213,23 +213,25 @@ let data_slot_pass bin (fm : Failure_model.t) entries =
     data_sites;
   (data_sites, slot_targets)
 
-let analyze ?(par = serial) bin (fm : Failure_model.t) (cfgs : Cfg.t list) =
+let analyze ?(par = serial) ?scan_map bin (fm : Failure_model.t)
+    (cfgs : Cfg.t list) =
   let entries = entry_set bin in
   let data_sites, slot_targets = data_slot_pass bin fm entries in
   (* Per-CFG scans fan out through the injected mapper; the mapper is
      order-preserving, so concatenating per-CFG results reproduces the
      serial [List.concat_map] site order exactly, and dedup (which keeps
-     first occurrences) is schedule-independent. *)
-  let code_sites =
-    List.concat
-      (par.pmap
-         (fun cfg ->
-           List.concat_map
-             (fun b -> fp_scan_block bin fm entries slot_targets b)
-             cfg.Cfg.blocks)
-         cfgs)
+     first occurrences) is schedule-independent. [scan_map] lets a caller
+     interpose a memoizing mapper (Parse threads the rewrite cache through
+     here); it must be observation-equivalent to [par.pmap]. *)
+  let scan cfg =
+    List.concat_map
+      (fun b -> fp_scan_block bin fm entries slot_targets b)
+      cfg.Cfg.blocks
   in
-  dedup (data_sites @ code_sites)
+  let per_cfg =
+    match scan_map with Some m -> m scan cfgs | None -> par.pmap scan cfgs
+  in
+  dedup (data_sites @ List.concat per_cfg)
 
 let derived_block_targets sites =
   List.filter_map

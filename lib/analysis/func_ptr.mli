@@ -36,12 +36,20 @@ val serial : par
 (** [List.map] — the default. *)
 
 val analyze :
-  ?par:par -> Icfg_obj.Binary.t -> Failure_model.t -> Cfg.t list -> site list
+  ?par:par ->
+  ?scan_map:((Cfg.t -> site list) -> Cfg.t list -> site list list) ->
+  Icfg_obj.Binary.t ->
+  Failure_model.t ->
+  Cfg.t list ->
+  site list
 (** Two-phase analysis: a serial data-slot pass (relocation- and
     value-match slots, which also builds the slot-target map the forward
     slicer reads) followed by per-CFG code scans fanned out through [par].
     The scans read only frozen state and results are merged in CFG order,
-    so the site list is independent of the mapper used. *)
+    so the site list is independent of the mapper used. [scan_map], when
+    given, replaces [par.pmap] for the per-CFG scans — the hook Parse uses
+    to interpose the content-addressed rewrite cache; it must be an
+    order-preserving observation-equivalent of [par.pmap]. *)
 
 val dedup : site list -> site list
 (** Keep the first occurrence of each distinct site: materializations are

@@ -1,6 +1,7 @@
 open Icfg_isa
 module Binary = Icfg_obj.Binary
 module Symbol = Icfg_obj.Symbol
+module Section = Icfg_obj.Section
 
 type jt_site =
   | Js_resolved of Jump_table.bound_cause
@@ -163,15 +164,139 @@ type probe = {
 
 let no_probe = { pspan = (fun _ f -> f ()); pcount = (fun _ _ -> ()) }
 
-let parse ?(fm = Failure_model.ours) ?(par = serial) ?(probe = no_probe) bin =
+(* Memoizing mapper injected by the caller (the content-addressed cache
+   lives in the core library, above this one — same inversion as [par] and
+   [probe]). [mmap ~stage ~key f xs] must be observation-equivalent to
+   [par.pmap f xs] whenever [f] is a pure function of what [key] digests. *)
+type memo = {
+  mmap :
+    'a 'b.
+    stage:string -> key:('a -> string) -> ('a -> 'b) -> 'a list -> 'b list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Cache keys (computed only when a [memo] is injected)                *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical bytes of a structural value; [No_sharing] so equal values
+   digest equally regardless of sharing history. *)
+let mdig v = Marshal.to_string v [ Marshal.No_sharing ]
+
+(* Injective (length-prefixed) join of key parts. *)
+let kjoin parts =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string b (string_of_int (String.length p));
+      Buffer.add_char b ':';
+      Buffer.add_string b p)
+    parts;
+  Buffer.contents b
+
+(* Everything the per-function analyses read *except* bytes inside the
+   functions themselves: arch/ABI facts, the failure model, symbols,
+   relocations, eh_frame, every non-text section's bytes, and the text
+   bytes before the first function. The binary's [name] is deliberately
+   excluded — renaming a file must not invalidate its entries. *)
+let context_digest bin fm syms =
+  let text = Binary.text bin in
+  let first_func =
+    List.fold_left
+      (fun acc (s : Symbol.t) -> min acc s.Symbol.addr)
+      (Section.end_vaddr text) syms
+  in
+  let head_len = max 0 (first_func - text.Section.vaddr) in
+  let head = Bytes.sub_string text.Section.data 0 head_len in
+  let sections =
+    List.map
+      (fun (s : Section.t) ->
+        let body =
+          if s.Section.name = text.Section.name then
+            (* Covered by [head] + the per-function slices. *)
+            "text:" ^ string_of_int (Bytes.length s.Section.data)
+          else Bytes.to_string s.Section.data
+        in
+        (s.Section.name, s.Section.vaddr, s.Section.perm, s.Section.loaded, body))
+      bin.Binary.sections
+  in
+  mdig
+    ( bin.Binary.arch,
+      bin.Binary.pie,
+      bin.Binary.entry,
+      bin.Binary.toc_base,
+      bin.Binary.dynsyms,
+      bin.Binary.features,
+      bin.Binary.symbols,
+      bin.Binary.relocs,
+      bin.Binary.link_relocs,
+      bin.Binary.eh_frame,
+      fm,
+      sections,
+      head )
+
+(* A function's content slice: its text bytes extended to the next
+   function start (clamped to the text section), so the padding bytes that
+   gap classification and trampoline-region discovery read are part of the
+   owning function's key. *)
+let func_slices bin syms =
+  let text = Binary.text bin in
+  let tlo = text.Section.vaddr in
+  let thi = Section.end_vaddr text in
+  let starts =
+    List.sort_uniq compare (List.map (fun (s : Symbol.t) -> s.Symbol.addr) syms)
+  in
+  let next = Hashtbl.create 64 in
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+        Hashtbl.replace next a b;
+        link rest
+    | _ -> ()
+  in
+  link starts;
+  fun (sym : Symbol.t) ->
+    let lo = max tlo (min thi sym.Symbol.addr) in
+    let stop =
+      match Hashtbl.find_opt next sym.Symbol.addr with
+      | Some nxt -> nxt
+      | None -> thi
+    in
+    let hi = max lo (min thi (max stop (sym.Symbol.addr + sym.Symbol.size))) in
+    Bytes.sub_string text.Section.data (lo - tlo) (hi - lo)
+
+let parse ?(fm = Failure_model.ours) ?(par = serial) ?(probe = no_probe) ?memo
+    bin =
   probe.pspan "parse" @@ fun () ->
   let syms = Binary.func_symbols bin in
+  (* Key machinery is forced only when a memo is injected, so the default
+     path costs (and does) exactly what it did before memoization. *)
+  let keys =
+    lazy
+      (let ctx = context_digest bin fm syms in
+       let slice = func_slices bin syms in
+       fun extras (sym : Symbol.t) ->
+         kjoin
+           (ctx
+           :: mdig (sym.Symbol.addr, sym.Symbol.size, sym.Symbol.name)
+           :: slice sym :: extras))
+  in
+  let fkey extras sym = (Lazy.force keys) extras sym in
+  let mmap ~stage ~key f l =
+    match memo with None -> par.pmap f l | Some m -> m.mmap ~stage ~key f l
+  in
+  let scan_map stage extras =
+    Option.map
+      (fun m scan cfgs ->
+        m.mmap ~stage
+          ~key:(fun (cfg : Cfg.t) -> fkey extras cfg.Cfg.fsym)
+          scan cfgs)
+      memo
+  in
   (* Pass 1 over every function: slices for global known-data collection.
      Per-function analysis only reads the (immutable) binary, so both
      per-function passes fan out through [par]. *)
   let pass1 =
     probe.pspan "pass1" (fun () ->
-        par.pmap
+        mmap ~stage:"parse/pass1" ~key:(fkey [])
           (fun sym ->
             let cfg0, slices, pres = analyze_function bin fm sym in
             ((sym, cfg0, slices), pres))
@@ -189,12 +314,19 @@ let parse ?(fm = Failure_model.ours) ?(par = serial) ?(probe = no_probe) bin =
   let fpar = { Func_ptr.pmap = par.pmap } in
   let cfg0s = List.map (fun ((_, c, _), _) -> c) pass1 in
   let fptrs =
-    probe.pspan "func-ptr" (fun () -> Func_ptr.analyze ~par:fpar bin fm cfg0s)
+    probe.pspan "func-ptr" (fun () ->
+        Func_ptr.analyze ~par:fpar
+          ?scan_map:(scan_map "parse/fptr" [])
+          bin fm cfg0s)
   in
   let pointer_targets = Func_ptr.derived_block_targets fptrs in
+  (* Finalization (and the second scan below) also reads the cross-function
+     results of round 1, so those join the per-function keys as extras. *)
+  let round1 = lazy (mdig (known_data, pointer_targets)) in
   let funcs =
     probe.pspan "finalize" (fun () ->
-        par.pmap
+        mmap ~stage:"parse/finalize"
+          ~key:(fun ((sym, _, _), _) -> fkey [ Lazy.force round1 ] sym)
           (fun ((sym, cfg0, slices), _) ->
             finalize_function bin fm ~known_data pointer_targets
               (sym, cfg0, slices))
@@ -204,7 +336,13 @@ let parse ?(fm = Failure_model.ours) ?(par = serial) ?(probe = no_probe) bin =
      materializations inside switch-case blocks). *)
   let fptrs =
     probe.pspan "func-ptr-2" (fun () ->
-        Func_ptr.analyze ~par:fpar bin fm (List.map (fun f -> f.fa_cfg) funcs))
+        Func_ptr.analyze ~par:fpar
+          ?scan_map:
+            (match memo with
+            | None -> None
+            | Some _ -> scan_map "parse/fptr2" [ Lazy.force round1 ])
+          bin fm
+          (List.map (fun f -> f.fa_cfg) funcs))
   in
   let pointer_targets = Func_ptr.derived_block_targets fptrs in
   let t = { bin; fm; funcs; fptrs; pointer_targets } in

@@ -59,8 +59,24 @@ type probe = {
 val no_probe : probe
 (** Pass-through — the default. *)
 
+type memo = {
+  mmap :
+    'a 'b.
+    stage:string -> key:('a -> string) -> ('a -> 'b) -> 'a list -> 'b list;
+}
+(** A memoizing order-preserving map, injected like [par]/[probe] (the
+    content-addressed cache lives in the core library, above this one).
+    [mmap ~stage ~key f xs] must be observation-equivalent to
+    [par.pmap f xs]; [key x] digests every input [f x] reads, so the
+    memoizer may serve a stored result for an equal key. *)
+
 val parse :
-  ?fm:Failure_model.t -> ?par:par -> ?probe:probe -> Icfg_obj.Binary.t -> t
+  ?fm:Failure_model.t ->
+  ?par:par ->
+  ?probe:probe ->
+  ?memo:memo ->
+  Icfg_obj.Binary.t ->
+  t
 (** Whole-binary parse. [par] parallelizes the two per-function passes
     (initial CFG + jump-table slicing, then finalization + liveness) and
     the per-CFG function-pointer scans ({!Func_ptr.analyze}); only the
@@ -68,7 +84,16 @@ val parse :
     serial. Output is independent of the mapper used. [probe] wraps each
     stage in a span ([pass1], [known-data], [func-ptr], [finalize],
     [func-ptr-2] under [parse]) and reports whole-binary counters
-    ([parse/funcs], [parse/instrumentable], [parse/jump-tables], ...). *)
+    ([parse/funcs], [parse/instrumentable], [parse/jump-tables], ...).
+
+    [memo] memoizes the four per-function stages (stage tags
+    [parse/pass1], [parse/fptr], [parse/finalize], [parse/fptr2]). Keys
+    combine a whole-binary context digest (everything except text bytes
+    inside functions), the function's symbol and content slice (extended
+    to the next function start so padding is owned), and — for the
+    post-round-1 stages — the known-data and pointer-target results of
+    round 1. Without [memo] the key machinery is never even forced, so
+    the default path is bit- and cost-identical to an unmemoized parse. *)
 
 val func : t -> string -> func_analysis option
 val func_at : t -> int -> func_analysis option

@@ -211,6 +211,53 @@ type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
 
 let serial = { pmap = List.map }
 
+type chunk = { c_items : (item * int) list; c_lo : int; c_hi : int }
+
+type memo = {
+  cmap :
+    stage:string ->
+    key:(chunk -> string) ->
+    (chunk -> Bytes.t * Icfg_obj.Reloc.t list) ->
+    chunk list ->
+    (Bytes.t * Icfg_obj.Reloc.t list) list;
+}
+
+(* Labels an item reads through the frozen table. A chunk's encoded bytes
+   depend only on its placed items and the *values* of these labels, so a
+   memo key resolves them eagerly: identical layouts hit, shifted layouts
+   change some resolved value and miss. *)
+let item_labels = function
+  | Jmp_to l
+  | Jcc_to (_, l)
+  | Call_to l
+  | Lea_of (_, l)
+  | Adrp_of (_, l)
+  | Addlo_page (_, l)
+  | Addis_toc (_, l)
+  | Addlo_toc (_, l)
+  | Movabs_of (_, l)
+  | Movhi_of (_, l)
+  | Orlo_of (_, l)
+  | Data (_, Addr l, _)
+  | Data (_, Diff_const (l, _, _), _) ->
+      [ l ]
+  | Data (_, Diff (a, b, _), _) -> [ a; b ]
+  | Insn _ | Jmp_abs _ | Jcc_abs _ | Call_abs _ | Mater_const _ | Label _
+  | Align _
+  | Data (_, Const _, _)
+  | Raw _ | Space _ ->
+      []
+
+let chunk_key arch ~pie ~toc ~labels ch =
+  let resolved =
+    List.map
+      (fun (it, at) -> (it, at, List.map (label_exn labels) (item_labels it)))
+      ch.c_items
+  in
+  Marshal.to_string
+    (arch, pie, toc, ch.c_lo, ch.c_hi, resolved)
+    [ Marshal.No_sharing ]
+
 (* Sharded second pass. Layout is inherently sequential (each address
    depends on every earlier item's size), but once the label table is
    frozen, encoding any item depends only on its own (item, address) pair
@@ -221,35 +268,53 @@ let serial = { pmap = List.map }
    serial blit reassembles the exact serial image; per-chunk reloc lists
    concatenated in chunk order reproduce the serial (item-order) reloc
    list. Nothing about the result can depend on the schedule or the chunk
-   count — the battery in [test_parallel] pins this byte-for-byte. *)
-let encode_sharded arch ~pie ~toc ~labels ?(par = serial) ?(chunks = 1) lay =
+   count — the battery in [test_parallel] pins this byte-for-byte.
+
+   With [memo], each chunk's (bytes, relocs) additionally goes through the
+   injected memoizer, keyed on the chunk content plus its resolved label
+   values — the memoizer's cache layer decides hit/miss/parallelism. *)
+let encode_sharded arch ~pie ~toc ~labels ?(par = serial) ?memo ?(chunks = 1)
+    lay =
   let items = Array.of_list lay.items in
   let n = Array.length items in
   let chunks = max 1 (min chunks n) in
-  if chunks <= 1 then encode arch ~pie ~toc ~labels lay
-  else begin
-    let start k = k * n / chunks in
-    let addr_of i = if i >= n then lay.l_end else snd items.(i) in
-    let ranges =
-      List.init chunks (fun k ->
-          let i0 = start k and i1 = start (k + 1) in
-          (i0, i1, addr_of i0, addr_of i1))
-    in
-    let encoded =
-      par.pmap
-        (fun (i0, i1, lo, hi) ->
-          let data = Bytes.make (hi - lo) '\000' in
-          let relocs = encode_run arch ~pie ~toc ~labels ~org:lo data items i0 i1 in
-          (lo, data, relocs))
-        ranges
-    in
-    let data = Bytes.make (lay.l_end - lay.l_base) '\000' in
-    List.iter
-      (fun (lo, d, _) ->
-        Bytes.blit d 0 data (lo - lay.l_base) (Bytes.length d))
-      encoded;
-    (data, List.concat_map (fun (_, _, r) -> r) encoded)
-  end
+  match memo with
+  | None when chunks <= 1 -> encode arch ~pie ~toc ~labels lay
+  | _ ->
+      let start k = k * n / chunks in
+      let addr_of i = if i >= n then lay.l_end else snd items.(i) in
+      let chs =
+        List.init chunks (fun k ->
+            let i0 = start k and i1 = start (k + 1) in
+            {
+              c_items = Array.to_list (Array.sub items i0 (i1 - i0));
+              c_lo = addr_of i0;
+              c_hi = addr_of i1;
+            })
+      in
+      let enc ch =
+        let citems = Array.of_list ch.c_items in
+        let data = Bytes.make (ch.c_hi - ch.c_lo) '\000' in
+        let relocs =
+          encode_run arch ~pie ~toc ~labels ~org:ch.c_lo data citems 0
+            (Array.length citems)
+        in
+        (data, relocs)
+      in
+      let encoded =
+        match memo with
+        | None -> par.pmap enc chs
+        | Some m ->
+            m.cmap ~stage:"encode"
+              ~key:(chunk_key arch ~pie ~toc ~labels)
+              enc chs
+      in
+      let data = Bytes.make (lay.l_end - lay.l_base) '\000' in
+      List.iter2
+        (fun ch (d, _) ->
+          Bytes.blit d 0 data (ch.c_lo - lay.l_base) (Bytes.length d))
+        chs encoded;
+      (data, List.concat_map snd encoded)
 
 type result = {
   data : Bytes.t;

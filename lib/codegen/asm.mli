@@ -82,21 +82,42 @@ type par = { pmap : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
 val serial : par
 (** [List.map] — the default. *)
 
+type chunk = { c_items : (item * int) list; c_lo : int; c_hi : int }
+(** A contiguous run of placed items covering addresses
+    [[c_lo, c_hi)] — the unit of sharded (and memoized) encoding. *)
+
+type memo = {
+  cmap :
+    stage:string ->
+    key:(chunk -> string) ->
+    (chunk -> Bytes.t * Icfg_obj.Reloc.t list) ->
+    chunk list ->
+    (Bytes.t * Icfg_obj.Reloc.t list) list;
+}
+(** Injected memoizing map (same inversion as [par]: the codegen layer
+    cannot name the cache living above it). [key] digests a chunk's items
+    {e plus the resolved values of every label they reference}, so equal
+    layouts hit and shifted layouts miss — the memoizer never has to
+    re-fix bytes against a new label table. *)
+
 val encode_sharded :
   Icfg_isa.Arch.t ->
   pie:bool ->
   toc:int ->
   labels:(string, int) Hashtbl.t ->
   ?par:par ->
+  ?memo:memo ->
   ?chunks:int ->
   layout ->
   Bytes.t * Icfg_obj.Reloc.t list
 (** {!encode}, with the item list split into [chunks] contiguous runs
     encoded independently through [par] (the label table is frozen after
     {!layout}, so chunk encoding is pure). Bytes and reloc order are
-    identical to {!encode} for every [par] and [chunks] — chunk extents
-    tile the section and per-chunk reloc lists concatenate in chunk
-    order. [chunks <= 1] is exactly {!encode}. *)
+    identical to {!encode} for every [par], [memo] and [chunks] — chunk
+    extents tile the section and per-chunk reloc lists concatenate in
+    chunk order. [chunks <= 1] without [memo] is exactly {!encode}; with
+    [memo], per-chunk encoding goes through [memo.cmap] under stage
+    ["encode"] instead of [par]. *)
 
 type result = {
   data : Bytes.t;

@@ -1,0 +1,306 @@
+(* Content-addressed memoization of per-function pipeline artifacts.
+
+   Store model: one mutex-protected [string -> string] table (final key ->
+   marshalled payload), optionally mirrored to [dir]/<key>.entry files.
+   Keys digest every input of the cached computation, so invalidation is
+   free: changed inputs -> changed key -> miss. The disk format is
+   self-validating (magic + key echo + payload length + payload digest);
+   anything that fails validation is evicted and recomputed — a corrupt
+   store can cost time, never correctness. *)
+
+let schema_version = 1
+
+type stats = {
+  c_hits : int;
+  c_misses : int;
+  c_stores : int;
+  c_bytes_reused : int;
+  c_evict_corrupt : int;
+}
+
+type t = {
+  cdir : string option;
+  mem : (string, string) Hashtbl.t;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable bytes_reused : int;
+  mutable evict_corrupt : int;
+}
+
+let rec mkdir_p d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let create ?dir () =
+  Option.iter mkdir_p dir;
+  {
+    cdir = dir;
+    mem = Hashtbl.create 256;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    stores = 0;
+    bytes_reused = 0;
+    evict_corrupt = 0;
+  }
+
+let clone c =
+  let mem = Mutex.protect c.lock (fun () -> Hashtbl.copy c.mem) in
+  {
+    cdir = None;
+    mem;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    stores = 0;
+    bytes_reused = 0;
+    evict_corrupt = 0;
+  }
+
+let stats c =
+  Mutex.protect c.lock (fun () ->
+      {
+        c_hits = c.hits;
+        c_misses = c.misses;
+        c_stores = c.stores;
+        c_bytes_reused = c.bytes_reused;
+        c_evict_corrupt = c.evict_corrupt;
+      })
+
+let dir c = c.cdir
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [No_sharing] flattens the value, so two structurally equal values
+   marshal identically regardless of how they were built (a cache
+   round-trip must not change downstream keys). Cached pipeline values
+   are acyclic plain data, so flattening always terminates. *)
+let dval v = Marshal.to_string v [ Marshal.No_sharing ]
+
+let kjoin parts =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string b (string_of_int (String.length p));
+      Buffer.add_char b ':';
+      Buffer.add_string b p)
+    parts;
+  Buffer.contents b
+
+let final_key ~stage raw =
+  Digest.to_hex
+    (Digest.string
+       (kjoin [ "icfg-cache"; string_of_int schema_version; stage; raw ]))
+
+(* ------------------------------------------------------------------ *)
+(* Disk tier                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let disk_magic = "icfgcache/1"
+
+let entry_path dir key = Filename.concat dir (key ^ ".entry")
+
+let entry_files c =
+  match c.cdir with
+  | None -> []
+  | Some d ->
+      let names =
+        try Array.to_list (Sys.readdir d) with Sys_error _ -> []
+      in
+      List.sort String.compare
+        (List.filter_map
+           (fun n ->
+             if Filename.check_suffix n ".entry" then
+               Some (Filename.concat d n)
+             else None)
+           names)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  with Sys_error _ | End_of_file -> None
+
+(* Entry layout: four '\n'-terminated header lines (magic, key echo,
+   payload length, payload MD5 hex) followed by the raw payload. *)
+let encode_entry key payload =
+  String.concat "\n"
+    [
+      disk_magic;
+      key;
+      string_of_int (String.length payload);
+      Digest.to_hex (Digest.string payload);
+      payload;
+    ]
+
+let decode_entry key s =
+  let line from =
+    match String.index_from_opt s from '\n' with
+    | Some i -> Some (String.sub s from (i - from), i + 1)
+    | None -> None
+  in
+  let ( let* ) = Option.bind in
+  let* magic, p = line 0 in
+  let* k, p = line p in
+  let* len_s, p = line p in
+  let* dig, p = line p in
+  let* len = int_of_string_opt len_s in
+  if
+    magic = disk_magic && k = key && len >= 0
+    && String.length s - p = len
+  then
+    let payload = String.sub s p len in
+    if Digest.to_hex (Digest.string payload) = dig then Some payload
+    else None
+  else None
+
+(* Best-effort atomic write: a same-directory temp file renamed into
+   place, so concurrent readers never observe a torn entry. Failures
+   (read-only store, races) silently cost a future recompute. *)
+let disk_store c key payload =
+  match c.cdir with
+  | None -> ()
+  | Some d -> (
+      let path = entry_path d key in
+      let tmp = path ^ ".tmp" in
+      try
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (encode_entry key payload));
+        Sys.rename tmp path
+      with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ()))
+
+let count_evict c =
+  c.evict_corrupt <- c.evict_corrupt + 1;
+  if Trace.active () then Trace.incr "cache.evict_corrupt"
+
+(* Look up [key] on disk; corrupt/stale entries are removed and counted.
+   Caller holds [c.lock]. *)
+let disk_find c key =
+  match c.cdir with
+  | None -> None
+  | Some d -> (
+      let path = entry_path d key in
+      if not (Sys.file_exists path) then None
+      else
+        match Option.bind (read_file path) (decode_entry key) with
+        | Some payload -> Some payload
+        | None ->
+            (try Sys.remove path with Sys_error _ -> ());
+            count_evict c;
+            None)
+
+(* ------------------------------------------------------------------ *)
+(* Store operations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Raw payload lookup: memory first, then disk (promoting to memory).
+   No hit/miss accounting — [memo_map] counts only after the payload
+   also unmarshals, so a corrupt payload ends up a miss, not a hit. *)
+let find c key =
+  Mutex.protect c.lock (fun () ->
+      match Hashtbl.find_opt c.mem key with
+      | Some _ as r -> r
+      | None -> (
+          match disk_find c key with
+          | Some payload ->
+              Hashtbl.replace c.mem key payload;
+              Some payload
+          | None -> None))
+
+let store c key payload =
+  Mutex.protect c.lock (fun () ->
+      Hashtbl.replace c.mem key payload;
+      disk_store c key payload;
+      c.stores <- c.stores + 1)
+
+(* Drop an entry whose payload would not unmarshal (possible only via a
+   hand-crafted or cross-version disk store — the digest protects against
+   corruption, not against a foreign writer with a matching digest). *)
+let evict c key =
+  Mutex.protect c.lock (fun () ->
+      Hashtbl.remove c.mem key;
+      (match c.cdir with
+      | Some d -> ( try Sys.remove (entry_path d key) with Sys_error _ -> ())
+      | None -> ());
+      count_evict c)
+
+let count_hit c ~stage n =
+  Mutex.protect c.lock (fun () ->
+      c.hits <- c.hits + 1;
+      c.bytes_reused <- c.bytes_reused + n);
+  if Trace.active () then begin
+    Trace.incr "cache.hit";
+    Trace.incr ("cache.hit:" ^ stage);
+    Trace.add "cache.bytes_reused" n
+  end
+
+let count_miss c ~stage =
+  Mutex.protect c.lock (fun () -> c.misses <- c.misses + 1);
+  if Trace.active () then begin
+    Trace.incr "cache.miss";
+    Trace.incr ("cache.miss:" ^ stage)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* memo_map                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let memo_map (type a b) ?cache ~jobs ~stage ~(key : a -> string)
+    (f : a -> b) (xs : a list) : b list =
+  match cache with
+  | None -> Pool.map ~jobs f xs
+  | Some c ->
+      (* Serial probe phase: keys, lookups and hit/miss accounting happen
+         in input order on the calling domain, so counters are identical
+         for every [jobs] value. Hits unmarshal a private copy here —
+         cached values contain mutable tables that must never be shared
+         between two results. *)
+      let probed =
+        List.map
+          (fun x ->
+            let k = final_key ~stage (key x) in
+            let hit =
+              match find c k with
+              | None -> None
+              | Some payload -> (
+                  match (Marshal.from_string payload 0 : b) with
+                  | v ->
+                      count_hit c ~stage (String.length payload);
+                      Some v
+                  | exception _ ->
+                      evict c k;
+                      None)
+            in
+            if Option.is_none hit then count_miss c ~stage;
+            (x, k, hit))
+          xs
+      in
+      let misses =
+        List.filter_map
+          (fun (x, k, hit) ->
+            if Option.is_none hit then Some (x, k) else None)
+          probed
+      in
+      let computed = Pool.map ~jobs (fun (x, _) -> f x) misses in
+      (* Serial store phase, again in input order. *)
+      let fresh = Hashtbl.create (List.length misses * 2) in
+      List.iter2
+        (fun (_, k) v ->
+          store c k (Marshal.to_string v []);
+          Hashtbl.replace fresh k v)
+        misses computed;
+      List.map
+        (fun (_, k, hit) ->
+          match hit with Some v -> v | None -> Hashtbl.find fresh k)
+        probed

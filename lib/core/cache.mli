@@ -1,0 +1,95 @@
+(** Content-addressed memoization of per-function pipeline artifacts.
+
+    Every pure per-item stage of the pipeline — per-function CFG /
+    jump-table analysis, finalization + liveness, function-pointer scans,
+    relocation, trampoline placement planning, and [Asm.encode_sharded]
+    chunk encoding — is a deterministic function of plain data. A cache
+    entry is keyed by a digest of {e everything} that function reads
+    (function bytes, whole-binary context, failure model, rewrite options,
+    stage tag, {!schema_version}), so a stale entry can never match: any
+    input change changes the key and the entry is simply never found again.
+    There is no mutation-based invalidation to get wrong.
+
+    Two tiers share one {!t}:
+
+    - an in-process store (a mutex-protected hash table) shared safely
+      across [Pool] lanes, and
+    - an opt-in on-disk store ([create ~dir]) with a versioned entry
+      format. Corrupt, truncated or version-skewed entries degrade to a
+      miss — never an error, never wrong bytes — and are evicted
+      (counted in [c_evict_corrupt] / the [cache.evict_corrupt] trace
+      counter).
+
+    Observation safety: the cache must be jobs-independent like every
+    other pipeline observable. {!memo_map} therefore computes keys and
+    performs lookups serially in input order (so hit/miss counts cannot
+    depend on the parallel schedule) and only fans the {e misses} out
+    across the pool. Hit payloads are unmarshalled freshly per lookup, so
+    mutable structures inside cached values (CFG succ/pred tables,
+    liveness tables) are never aliased between runs. *)
+
+val schema_version : int
+(** Bumped whenever the marshalled shape of any cached value changes;
+    part of every key, so old stores degrade to universal misses. *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** In-memory cache; with [dir], also backed by an on-disk store rooted
+    there (created, including parents, if missing). *)
+
+val clone : t -> t
+(** Snapshot: a new cache sharing nothing with [t] but pre-populated with
+    its current in-memory entries, with zeroed statistics and {e no}
+    on-disk tier. Lets benchmarks replay a warm cache without re-warming. *)
+
+type stats = {
+  c_hits : int;
+  c_misses : int;
+  c_stores : int;
+  c_bytes_reused : int;  (** marshalled payload bytes served from cache *)
+  c_evict_corrupt : int;  (** on-disk entries dropped as corrupt/stale *)
+}
+
+val stats : t -> stats
+
+val dir : t -> string option
+
+(** {1 Key construction}
+
+    Stages build raw keys from these and pass them to {!memo_map}, which
+    digests [kjoin [magic; schema_version; stage; raw_key]] into the final
+    key — so equal raw keys in different stages never collide. *)
+
+val dval : 'a -> string
+(** Canonical bytes of a structural value ([Marshal] with [No_sharing],
+    so structurally equal values digest equally regardless of sharing
+    history). Only for plain data — no closures, no custom blocks, no
+    cycles. *)
+
+val kjoin : string list -> string
+(** Length-prefixed concatenation: injective, so adjacent key parts can
+    never alias each other. *)
+
+val memo_map :
+  ?cache:t ->
+  jobs:int ->
+  stage:string ->
+  key:('a -> string) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** [memo_map ?cache ~jobs ~stage ~key f xs] is observably
+    [Pool.map ~jobs f xs] — and exactly that when [cache] is [None]
+    ([key] is never called). With a cache: keys are computed and looked
+    up serially in input order, misses are computed with
+    [Pool.map ~jobs] and stored, and results are reassembled in input
+    order. [f] must be a pure function of what [key] digests, and ['b]
+    must be marshal-safe plain data. Counters ([cache.hit],
+    [cache.hit:<stage>], [cache.miss], [cache.miss:<stage>],
+    [cache.bytes_reused], [cache.evict_corrupt]) are recorded on the
+    ambient {!Trace} when one is installed. *)
+
+val entry_files : t -> string list
+(** Absolute paths of the on-disk entries currently present (sorted);
+    [[]] without a disk tier. For fault-injection tests. *)

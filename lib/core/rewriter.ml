@@ -236,6 +236,36 @@ type rctx = {
   mutable n_cloned : int;
 }
 
+(* The marshal-safe residue of a finished relocation context: exactly the
+   accumulator fields the pipeline reads back out of [relocate_function],
+   so a cached relocation is indistinguishable from a fresh one. Lists are
+   kept in the context's (reversed) accumulation order; [merge] below
+   re-reverses them either way. *)
+type reloc_image = {
+  ri_items : Asm.item list;
+  ri_jt_items : Asm.item list;
+  ri_ra_pairs : (string * int) list;
+  ri_throw_pairs : (string * int) list;
+  ri_block_pairs : (string * int) list;
+  ri_counter_sites : (string * int) list;
+  ri_pending_traps : (string * int) list;
+  ri_dt_sites : (string * Reg.t) list;
+  ri_n_cloned : int;
+}
+
+let image_of_ctx ctx =
+  {
+    ri_items = ctx.items;
+    ri_jt_items = ctx.jt_items;
+    ri_ra_pairs = ctx.ra_pairs;
+    ri_throw_pairs = ctx.throw_pairs;
+    ri_block_pairs = ctx.block_pairs;
+    ri_counter_sites = ctx.counter_sites;
+    ri_pending_traps = ctx.pending_traps;
+    ri_dt_sites = ctx.dt_sites;
+    ri_n_cloned = ctx.n_cloned;
+  }
+
 let fresh_label ctx prefix =
   ctx.fresh <- ctx.fresh + 1;
   Printf.sprintf "%s%s$%d" prefix ctx.ns ctx.fresh
@@ -665,7 +695,7 @@ type place_plan = {
 (* The rewrite driver                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let rewrite_inner ~options (p : Parse.t) =
+let rewrite_inner ?cache ~options (p : Parse.t) =
   let opts = options in
   if opts.sparse_placement && opts.overwrite_original then
     invalid_arg
@@ -740,34 +770,66 @@ let rewrite_inner ~options (p : Parse.t) =
       n_cloned = 0;
     }
   in
+  (* Everything the per-function relocation and planning stages read
+     besides the function's own analysis record, digested once per run.
+     Lazy, so the cacheless path never pays for it. [jobs] is normalized
+     out: cache keys — hence hit/miss counters — must be jobs-independent
+     like every other pipeline observable. *)
+  let cache_ctx =
+    lazy
+      (Cache.kjoin
+         [
+           Cache.dval
+             ( { opts with jobs = 0 },
+               arch,
+               pie,
+               toc,
+               instr_base,
+               far,
+               IntSet.elements instr_entries,
+               go_hook_funcs,
+               Array.to_list dynsyms,
+               p.Parse.fptrs,
+               p.Parse.pointer_targets );
+           Cache.dval
+             ( bin.Binary.eh_frame,
+               List.map
+                 (fun (s : Symbol.t) ->
+                   (s.Symbol.addr, s.Symbol.size, s.Symbol.name))
+                 (Binary.func_symbols bin) );
+         ])
+  in
   (* 4. Relocate all instrumented functions — one context per function,
      fanned out across domains, merged back in emission order. The merged
      streams are a pure function of the (deterministic) emission order, so
-     any jobs count yields bit-identical output. *)
+     any jobs count yields bit-identical output. With a cache, each
+     function's finished accumulator image is memoized against the shared
+     context plus its analysis record. *)
   let emission_funcs =
     match opts.order with
     | `Original | `Reverse_blocks -> ifuncs
     | `Reverse_funcs -> List.rev ifuncs
   in
-  let fctxs =
+  let fimgs =
     Trace.span "relocate" @@ fun () ->
-    Pool.map ~jobs
+    Cache.memo_map ?cache ~jobs ~stage:"rewrite/relocate"
+      ~key:(fun fa -> Cache.kjoin [ Lazy.force cache_ctx; Cache.dval fa ])
       (fun fa ->
         let ctx = mk_ctx fa in
         relocate_function ctx fa go_hook_funcs;
-        ctx)
+        image_of_ctx ctx)
       emission_funcs
   in
-  let merge proj = List.concat_map (fun c -> List.rev (proj c)) fctxs in
-  let instr_items = merge (fun c -> c.items) in
-  let jt_items = merge (fun c -> c.jt_items) in
-  let all_ra_pairs = merge (fun c -> c.ra_pairs) in
-  let all_throw_pairs = merge (fun c -> c.throw_pairs) in
-  let all_block_pairs = merge (fun c -> c.block_pairs) in
-  let all_counter_sites = merge (fun c -> c.counter_sites) in
-  let all_pending_traps = merge (fun c -> c.pending_traps) in
-  let all_dt_sites = merge (fun c -> c.dt_sites) in
-  let n_cloned = List.fold_left (fun acc c -> acc + c.n_cloned) 0 fctxs in
+  let merge proj = List.concat_map (fun c -> List.rev (proj c)) fimgs in
+  let instr_items = merge (fun c -> c.ri_items) in
+  let jt_items = merge (fun c -> c.ri_jt_items) in
+  let all_ra_pairs = merge (fun c -> c.ri_ra_pairs) in
+  let all_throw_pairs = merge (fun c -> c.ri_throw_pairs) in
+  let all_block_pairs = merge (fun c -> c.ri_block_pairs) in
+  let all_counter_sites = merge (fun c -> c.ri_counter_sites) in
+  let all_pending_traps = merge (fun c -> c.ri_pending_traps) in
+  let all_dt_sites = merge (fun c -> c.ri_dt_sites) in
+  let n_cloned = List.fold_left (fun acc c -> acc + c.ri_n_cloned) 0 fimgs in
   (* 5. Assemble .instr and .jtnew in one label namespace. Layout
      (address/label assignment) is inherently sequential; encoding then
      runs against the frozen label table, so it shards into contiguous
@@ -788,16 +850,32 @@ let rewrite_inner ~options (p : Parse.t) =
     if jobs <= 1 then Asm.serial
     else { Asm.pmap = (fun f l -> Pool.map ~jobs f l) }
   in
-  let enc_chunks = if jobs <= 1 then 1 else 4 * jobs in
+  let amemo =
+    match cache with
+    | None -> None
+    | Some _ ->
+        Some
+          {
+            Asm.cmap =
+              (fun ~stage ~key f l -> Cache.memo_map ?cache ~jobs ~stage ~key f l);
+          }
+  in
+  (* Chunk boundaries feed chunk cache keys, so with a cache on the chunk
+     count is a fixed constant rather than jobs-derived — hit/miss counts
+     must be jobs-independent (bytes are chunking-independent either way,
+     which the sharding battery pins). *)
+  let enc_chunks =
+    if Option.is_some cache then 8 else if jobs <= 1 then 1 else 4 * jobs
+  in
   let instr_bytes, instr_relocs =
     Trace.span "encode:instr" @@ fun () ->
-    Asm.encode_sharded arch ~pie ~toc ~labels ~par:apar ~chunks:enc_chunks
-      instr_lay
+    Asm.encode_sharded arch ~pie ~toc ~labels ~par:apar ?memo:amemo
+      ~chunks:enc_chunks instr_lay
   in
   let jt_bytes, jt_relocs =
     Trace.span "encode:jtnew" @@ fun () ->
-    Asm.encode_sharded arch ~pie ~toc ~labels ~par:apar ~chunks:enc_chunks
-      jt_lay
+    Asm.encode_sharded arch ~pie ~toc ~labels ~par:apar ?memo:amemo
+      ~chunks:enc_chunks jt_lay
   in
   let label_addr l = Asm.label_exn labels l in
   let reloc_of a = label_addr (block_label a) in
@@ -919,9 +997,41 @@ let rewrite_inner ~options (p : Parse.t) =
       pl_events = List.rev !events;
     }
   in
+  (* A plan reads: the shared context, the function's analysis, its
+     relocated-block label values, and the trailing padding bytes up to the
+     next function start (the only binary bytes [function_regions] decodes
+     beyond what [fa] already fixes) — so that is exactly what its cache
+     key digests. *)
+  let plan_key fa =
+    let sym = fa.Parse.fa_sym in
+    let fend = sym.Symbol.addr + sym.Symbol.size in
+    let nxt = next_start_of fa in
+    let lim = min nxt (Section.end_vaddr text) in
+    let pad =
+      if lim > fend && fend >= text.Section.vaddr then
+        Bytes.sub_string text.Section.data
+          (fend - text.Section.vaddr)
+          (lim - fend)
+      else ""
+    in
+    let block_labels =
+      List.map
+        (fun (b : Cfg.block) ->
+          Hashtbl.find_opt labels (block_label b.Cfg.b_start))
+        fa.Parse.fa_cfg.Cfg.blocks
+    in
+    Cache.kjoin
+      [
+        Lazy.force cache_ctx;
+        Cache.dval fa;
+        Cache.dval (nxt, block_labels);
+        pad;
+      ]
+  in
   let plans =
     Trace.span "place:plan" @@ fun () ->
-    Pool.map ~jobs plan_function sorted_ifuncs
+    Cache.memo_map ?cache ~jobs ~stage:"rewrite/plan" ~key:plan_key
+      plan_function sorted_ifuncs
   in
   (* ...then a serial replay in sorted function order threads the scratch
      pool and the deferred-hop list exactly as a serial pass would. *)
@@ -1213,8 +1323,8 @@ let rewrite_inner ~options (p : Parse.t) =
       (fun a -> Hashtbl.find_opt labels (block_label a));
   }
 
-let rewrite ?(options = default_options) (p : Parse.t) =
-  Trace.span "rewrite" (fun () -> rewrite_inner ~options p)
+let rewrite ?cache ?(options = default_options) (p : Parse.t) =
+  Trace.span "rewrite" (fun () -> rewrite_inner ?cache ~options p)
 
 let vm_config_for t (cfg : Icfg_runtime.Vm.config) =
   let translate = Ra_map.translate t.rw_ra_map in

@@ -120,8 +120,18 @@ type t = {
       (** original block/entry address -> relocated address *)
 }
 
-val rewrite : ?options:options -> Icfg_analysis.Parse.t -> t
-(** Rewrite the parsed binary. The input binary is not mutated. *)
+val rewrite : ?cache:Cache.t -> ?options:options -> Icfg_analysis.Parse.t -> t
+(** Rewrite the parsed binary. The input binary is not mutated.
+
+    [cache] memoizes the pure per-item stages — per-function relocation
+    (stage [rewrite/relocate]), trampoline placement plans
+    ([rewrite/plan]) and encode chunks ([encode]) — keyed on everything
+    each stage reads, so warm identical re-rewrites are dominated by the
+    serial layout/replay/emit tail. Output bytes are identical with and
+    without a cache for every mode, failure model and jobs count (pinned
+    by the determinism battery), and all cache counters are
+    jobs-independent: with a cache the encode chunk count is a fixed
+    constant, and lookups happen serially in input order. *)
 
 val vm_config_for : t -> Icfg_runtime.Vm.config -> Icfg_runtime.Vm.config
 (** Install the trap map and (when enabled) the RA-translation hooks into a

@@ -179,7 +179,7 @@ let num_member k j = Option.bind (member k j) as_num
 (* Diff                                                                  *)
 (* -------------------------------------------------------------------- *)
 
-type severity = Regression | Info
+type severity = Regression | Added | Info
 
 type finding = { f_severity : severity; f_metric : string; f_msg : string }
 
@@ -193,7 +193,8 @@ let contains ~sub s =
 let counter_worse_higher name =
   List.exists
     (fun sub -> contains ~sub name)
-    [ "trampolines:trap"; "/traps"; "size-growth"; "icache-misses" ]
+    [ "trampolines:trap"; "/traps"; "size-growth"; "icache-misses";
+      "evict_corrupt" ]
 
 (* A [lane-<k>] path segment marks a schedule-dependent span: lanes exist
    only when the domain pool actually spawns, so their presence varies
@@ -259,11 +260,43 @@ let diff ?gate old_json new_json =
                   report Regression (section ^ ":" ^ k)
                     "row present in OLD but missing in NEW")
           olds;
+        (* Added-row policy: a row only NEW knows about is expected when a
+           run grows coverage (new benchmarks, new cache rows) — always
+           reported, never gating, distinctly flagged so a growing suite
+           is visible in the report. *)
         List.iter
           (fun (k, _) ->
             if List.assoc_opt k olds = None then
-              report Info (section ^ ":" ^ k) "new row (not in OLD)")
+              report Added (section ^ ":" ^ k) "row added in NEW (not in OLD)")
           news
+      in
+      (* Counter totals merged into a row: exact comparison; only
+         worse-is-higher counters moving up gate. *)
+      let check_counters k orow nrow =
+        let counters r =
+          match member "counters" r with Some (Obj l) -> l | _ -> []
+        in
+        let oc = counters orow and nc = counters nrow in
+        List.iter
+          (fun (name, ov) ->
+            let metric = Printf.sprintf "counter:%s:%s" k name in
+            match (as_num ov, Option.bind (List.assoc_opt name nc) as_num) with
+            | Some o, Some nw when o <> nw ->
+                if nw > o && counter_worse_higher name then
+                  report Regression metric
+                    (Printf.sprintf "counter %.0f -> %.0f" o nw)
+                else
+                  report Info metric (Printf.sprintf "counter %.0f -> %.0f" o nw)
+            | Some _, None -> report Info metric "counter absent in NEW run"
+            | _ -> ())
+          oc;
+        List.iter
+          (fun (name, _) ->
+            if List.assoc_opt name oc = None then
+              report Added
+                (Printf.sprintf "counter:%s:%s" k name)
+                "counter added in NEW (not in OLD)")
+          nc
       in
       compare_rows ~section:"micro"
         ~key_of:(fun r -> str_member "name" r)
@@ -283,33 +316,15 @@ let diff ?gate old_json new_json =
         ~on_pair:(fun k orow nrow ->
           check_time ("stages:" ^ k) (num_member "ns" orow)
             (num_member "ns" nrow);
-          (* Counter totals merged into the row: exact comparison. *)
-          let counters r =
-            match member "counters" r with Some (Obj l) -> l | _ -> []
-          in
-          let oc = counters orow and nc = counters nrow in
-          List.iter
-            (fun (name, ov) ->
-              let metric = Printf.sprintf "counter:%s:%s" k name in
-              match (as_num ov, Option.bind (List.assoc_opt name nc) as_num) with
-              | Some o, Some nw when o <> nw ->
-                  if nw > o && counter_worse_higher name then
-                    report Regression metric
-                      (Printf.sprintf "counter %.0f -> %.0f" o nw)
-                  else
-                    report Info metric
-                      (Printf.sprintf "counter %.0f -> %.0f" o nw)
-              | Some _, None ->
-                  report Info metric "counter absent in NEW run"
-              | _ -> ())
-            oc;
-          List.iter
-            (fun (name, _) ->
-              if List.assoc_opt name oc = None then
-                report Info
-                  (Printf.sprintf "counter:%s:%s" k name)
-                  "new counter (not in OLD)")
-            nc);
+          check_counters k orow nrow);
+      (* Cache rows (cold/warm rewrites): same shape as micro rows plus a
+         merged counter bag — time-gated like micro, counters exact. *)
+      compare_rows ~section:"cache"
+        ~key_of:(fun r -> str_member "name" r)
+        ~on_pair:(fun k orow nrow ->
+          check_time ("cache:" ^ k) (num_member "ns_per_run" orow)
+            (num_member "ns_per_run" nrow);
+          check_counters ("cache:" ^ k) orow nrow);
       Ok (List.rev !findings)
   | _ -> Error "not icfg-bench-micro/1 documents"
 
@@ -347,6 +362,7 @@ let render findings =
     end
   in
   part Regression "REGRESSIONS";
+  part Added "added";
   part Info "info";
   if findings = [] then Buffer.add_string b "no differences\n";
   Buffer.contents b

@@ -18,8 +18,12 @@
       integer factors and must not flap the gate).
     - A row present in OLD but missing in NEW is a regression (lost
       coverage), except [lane-*] trace rows, which exist only when the
-      domain pool actually spawns and are schedule-dependent. New rows are
-      informational. *)
+      domain pool actually spawns and are schedule-dependent.
+    - A row (or counter) present only in NEW carries the explicit
+      {!severity.Added} classification: always reported — a growing
+      suite should be visible — and never gating, so landing new bench
+      rows (e.g. the cache cold/warm rows) cannot trip the gate against
+      an older baseline. *)
 
 type json =
   | Null
@@ -33,7 +37,7 @@ val parse_json : string -> (json, string) result
 (** Hand-rolled recursive-descent JSON parser (no JSON dependency — same
     policy as the writers in [bench/main.ml] and {!Icfg_core.Trace}). *)
 
-type severity = Regression | Info
+type severity = Regression | Added | Info
 
 type finding = { f_severity : severity; f_metric : string; f_msg : string }
 

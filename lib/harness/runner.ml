@@ -12,15 +12,90 @@ module Baseline = Icfg_baselines.Baseline
 
 let par_of_jobs jobs = { Parse.pmap = (fun f l -> Pool.map ~jobs f l) }
 
-let parse ?fm ?(jobs = 1) bin =
-  Parse.parse ?fm
-    ~par:(par_of_jobs (max 1 jobs))
-    ~probe:(Icfg_core.Trace.parse_probe ()) bin
+let memo_of_cache ~jobs cache =
+  {
+    Parse.mmap =
+      (fun ~stage ~key f l ->
+        Icfg_core.Cache.memo_map ~cache ~jobs ~stage ~key f l);
+  }
 
-let rewrite ?fm ?(options = Rewriter.default_options) ?jobs bin =
+let parse ?fm ?(jobs = 1) ?cache bin =
+  let jobs = max 1 jobs in
+  Parse.parse ?fm ~par:(par_of_jobs jobs)
+    ~probe:(Icfg_core.Trace.parse_probe ())
+    ?memo:(Option.map (memo_of_cache ~jobs) cache)
+    bin
+
+let rewrite ?fm ?(options = Rewriter.default_options) ?jobs ?cache bin =
   let jobs = max 1 (Option.value ~default:options.Rewriter.jobs jobs) in
-  let p = parse ?fm ~jobs bin in
-  Rewriter.rewrite ~options:{ options with Rewriter.jobs } p
+  let p = parse ?fm ~jobs ?cache bin in
+  Rewriter.rewrite ?cache ~options:{ options with Rewriter.jobs } p
+
+(* ------------------------------------------------------------------ *)
+(* Content perturbation (cache invalidation probes)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Flip the low bit of one mov-immediate in one function, choosing a site
+   that provably changes nothing but that function's bytes: the function
+   has no jump tables or indirect jumps, the instruction is not a
+   function-pointer materialization (neither old nor new value is a
+   function entry, and the address is outside every [Fp_mater]
+   provenance), and the re-encoded instruction has the same length. The
+   perturbed binary then parses and rewrites identically except for that
+   one function — the probe the incremental-cache tests and benchmarks
+   use to pin per-function invalidation. *)
+let perturb_function (p : Parse.t) =
+  let bin = p.Parse.bin in
+  let arch = bin.Binary.arch in
+  let entries =
+    List.map
+      (fun (s : Icfg_obj.Symbol.t) -> s.Icfg_obj.Symbol.addr)
+      (Binary.func_symbols bin)
+  in
+  let prov_addrs =
+    List.concat_map
+      (function
+        | Icfg_analysis.Func_ptr.Fp_mater { prov; _ } -> prov
+        | Icfg_analysis.Func_ptr.Fp_slot _ | Icfg_analysis.Func_ptr.Fp_adjusted _
+          ->
+            [])
+      p.Parse.fptrs
+  in
+  let try_insn (addr, insn, len) =
+    match (insn : Icfg_isa.Insn.t) with
+    | Icfg_isa.Insn.Mov (r, Icfg_isa.Insn.Imm v)
+      when (not (List.mem v entries))
+           && (not (List.mem (v lxor 1) entries))
+           && not (List.mem addr prov_addrs) -> (
+        let insn' = Icfg_isa.Insn.Mov (r, Icfg_isa.Insn.Imm (v lxor 1)) in
+        match Icfg_isa.Encode.encode arch insn' with
+        | s when String.length s = len -> Some (addr, s)
+        | _ -> None
+        | exception Icfg_isa.Encode.Not_encodable _ -> None)
+    | _ -> None
+  in
+  let candidate (fa : Parse.func_analysis) =
+    fa.Parse.fa_instrumentable
+    && fa.Parse.fa_tables = []
+    && fa.Parse.fa_jt_sites = []
+  in
+  let rec find = function
+    | [] -> None
+    | fa :: rest when not (candidate fa) -> find rest
+    | fa :: rest -> (
+        let insns =
+          List.concat_map
+            (fun (b : Icfg_analysis.Cfg.block) -> b.Icfg_analysis.Cfg.b_insns)
+            fa.Parse.fa_cfg.Icfg_analysis.Cfg.blocks
+        in
+        match List.find_map try_insn insns with
+        | Some (addr, s) ->
+            let out = Binary.copy bin in
+            Binary.write_string out addr s;
+            Some (out, fa.Parse.fa_sym.Icfg_obj.Symbol.name)
+        | None -> find rest)
+  in
+  find p.Parse.funcs
 
 type run = {
   r_outcome : Vm.outcome;

@@ -15,9 +15,13 @@
 val par_of_jobs : int -> Icfg_analysis.Parse.par
 (** A {!Icfg_core.Pool}-backed mapper for [Parse.parse ~par]. *)
 
+val memo_of_cache : jobs:int -> Icfg_core.Cache.t -> Icfg_analysis.Parse.memo
+(** A {!Icfg_core.Cache.memo_map}-backed memoizer for [Parse.parse ~memo]. *)
+
 val parse :
   ?fm:Icfg_analysis.Failure_model.t ->
   ?jobs:int ->
+  ?cache:Icfg_core.Cache.t ->
   Icfg_obj.Binary.t ->
   Icfg_analysis.Parse.t
 
@@ -25,10 +29,19 @@ val rewrite :
   ?fm:Icfg_analysis.Failure_model.t ->
   ?options:Icfg_core.Rewriter.options ->
   ?jobs:int ->
+  ?cache:Icfg_core.Cache.t ->
   Icfg_obj.Binary.t ->
   Icfg_core.Rewriter.t
-(** Parse + rewrite. [jobs] (default: [options.jobs]) is threaded through
-    both stages. *)
+(** Parse + rewrite. [jobs] (default: [options.jobs]) and [cache] are
+    threaded through both stages; output is bit-identical with and without
+    a cache. *)
+
+val perturb_function : Icfg_analysis.Parse.t -> (Icfg_obj.Binary.t * string) option
+(** A copy of the parsed binary with the low bit of one mov-immediate
+    flipped in one function (plus that function's name), chosen so only
+    that function's analysis/rewrite artifacts change — the probe the
+    incremental-cache tests use to prove per-function invalidation.
+    [None] if no safely perturbable site exists. *)
 
 type run = {
   r_outcome : Icfg_runtime.Vm.outcome;

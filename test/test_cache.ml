@@ -1,0 +1,189 @@
+(* The content-addressed cache in isolation: key construction, the
+   memo_map contract, clone semantics, and — the part that earns its own
+   battery — fault tolerance of the on-disk tier. A corrupt, truncated,
+   version-skewed or hand-forged entry must degrade to a silent miss with
+   a correct rewrite and a counted eviction; it must never surface as an
+   error or as wrong bytes. *)
+
+module Cache = Icfg_core.Cache
+module Runner = Icfg_harness.Runner
+
+let spec_bin () =
+  let arch = Icfg_isa.Arch.X86_64 in
+  let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+  fst (Icfg_workloads.Spec_suite.compile arch bench)
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let key_injectivity () =
+  (* Length-prefixing makes adjacent parts unable to alias. *)
+  Alcotest.(check bool) "kjoin [ab;c] <> kjoin [a;bc]" true
+    (Cache.kjoin [ "ab"; "c" ] <> Cache.kjoin [ "a"; "bc" ]);
+  Alcotest.(check bool) "kjoin [] <> kjoin [empty]" true
+    (Cache.kjoin [] <> Cache.kjoin [ "" ]);
+  (* dval is structural: equal values digest equally however built. *)
+  let a = [ 1; 2; 3 ] in
+  let b = 1 :: List.tl [ 0; 2; 3 ] in
+  Alcotest.(check string) "dval structural" (Cache.dval a) (Cache.dval b)
+
+(* ------------------------------------------------------------------ *)
+(* memo_map contract                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let memo_map_no_cache () =
+  (* Without a cache, memo_map is Pool.map and the key function is never
+     consulted. *)
+  let xs = List.init 100 (fun i -> i) in
+  let r =
+    Cache.memo_map ~jobs:4 ~stage:"t"
+      ~key:(fun _ -> Alcotest.fail "key called without a cache")
+      (fun x -> x * x)
+      xs
+  in
+  Alcotest.(check (list int)) "identity with Pool.map" (List.map (fun x -> x * x) xs) r
+
+let memo_map_basic () =
+  let c = Cache.create () in
+  let xs = List.init 50 (fun i -> i) in
+  let calls = Atomic.make 0 in
+  let f x =
+    Atomic.incr calls;
+    (x, string_of_int x)
+  in
+  let key x = Cache.dval x in
+  let r1 = Cache.memo_map ~cache:c ~jobs:2 ~stage:"t" ~key f xs in
+  Alcotest.(check int) "cold: one call per item" 50 (Atomic.get calls);
+  let r2 = Cache.memo_map ~cache:c ~jobs:2 ~stage:"t" ~key f xs in
+  Alcotest.(check int) "warm: no new calls" 50 (Atomic.get calls);
+  Alcotest.(check bool) "warm result identical" true (r1 = r2);
+  let s = Cache.stats c in
+  Alcotest.(check int) "misses" 50 s.Cache.c_misses;
+  Alcotest.(check int) "hits" 50 s.Cache.c_hits;
+  Alcotest.(check int) "stores" 50 s.Cache.c_stores;
+  (* Same raw key under a different stage tag is a different entry. *)
+  let r3 = Cache.memo_map ~cache:c ~jobs:1 ~stage:"u" ~key f xs in
+  Alcotest.(check int) "stage tag separates entries" 100 (Atomic.get calls);
+  Alcotest.(check bool) "other-stage result identical" true (r1 = r3)
+
+let clone_isolation () =
+  let c = Cache.create () in
+  let xs = [ 1; 2; 3 ] in
+  let f x = x + 1 in
+  let key x = Cache.dval x in
+  ignore (Cache.memo_map ~cache:c ~jobs:1 ~stage:"t" ~key f xs);
+  let k = Cache.clone c in
+  Alcotest.(check int) "clone stats start at zero" 0 (Cache.stats k).Cache.c_hits;
+  ignore (Cache.memo_map ~cache:k ~jobs:1 ~stage:"t" ~key f xs);
+  Alcotest.(check int) "clone serves the copied entries" 3
+    (Cache.stats k).Cache.c_hits;
+  (* New entries stored into the clone do not leak back. *)
+  ignore (Cache.memo_map ~cache:k ~jobs:1 ~stage:"t" ~key f [ 99 ]);
+  ignore (Cache.memo_map ~cache:c ~jobs:1 ~stage:"t" ~key f [ 99 ]);
+  Alcotest.(check int) "original missed the clone's entry" 4
+    (Cache.stats c).Cache.c_misses
+
+(* ------------------------------------------------------------------ *)
+(* Disk-tier fault tolerance                                           *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+(* Warm an on-disk store with a full rewrite, mangle one entry with
+   [damage], then rewrite through a fresh cache over the same directory:
+   the output must still be byte-identical to the uncached rewrite, the
+   damaged entry must be silently evicted (one counted eviction, one
+   miss), and everything else must hit. *)
+let damage_case ~what damage =
+  Test_parallel.with_temp_dir (fun dir ->
+      let bin = spec_bin () in
+      let options = Test_parallel.opts Icfg_core.Mode.Jt in
+      let uncached = Runner.rewrite ~options ~jobs:1 bin in
+      let c1 = Cache.create ~dir () in
+      ignore (Runner.rewrite ~options ~jobs:1 ~cache:c1 bin);
+      let total = (Cache.stats c1).Cache.c_misses in
+      let victim =
+        match Cache.entry_files c1 with
+        | f :: _ -> f
+        | [] -> Alcotest.fail "no on-disk entries after a cold rewrite"
+      in
+      damage victim;
+      let c2 = Cache.create ~dir () in
+      let rw = Runner.rewrite ~options ~jobs:1 ~cache:c2 bin in
+      Test_parallel.check_same ~what uncached rw;
+      let s = Cache.stats c2 in
+      Alcotest.(check int) (what ^ ": one eviction") 1 s.Cache.c_evict_corrupt;
+      Alcotest.(check int) (what ^ ": one miss") 1 s.Cache.c_misses;
+      Alcotest.(check int) (what ^ ": rest hits") (total - 1) s.Cache.c_hits;
+      (* The miss re-stored a valid entry: a third run is all hits. *)
+      let c3 = Cache.create ~dir () in
+      ignore (Runner.rewrite ~options ~jobs:1 ~cache:c3 bin);
+      Alcotest.(check int) (what ^ ": store healed") 0
+        (Cache.stats c3).Cache.c_misses)
+
+let disk_truncated () =
+  damage_case ~what:"truncated entry" (fun path ->
+      let s = read_file path in
+      write_file path (String.sub s 0 (String.length s / 2)))
+
+let disk_garbage () =
+  damage_case ~what:"garbage entry" (fun path ->
+      write_file path (String.make 64 '\xfe'))
+
+let disk_empty () =
+  damage_case ~what:"empty entry" (fun path -> write_file path "")
+
+let disk_version_skew () =
+  (* A future format version: same layout, bumped magic. Must read as
+     stale, not as valid. *)
+  damage_case ~what:"version-skewed entry" (fun path ->
+      let s = read_file path in
+      let i = String.index s '\n' in
+      write_file path ("icfgcache/2" ^ String.sub s i (String.length s - i)))
+
+let disk_forged_payload () =
+  (* A foreign writer with a self-consistent entry (magic, key echo,
+     length and digest all valid) around a payload that is not a marshal
+     image. The disk layer accepts it; memo_map must catch the unmarshal
+     failure, evict, and recompute. *)
+  damage_case ~what:"forged payload" (fun path ->
+      let key = Filename.chop_suffix (Filename.basename path) ".entry" in
+      let payload = "not a marshal image" in
+      write_file path
+        (String.concat "\n"
+           [
+             "icfgcache/1";
+             key;
+             string_of_int (String.length payload);
+             Digest.to_hex (Digest.string payload);
+             payload;
+           ]))
+
+let suite =
+  [
+    ( "cache",
+      [
+        Alcotest.test_case "key injectivity" `Quick key_injectivity;
+        Alcotest.test_case "memo_map: no cache = Pool.map" `Quick
+          memo_map_no_cache;
+        Alcotest.test_case "memo_map: basic hit/miss/stage" `Quick
+          memo_map_basic;
+        Alcotest.test_case "clone isolation" `Quick clone_isolation;
+        Alcotest.test_case "disk: truncated entry" `Quick disk_truncated;
+        Alcotest.test_case "disk: garbage entry" `Quick disk_garbage;
+        Alcotest.test_case "disk: empty entry" `Quick disk_empty;
+        Alcotest.test_case "disk: version skew" `Quick disk_version_skew;
+        Alcotest.test_case "disk: forged payload" `Quick disk_forged_payload;
+      ] );
+  ]

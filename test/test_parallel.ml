@@ -338,6 +338,153 @@ let go_battery () =
     Arch.all
 
 (* ------------------------------------------------------------------ *)
+(* Incremental cache: cached == uncached, jobs-independent counters,   *)
+(* per-function invalidation                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = Icfg_core.Cache
+module Trace = Icfg_core.Trace
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "icfgcache-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then (
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir))
+    (fun () -> f dir)
+
+(* Cached rewrites are byte-identical to uncached ones for every mode and
+   jobs value, cold and warm alike, and the hit/miss statistics are
+   jobs-independent (the ISSUE's observation-safety requirement). *)
+let cache_battery () =
+  let arch = Arch.X86_64 in
+  let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+  let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+  List.iter
+    (fun mode ->
+      let options = opts mode in
+      let uncached = Runner.rewrite ~options ~jobs:1 bin in
+      let stats_by_jobs =
+        List.map
+          (fun jobs ->
+            let c = Cache.create () in
+            let cold = Runner.rewrite ~options ~jobs ~cache:c bin in
+            check_same
+              ~what:(Printf.sprintf "%s cold jobs=%d" (Mode.name mode) jobs)
+              uncached cold;
+            let cold_stats = Cache.stats c in
+            Alcotest.(check int)
+              (Printf.sprintf "%s cold jobs=%d: no hits" (Mode.name mode) jobs)
+              0 cold_stats.Cache.c_hits;
+            Alcotest.(check bool)
+              (Printf.sprintf "%s cold jobs=%d: misses" (Mode.name mode) jobs)
+              true
+              (cold_stats.Cache.c_misses > 0);
+            (* Warm replay through a clone: fresh statistics, shared
+               entries. Everything per-function must hit. *)
+            let wc = Cache.clone c in
+            let warm = Runner.rewrite ~options ~jobs ~cache:wc bin in
+            check_same
+              ~what:(Printf.sprintf "%s warm jobs=%d" (Mode.name mode) jobs)
+              uncached warm;
+            let warm_stats = Cache.stats wc in
+            Alcotest.(check int)
+              (Printf.sprintf "%s warm jobs=%d: no misses" (Mode.name mode) jobs)
+              0 warm_stats.Cache.c_misses;
+            Alcotest.(check int)
+              (Printf.sprintf "%s warm jobs=%d: all hits" (Mode.name mode) jobs)
+              cold_stats.Cache.c_misses warm_stats.Cache.c_hits;
+            (cold_stats, warm_stats))
+          [ 1; 2; 4 ]
+      in
+      match stats_by_jobs with
+      | ref_stats :: rest ->
+          List.iteri
+            (fun i s ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: stats jobs-independent (%d)" (Mode.name mode)
+                   i)
+                true (s = ref_stats))
+            rest
+      | [] -> ())
+    Mode.all
+
+(* The on-disk tier: a second cache instance over the same directory (a
+   fresh process in real life) serves every per-function artifact from
+   disk — zero misses — and the output stays byte-identical. *)
+let cache_disk_battery () =
+  let arch = Arch.X86_64 in
+  let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+  let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+  let options = opts Mode.Jt in
+  let uncached = Runner.rewrite ~options ~jobs:1 bin in
+  with_temp_dir (fun dir ->
+      let c1 = Cache.create ~dir () in
+      let cold = Runner.rewrite ~options ~jobs:1 ~cache:c1 bin in
+      check_same ~what:"disk cold" uncached cold;
+      Alcotest.(check bool) "entries on disk" true (Cache.entry_files c1 <> []);
+      let c2 = Cache.create ~dir () in
+      let warm = Runner.rewrite ~options ~jobs:2 ~cache:c2 bin in
+      check_same ~what:"disk warm" uncached warm;
+      let s = Cache.stats c2 in
+      Alcotest.(check int) "disk warm: no misses" 0 s.Cache.c_misses;
+      Alcotest.(check int) "disk warm: all hits" (Cache.stats c1).Cache.c_misses
+        s.Cache.c_hits;
+      Alcotest.(check bool) "disk warm: bytes reused" true
+        (s.Cache.c_bytes_reused > 0))
+
+(* Perturbing one function's bytes invalidates exactly that function's
+   entries: each per-function stage misses once, everything else hits, and
+   the rewrite of the perturbed binary is still byte-identical to its
+   uncached rewrite. *)
+let cache_invalidation () =
+  let arch = Arch.X86_64 in
+  let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+  let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+  let options = opts Mode.Jt in
+  let warm = Cache.create () in
+  ignore (Runner.rewrite ~options ~jobs:1 ~cache:warm bin);
+  match Runner.perturb_function (Runner.parse ~jobs:1 bin) with
+  | None -> Alcotest.fail "no safely perturbable function in the spec binary"
+  | Some (pbin, fname) ->
+      let uncached = Runner.rewrite ~options ~jobs:1 pbin in
+      let t = Trace.create () in
+      let rw =
+        Trace.with_current t (fun () ->
+            Runner.rewrite ~options ~jobs:1 ~cache:(Cache.clone warm) pbin)
+      in
+      check_same ~what:(Printf.sprintf "perturbed %s" fname) uncached rw;
+      let get name = Option.value ~default:0 (Trace.find_counter t name) in
+      List.iter
+        (fun stage ->
+          Alcotest.(check int)
+            (Printf.sprintf "one miss in %s" stage)
+            1
+            (get ("cache.miss:" ^ stage)))
+        [
+          "parse/pass1"; "parse/fptr"; "parse/finalize"; "parse/fptr2";
+          "rewrite/relocate"; "rewrite/plan";
+        ];
+      (* The perturbed function lands in at most two encode chunks. *)
+      let enc = get "cache.miss:encode" in
+      Alcotest.(check bool)
+        (Printf.sprintf "encode misses localized (%d)" enc)
+        true
+        (enc >= 1 && enc <= 2);
+      (* Everything else hits: total activity matches the cold run. *)
+      let cold = Cache.stats warm in
+      Alcotest.(check int) "hits + misses = cold misses"
+        cold.Cache.c_misses
+        (get "cache.hit" + get "cache.miss")
+
+(* ------------------------------------------------------------------ *)
 (* Random programs: differential property                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -400,6 +547,12 @@ let suite =
         Alcotest.test_case "pool: fail-fast abort" `Quick pool_fail_fast;
         Alcotest.test_case "pool: usable after failure" `Quick pool_partial_failure;
         Alcotest.test_case "go binaries" `Quick go_battery;
+        Alcotest.test_case "cache: cached = uncached, jobs-independent" `Quick
+          cache_battery;
+        Alcotest.test_case "cache: disk tier round-trip" `Quick
+          cache_disk_battery;
+        Alcotest.test_case "cache: per-function invalidation" `Quick
+          cache_invalidation;
         QCheck_alcotest.to_alcotest parallel_equals_serial;
       ] );
   ]

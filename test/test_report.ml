@@ -282,7 +282,11 @@ let graded_causes_qcheck =
 (* ------------------------------------------------------------------ *)
 
 (* A minimal icfg-bench-micro/1 document builder. *)
-let doc ?(cores = 1) ?(micro = []) ?(stages = []) () =
+let counters_json counters =
+  String.concat ", "
+    (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) counters)
+
+let doc ?(cores = 1) ?(micro = []) ?(stages = []) ?(cache = []) () =
   let micro_json =
     String.concat ", "
       (List.map
@@ -297,17 +301,22 @@ let doc ?(cores = 1) ?(micro = []) ?(stages = []) () =
            Printf.sprintf
              "{\"stage\": \"%s\", \"jobs\": %d, \"spans\": 1, \"ns\": %d, \
               \"counters\": {%s}}"
-             stage jobs ns
-             (String.concat ", "
-                (List.map
-                   (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v)
-                   counters)))
+             stage jobs ns (counters_json counters))
          stages)
+  in
+  let cache_json =
+    String.concat ", "
+      (List.map
+         (fun (name, ns, counters) ->
+           Printf.sprintf
+             "{\"name\": \"%s\", \"ns_per_run\": %.1f, \"counters\": {%s}}"
+             name ns (counters_json counters))
+         cache)
   in
   Printf.sprintf
     "{\"schema\": \"icfg-bench-micro/1\", \"cores\": %d, \"micro\": [%s], \
-     \"parallel\": [], \"stages\": [%s]}"
-    cores micro_json stages_json
+     \"parallel\": [], \"stages\": [%s], \"cache\": [%s]}"
+    cores micro_json stages_json cache_json
 
 let diff_ok ?gate old_s new_s =
   match Bench_diff.diff_strings ?gate old_s new_s with
@@ -402,6 +411,74 @@ let bench_diff_rows () =
        (diff_ok
           (with_rows [ ("rewrite", 1, 500, []) ])
           (with_rows [ ("rewrite", 1, 500, []); ("emit", 1, 9, []) ])))
+
+(* The added-row policy: anything only the NEW run knows about is reported
+   with the distinct [Added] severity and never gates — landing new bench
+   rows (the cache cold/warm rows) must not trip the gate against an older
+   baseline. *)
+let bench_diff_added () =
+  let added fs =
+    List.filter (fun f -> f.Bench_diff.f_severity = Bench_diff.Added) fs
+  in
+  (* New micro row -> one Added finding, no regression. *)
+  let f =
+    diff_ok ~gate:50.
+      (doc ~micro:[ ("parse", 100_000.) ] ())
+      (doc ~micro:[ ("parse", 100_000.); ("cache-cold", 900_000.) ] ())
+  in
+  Alcotest.(check int) "new row is Added" 1 (List.length (added f));
+  Alcotest.(check bool) "new row never gates" false (Bench_diff.has_regression f);
+  (* New counter on an existing row -> Added, no regression — even for a
+     worse-is-higher counter name, since there is nothing to compare. *)
+  let f =
+    diff_ok ~gate:50.
+      (doc ~stages:[ ("rewrite", 1, 500, []) ] ())
+      (doc
+         ~stages:
+           [ ("rewrite", 1, 500, [ ("cache.evict_corrupt", 2 ) ]) ]
+         ())
+  in
+  Alcotest.(check int) "new counter is Added" 1 (List.length (added f));
+  Alcotest.(check bool) "new counter never gates" false
+    (Bench_diff.has_regression f);
+  (* A whole new section in NEW (old run predates the cache rows) is all
+     Added findings. *)
+  let f =
+    diff_ok ~gate:50. (doc ())
+      (doc ~cache:[ ("cache-warm-identical", 100_000., [ ("hits", 9) ]) ] ())
+  in
+  Alcotest.(check bool) "new cache section never gates" false
+    (Bench_diff.has_regression f);
+  Alcotest.(check bool) "new cache section is reported" true (added f <> []);
+  (* The render groups Added findings under their own heading. *)
+  let has_sub sub s =
+    let ls = String.length s and lb = String.length sub in
+    let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "render has an added section" true
+    (has_sub "added" (Bench_diff.render f))
+
+(* The cache section itself: time rows gate like micro rows, counters are
+   exact, and only [evict_corrupt] growth is a regression. *)
+let bench_diff_cache_section () =
+  let mk ?(ns = 100_000.) counters = doc ~cache:[ ("cache-warm", ns, counters) ] () in
+  Alcotest.(check int) "identical cache rows diff clean" 0
+    (List.length (diff_ok ~gate:50. (mk [ ("hits", 9) ]) (mk [ ("hits", 9) ])));
+  Alcotest.(check bool) "cache time growth beyond the gate is a regression" true
+    (Bench_diff.has_regression
+       (diff_ok ~gate:50. (mk []) (mk ~ns:200_000. [])));
+  Alcotest.(check bool) "evict_corrupt increase is a regression" true
+    (Bench_diff.has_regression
+       (diff_ok
+          (mk [ ("evict_corrupt", 0) ])
+          (mk [ ("evict_corrupt", 1) ])));
+  let f = diff_ok (mk [ ("hits", 9) ]) (mk [ ("hits", 3) ]) in
+  Alcotest.(check bool) "hit-count movement is reported" true (f <> []);
+  Alcotest.(check bool) "hit-count movement never gates" false
+    (Bench_diff.has_regression f);
+  Alcotest.(check bool) "lost cache row is a regression" true
+    (Bench_diff.has_regression (diff_ok (mk []) (doc ())))
 
 (* The real harness output must parse and self-diff clean — guards the
    bench/main.ml writer and this parser against drifting apart. *)
@@ -519,6 +596,9 @@ let suite =
         Alcotest.test_case "bench diff: counters" `Quick bench_diff_counters;
         Alcotest.test_case "bench diff: times" `Quick bench_diff_times;
         Alcotest.test_case "bench diff: rows" `Quick bench_diff_rows;
+        Alcotest.test_case "bench diff: added policy" `Quick bench_diff_added;
+        Alcotest.test_case "bench diff: cache section" `Quick
+          bench_diff_cache_section;
         Alcotest.test_case "bench diff: committed baseline" `Quick
           bench_diff_real_baseline;
         Alcotest.test_case "trace file on raise" `Quick trace_file_on_raise;
