@@ -19,9 +19,18 @@
                                     -- also write the incremental-cache
                                        cold/warm rows as a standalone
                                        document (CI uploads this artifact)
+     bench/main.exe corpus [--seed N] [--count N] [--jobs N] [--json FILE]
+                                    -- the corpus-scale robustness matrix:
+                                       every baseline and every mode swept
+                                       over a seeded adversarial corpus
+                                       (default 300 binaries), pass rates
+                                       and refusal histograms into the
+                                       "corpus" section of the JSON
      bench/main.exe diff OLD.json NEW.json [--gate pct]
                                     -- regression gate between two --json
-                                       runs; non-zero exit on regression *)
+                                       runs; non-zero exit on regression
+                                       (deterministic pass-rate drops gate
+                                       even without --gate) *)
 
 open Icfg_isa
 module Experiments = Icfg_harness.Experiments
@@ -141,6 +150,9 @@ let stage_rows : (string * int * int * int * (string * int) list) list ref =
    cold/warm incremental-cache rewrites. *)
 let cache_rows : (string * float * (string * int) list) list ref = ref []
 
+(* The corpus robustness matrix, when the "corpus" experiment ran. *)
+let corpus_result : Icfg_harness.Matrix.t option ref = ref None
+
 (* Full trace tree of the last traced rewrite, for --trace FILE. *)
 let trace_json : string option ref = ref None
 
@@ -210,7 +222,45 @@ let write_json path =
   out "  ],\n";
   out "  \"cache\": [\n";
   write_cache_rows oc;
-  out "  ]\n";
+  out "  ],\n";
+  (match !corpus_result with
+  | Some m ->
+      let module Matrix = Icfg_harness.Matrix in
+      let module Cache = Icfg_core.Cache in
+      out "  \"corpus_seed\": %d,\n" m.Matrix.m_seed;
+      out "  \"corpus_count\": %d,\n" m.Matrix.m_count;
+      out
+        "  \"corpus_cache\": {\"hits\": %d, \"misses\": %d, \"stores\": %d, \
+         \"hit_rate_pct\": %s},\n"
+        m.Matrix.m_cache.Cache.c_hits m.Matrix.m_cache.Cache.c_misses
+        m.Matrix.m_cache.Cache.c_stores
+        (json_float (100. *. m.Matrix.m_hit_rate));
+      out "  \"corpus\": [\n";
+      let rows = m.Matrix.m_rows in
+      List.iteri
+        (fun i (r : Matrix.row) ->
+          let refusals =
+            String.concat ", "
+              (List.map
+                 (fun (k, n) -> Printf.sprintf "\"%s\": %d" (json_escape k) n)
+                 r.Matrix.row_refusals)
+          in
+          out
+            "    {\"approach\": \"%s\", \"cells\": %d, \"verified\": %d, \
+             \"diverged\": %d, \"refused\": %d, \"crashed\": %d, \
+             \"pass_rate_pct\": %s, \"p50_ns\": %s, \"p95_ns\": %s, \
+             \"refusals\": {%s}}%s\n"
+            (json_escape r.Matrix.row_approach)
+            r.Matrix.row_cells r.Matrix.row_verified r.Matrix.row_diverged
+            r.Matrix.row_refused r.Matrix.row_crashed
+            (json_float (Matrix.pass_rate_pct r))
+            (json_float r.Matrix.row_p50_ns)
+            (json_float r.Matrix.row_p95_ns)
+            refusals
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      out "  ]\n"
+  | None -> out "  \"corpus\": []\n");
   out "}\n";
   close_out oc;
   Printf.printf "wrote %s\n%!" path
@@ -476,6 +526,22 @@ let run_micro () =
   run_trace_stages ();
   run_cache_micro ()
 
+(* The corpus-scale robustness matrix: every roster baseline and every
+   mode of ours swept over a seeded adversarial corpus under one shared
+   cache. Classification is deterministic (seeded corpus, serial cache
+   probing), so the pass-rate/refusal rows it leaves in the JSON gate
+   exactly in `bench diff`. *)
+let run_corpus ~seed ~count ~jobs =
+  let m =
+    Icfg_harness.Matrix.run ~seed ~count ~jobs
+      ~progress:(fun i ->
+        if i mod 50 = 0 && i < count then
+          Printf.printf "  ...%d/%d binaries\n%!" i count)
+      ()
+  in
+  print_string (Icfg_harness.Matrix.render m);
+  corpus_result := Some m
+
 (* The regression gate: `bench/main.exe diff OLD.json NEW.json [--gate pct]`
    compares two BENCH_micro.json runs and exits non-zero on regression (CI
    runs this against the committed baseline). *)
@@ -519,21 +585,31 @@ let () =
   let json_path, args = split_flag "--json" [] args in
   let trace_path, args = split_flag "--trace" [] args in
   let cache_json_path, args = split_flag "--cache-json" [] args in
+  let int_flag flag default args =
+    let s, args = split_flag flag [] args in
+    (Option.fold ~none:default ~some:int_of_string s, args)
+  in
+  let corpus_seed, args = int_flag "--seed" 7 args in
+  let corpus_count, args = int_flag "--count" 300 args in
+  let corpus_jobs, args = int_flag "--jobs" 1 args in
   let selected =
     match args with
-    | [] -> List.map fst experiments @ [ "micro" ]
+    | [] -> List.map fst experiments @ [ "micro"; "corpus" ]
     | l -> l
   in
   List.iter
     (fun name ->
       if name = "micro" then run_micro ()
+      else if name = "corpus" then
+        run_corpus ~seed:corpus_seed ~count:corpus_count ~jobs:corpus_jobs
       else
         match List.assoc_opt name experiments with
         | Some f ->
             print_string (f ());
             print_newline ()
         | None ->
-            Printf.eprintf "unknown experiment %s (have: %s, micro)\n" name
+            Printf.eprintf "unknown experiment %s (have: %s, micro, corpus)\n"
+              name
               (String.concat ", " (List.map fst experiments));
             exit 1)
     selected;

@@ -351,6 +351,12 @@ let bench_cmd names =
       ("diogenes", Icfg_harness.Experiments.diogenes);
       ("ablation", Icfg_harness.Experiments.ablation);
       ("attribution", Icfg_harness.Experiments.attribution);
+      (* A modest slice of the corpus robustness matrix; the full
+         (default 300-binary) sweep lives in `bench/main.exe corpus`. *)
+      ( "corpus",
+        fun () ->
+          Icfg_harness.Matrix.render
+            (Icfg_harness.Matrix.run ~seed:7 ~count:60 ()) );
     ]
   in
   let names = if names = [] then List.map fst all else names in

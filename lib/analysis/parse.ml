@@ -219,20 +219,25 @@ let context_digest bin fm syms =
         (s.Section.name, s.Section.vaddr, s.Section.perm, s.Section.loaded, body))
       bin.Binary.sections
   in
-  mdig
-    ( bin.Binary.arch,
-      bin.Binary.pie,
-      bin.Binary.entry,
-      bin.Binary.toc_base,
-      bin.Binary.dynsyms,
-      bin.Binary.features,
-      bin.Binary.symbols,
-      bin.Binary.relocs,
-      bin.Binary.link_relocs,
-      bin.Binary.eh_frame,
-      fm,
-      sections,
-      head )
+  (* Collapse to a fixed-size digest here: the raw marshal can be tens of
+     MiB for bulk-data binaries, and this string is copied into every
+     per-function key of every stage — digesting once per parse instead
+     keeps key construction O(function size), not O(binary size). *)
+  Digest.string
+    (mdig
+       ( bin.Binary.arch,
+         bin.Binary.pie,
+         bin.Binary.entry,
+         bin.Binary.toc_base,
+         bin.Binary.dynsyms,
+         bin.Binary.features,
+         bin.Binary.symbols,
+         bin.Binary.relocs,
+         bin.Binary.link_relocs,
+         bin.Binary.eh_frame,
+         fm,
+         sections,
+         head ))
 
 (* A function's content slice: its text bytes extended to the next
    function start (clamped to the text section), so the padding bytes that

@@ -11,11 +11,36 @@ type outcome = Rewritten of Rewriter.t | Refused of string
 
 let default_payload = Rewriter.P_empty
 
+(* Shared pipeline wiring: every baseline consumes the same sharded,
+   memoizable parse the paper's system uses (identical to
+   [Runner.parse], which lives above this library), so a corpus sweep can
+   thread one pool and one cache through all of them. Output is
+   bit-identical for every [jobs] value and with or without a cache. *)
+let pipeline_parse ?fm ?(jobs = 1) ?cache bin =
+  let jobs = max 1 jobs in
+  let par = { Parse.pmap = (fun f l -> Icfg_core.Pool.map ~jobs f l) } in
+  let memo =
+    Option.map
+      (fun cache ->
+        {
+          Parse.mmap =
+            (fun ~stage ~key f l ->
+              Icfg_core.Cache.memo_map ~cache ~jobs ~stage ~key f l);
+        })
+      cache
+  in
+  Parse.parse ?fm ~par ~probe:(Icfg_core.Trace.parse_probe ()) ?memo bin
+
+let with_jobs ?jobs options =
+  match jobs with
+  | None -> options
+  | Some j -> { options with Rewriter.jobs = max 1 j }
+
 (* ------------------------------------------------------------------ *)
 (* Dyninst-10.2 / SRBI                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let srbi ?(payload = default_payload) bin =
+let srbi ?(payload = default_payload) ?jobs ?cache bin =
   if
     bin.Binary.features.Binary.cpp_exceptions
     && bin.Binary.arch <> Arch.X86_64
@@ -24,8 +49,12 @@ let srbi ?(payload = default_payload) bin =
       "call emulation for C++ exceptions is only implemented on x86-64 in \
        Dyninst-10.2"
   else
-    let parse = Parse.parse ~fm:Failure_model.srbi bin in
-    let rw = Rewriter.rewrite ~options:(Rewriter.srbi_like payload) parse in
+    let parse = pipeline_parse ~fm:Failure_model.srbi ?jobs ?cache bin in
+    let rw =
+      Rewriter.rewrite ?cache
+        ~options:(with_jobs ?jobs (Rewriter.srbi_like payload))
+        parse
+    in
     if rw.Rewriter.rw_stats.Rewriter.s_trap_trampolines > 10 then
       Refused
         "heavy trap-trampoline use; Dyninst-10.2's runtime-library signal \
@@ -53,7 +82,7 @@ let srbi ?(payload = default_payload) bin =
 (* Egalito-style IR lowering                                           *)
 (* ------------------------------------------------------------------ *)
 
-let ir_lowering ?(payload = default_payload) bin =
+let ir_lowering ?(payload = default_payload) ?jobs ?cache bin =
   let feat = bin.Binary.features in
   if not bin.Binary.pie then
     Refused "IR lowering requires PIE with run-time relocation entries"
@@ -66,7 +95,7 @@ let ir_lowering ?(payload = default_payload) bin =
   else if feat.Binary.symbol_versioning then
     Refused "cannot rewrite symbol versioning information (the libcuda failure)"
   else
-    let parse = Parse.parse bin in
+    let parse = pipeline_parse ?jobs ?cache bin in
     if Parse.coverage parse < 1.0 then
       let bad =
         List.find (fun f -> not f.Parse.fa_instrumentable) parse.Parse.funcs
@@ -85,7 +114,7 @@ let ir_lowering ?(payload = default_payload) bin =
           ra_translation = false;
         }
       in
-      let rw = Rewriter.rewrite ~options parse in
+      let rw = Rewriter.rewrite ?cache ~options:(with_jobs ?jobs options) parse in
       (* Regeneration: the original code and retired metadata are dropped
          and the entry point moves into the regenerated code. *)
       let entry =
@@ -111,8 +140,8 @@ let ir_lowering ?(payload = default_payload) bin =
 (* E9Patch-style instruction patching                                  *)
 (* ------------------------------------------------------------------ *)
 
-let insn_patching ?(payload = default_payload) bin =
-  let parse = Parse.parse bin in
+let insn_patching ?(payload = default_payload) ?jobs ?cache bin =
+  let parse = pipeline_parse ?jobs ?cache bin in
   let options =
     {
       Rewriter.default_options with
@@ -126,14 +155,14 @@ let insn_patching ?(payload = default_payload) bin =
       use_scratch_pool = false;
     }
   in
-  Rewritten (Rewriter.rewrite ~options parse)
+  Rewritten (Rewriter.rewrite ?cache ~options:(with_jobs ?jobs options) parse)
 
 (* ------------------------------------------------------------------ *)
 (* Multiverse-style dynamic translation                                *)
 (* ------------------------------------------------------------------ *)
 
-let dynamic_translation ?(payload = default_payload) bin =
-  let parse = Parse.parse bin in
+let dynamic_translation ?(payload = default_payload) ?jobs ?cache bin =
+  let parse = pipeline_parse ?jobs ?cache bin in
   let options =
     {
       Rewriter.default_options with
@@ -144,7 +173,7 @@ let dynamic_translation ?(payload = default_payload) bin =
       ra_translation = false;
     }
   in
-  Rewritten (Rewriter.rewrite ~options parse)
+  Rewritten (Rewriter.rewrite ?cache ~options:(with_jobs ?jobs options) parse)
 
 (* ------------------------------------------------------------------ *)
 (* BOLT-like optimizer                                                 *)
@@ -191,10 +220,10 @@ let bolt_block_reorder bin =
 (* This paper's system                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let ours ?(payload = default_payload) ~mode bin =
-  let parse = Parse.parse bin in
+let ours ?(payload = default_payload) ?jobs ?cache ~mode bin =
+  let parse = pipeline_parse ?jobs ?cache bin in
   let options = { Rewriter.default_options with Rewriter.mode; payload } in
-  Rewritten (Rewriter.rewrite ~options parse)
+  Rewritten (Rewriter.rewrite ?cache ~options:(with_jobs ?jobs options) parse)
 
 let ours_partial ?(payload = default_payload) ~mode ~only bin =
   let parse = Parse.parse bin in
@@ -202,6 +231,48 @@ let ours_partial ?(payload = default_payload) ~mode ~only bin =
     { Rewriter.default_options with Rewriter.mode; payload; only = Some only }
   in
   Rewritten (Rewriter.rewrite ~options parse)
+
+(* ------------------------------------------------------------------ *)
+(* The comparative-sweep roster                                        *)
+(* ------------------------------------------------------------------ *)
+
+let approaches =
+  [
+    ("srbi", fun ?jobs ?cache bin -> srbi ?jobs ?cache bin);
+    ("ir-lowering", fun ?jobs ?cache bin -> ir_lowering ?jobs ?cache bin);
+    ("insn-patching", fun ?jobs ?cache bin -> insn_patching ?jobs ?cache bin);
+    ( "dyn-translation",
+      fun ?jobs ?cache bin -> dynamic_translation ?jobs ?cache bin );
+    ("ours/dir", fun ?jobs ?cache bin -> ours ?jobs ?cache ~mode:Mode.Dir bin);
+    ("ours/jt", fun ?jobs ?cache bin -> ours ?jobs ?cache ~mode:Mode.Jt bin);
+    ( "ours/func-ptr",
+      fun ?jobs ?cache bin -> ours ?jobs ?cache ~mode:Mode.Func_ptr bin );
+  ]
+
+let contains ~sub s =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  lb = 0 || go 0
+
+(* Stable histogram keys for the documented refusal messages, in the
+   axis/name style of [Attribution.key]: whole-binary metadata refusals get
+   the "feature" axis; the all-or-nothing analysis refusal maps onto the
+   attribution cause of the function that defeated it ("func/unresolved-
+   indirect-jump"); the SRBI trap refusal is a trampoline-placement
+   failure ("tramp/trap"). *)
+let refusal_key reason =
+  if contains ~sub:"trap-trampoline" reason then "tramp/trap"
+  else if contains ~sub:"all-or-nothing" reason then
+    "func/unresolved-indirect-jump"
+  else if contains ~sub:"C++ exceptions" reason then "feature/cpp-exceptions"
+  else if contains ~sub:"requires PIE" reason then "feature/non-pie"
+  else if contains ~sub:"Go metadata" reason then "feature/go-runtime"
+  else if contains ~sub:"Rust metadata" reason then "feature/rust-metadata"
+  else if contains ~sub:"symbol versioning" reason then
+    "feature/symbol-versioning"
+  else if contains ~sub:"relocations are enabled" reason then
+    "feature/link-relocs"
+  else "feature/other"
 
 let legacy_dyninst ?(payload = default_payload) ~only bin =
   let parse = Parse.parse ~fm:Failure_model.srbi bin in

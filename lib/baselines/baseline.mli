@@ -10,10 +10,20 @@ type outcome =
       (** the tool rejects the binary up front (e.g. Egalito on non-PIE,
           Dyninst-10.2 call emulation on a non-x86 C++ binary) *)
 
+(** Every rewriting baseline below accepts [?jobs] (fan the per-function
+    pipeline stages out over that many {!Icfg_core.Pool} domains) and
+    [?cache] (memoize per-function artifacts in a shared
+    {!Icfg_core.Cache}). Both default to the serial, uncached pipeline;
+    output is bit-identical for every combination. *)
+
 (** {1 Dyninst-10.2 / SRBI} *)
 
 val srbi :
-  ?payload:Icfg_core.Rewriter.payload -> Icfg_obj.Binary.t -> outcome
+  ?payload:Icfg_core.Rewriter.payload ->
+  ?jobs:int ->
+  ?cache:Icfg_core.Cache.t ->
+  Icfg_obj.Binary.t ->
+  outcome
 (** Every-block trampolines, call emulation, SRBI-era analysis (no spill
     tracking, no layout tail-call heuristic), no superblocks or scratch
     pool. Refuses C++-exception binaries on ppc64le/aarch64 (call emulation
@@ -26,7 +36,11 @@ val srbi :
 (** {1 Egalito-style IR lowering} *)
 
 val ir_lowering :
-  ?payload:Icfg_core.Rewriter.payload -> Icfg_obj.Binary.t -> outcome
+  ?payload:Icfg_core.Rewriter.payload ->
+  ?jobs:int ->
+  ?cache:Icfg_core.Cache.t ->
+  Icfg_obj.Binary.t ->
+  outcome
 (** All-or-nothing binary regeneration: requires PIE with run-time
     relocations and complete analysis of every function; refuses binaries
     with C++ exceptions, Go runtimes, Rust metadata, or symbol versioning
@@ -37,7 +51,11 @@ val ir_lowering :
 (** {1 E9Patch-style instruction patching} *)
 
 val insn_patching :
-  ?payload:Icfg_core.Rewriter.payload -> Icfg_obj.Binary.t -> outcome
+  ?payload:Icfg_core.Rewriter.payload ->
+  ?jobs:int ->
+  ?cache:Icfg_core.Cache.t ->
+  Icfg_obj.Binary.t ->
+  outcome
 (** No binary analysis is consumed: direct control flow keeps its original
     targets, every block bounces back into original code, and every block
     needs a trampoline — maximal reliability, maximal ping-pong. *)
@@ -45,7 +63,11 @@ val insn_patching :
 (** {1 Multiverse-style dynamic translation} *)
 
 val dynamic_translation :
-  ?payload:Icfg_core.Rewriter.payload -> Icfg_obj.Binary.t -> outcome
+  ?payload:Icfg_core.Rewriter.payload ->
+  ?jobs:int ->
+  ?cache:Icfg_core.Cache.t ->
+  Icfg_obj.Binary.t ->
+  outcome
 (** Direct control flow is rewritten; every indirect transfer calls a
     runtime translation function; calls are emulated for unwinding. *)
 
@@ -65,9 +87,33 @@ val bolt_block_reorder : Icfg_obj.Binary.t -> outcome
 
 val ours :
   ?payload:Icfg_core.Rewriter.payload ->
+  ?jobs:int ->
+  ?cache:Icfg_core.Cache.t ->
   mode:Icfg_core.Mode.t ->
   Icfg_obj.Binary.t ->
   outcome
+
+(** {1 The comparative-sweep roster} *)
+
+val approaches :
+  (string
+  * (?jobs:int -> ?cache:Icfg_core.Cache.t -> Icfg_obj.Binary.t -> outcome))
+  list
+(** The corpus-matrix roster: the four comparable rewriting baselines
+    ([srbi], [ir-lowering], [insn-patching], [dyn-translation]) plus this
+    paper's system once per mode ([ours/dir], [ours/jt], [ours/func-ptr]).
+    The BOLT entries are excluded: one is an optimizer that intentionally
+    emits corrupt images on half the suite, not a comparable rewriter. *)
+
+val refusal_key : string -> string
+(** Stable axis/name histogram key for a {!Refused} message, aligned with
+    {!Icfg_core.Attribution.key} naming: ["tramp/trap"],
+    ["func/unresolved-indirect-jump"], ["feature/cpp-exceptions"],
+    ["feature/non-pie"], ["feature/go-runtime"], ["feature/rust-metadata"],
+    ["feature/symbol-versioning"], ["feature/link-relocs"], or
+    ["feature/other"]. Keys are stable across wording tweaks in the tail of
+    the message — the corpus matrix and its regression gate depend on
+    them. *)
 
 val legacy_dyninst :
   ?payload:Icfg_core.Rewriter.payload -> only:string list ->

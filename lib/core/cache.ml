@@ -72,6 +72,10 @@ let stats c =
         c_evict_corrupt = c.evict_corrupt;
       })
 
+let hit_rate s =
+  let total = s.c_hits + s.c_misses in
+  if total = 0 then 0. else float_of_int s.c_hits /. float_of_int total
+
 let dir c = c.cdir
 
 (* ------------------------------------------------------------------ *)

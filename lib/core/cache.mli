@@ -53,6 +53,10 @@ type stats = {
 
 val stats : t -> stats
 
+val hit_rate : stats -> float
+(** [c_hits / (c_hits + c_misses)] in [0, 1]; [0.] when no lookups have
+    happened. Jobs-independent, like the underlying counters. *)
+
 val dir : t -> string option
 
 (** {1 Key construction}

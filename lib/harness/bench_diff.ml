@@ -325,6 +325,66 @@ let diff ?gate old_json new_json =
           check_time ("cache:" ^ k) (num_member "ns_per_run" orow)
             (num_member "ns_per_run" nrow);
           check_counters ("cache:" ^ k) orow nrow);
+      (* Corpus robustness rows: classification is deterministic (serial
+         cache probing, seeded corpus), so [pass_rate_pct] is compared
+         exactly and a drop gates unconditionally — no noise floor, no
+         same-cores requirement, no [--gate] threshold. Only comparable
+         sweeps gate: if the corpus itself differs ([cells] changed), the
+         rates measure different populations and the mismatch is reported
+         instead. Refusal-histogram movement is informational; p50/p95
+         wall times gate like every other time metric. *)
+      compare_rows ~section:"corpus"
+        ~key_of:(fun r -> str_member "approach" r)
+        ~on_pair:(fun k orow nrow ->
+          let metric = "corpus:" ^ k in
+          let same_cells =
+            match (num_member "cells" orow, num_member "cells" nrow) with
+            | Some a, Some b when a <> b ->
+                report Info (metric ^ ":cells")
+                  (Printf.sprintf
+                     "corpus size %.0f -> %.0f; pass rate not gated" a b);
+                false
+            | _ -> true
+          in
+          (match
+             ( num_member "pass_rate_pct" orow,
+               num_member "pass_rate_pct" nrow )
+           with
+          | Some o, Some nw when nw < o && same_cells ->
+              report Regression (metric ^ ":pass-rate")
+                (Printf.sprintf "pass rate %.1f%% -> %.1f%%" o nw)
+          | Some o, Some nw when o <> nw ->
+              report Info (metric ^ ":pass-rate")
+                (Printf.sprintf "pass rate %.1f%% -> %.1f%%" o nw)
+          | _ -> ());
+          check_time (metric ^ ":p50")
+            (num_member "p50_ns" orow)
+            (num_member "p50_ns" nrow);
+          check_time (metric ^ ":p95")
+            (num_member "p95_ns" orow)
+            (num_member "p95_ns" nrow);
+          let refusals r =
+            match member "refusals" r with Some (Obj l) -> l | _ -> []
+          in
+          let oref = refusals orow and nref = refusals nrow in
+          List.iter
+            (fun (name, ov) ->
+              let m = Printf.sprintf "refusal:%s:%s" k name in
+              match
+                (as_num ov, Option.bind (List.assoc_opt name nref) as_num)
+              with
+              | Some o, Some nw when o <> nw ->
+                  report Info m (Printf.sprintf "refusals %.0f -> %.0f" o nw)
+              | Some _, None -> report Info m "refusal key absent in NEW run"
+              | _ -> ())
+            oref;
+          List.iter
+            (fun (name, _) ->
+              if List.assoc_opt name oref = None then
+                report Added
+                  (Printf.sprintf "refusal:%s:%s" k name)
+                  "refusal key added in NEW (not in OLD)")
+            nref);
       Ok (List.rev !findings)
   | _ -> Error "not icfg-bench-micro/1 documents"
 

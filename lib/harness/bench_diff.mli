@@ -23,7 +23,16 @@
       {!severity.Added} classification: always reported — a growing
       suite should be visible — and never gating, so landing new bench
       rows (e.g. the cache cold/warm rows) cannot trip the gate against
-      an older baseline. *)
+      an older baseline.
+    - Corpus robustness rows ([corpus] section, keyed by approach) hold a
+      deterministic [pass_rate_pct]: a drop is a regression
+      {e unconditionally} — no [gate], no noise floor, no same-cores
+      requirement — unless the two runs swept different corpus sizes
+      ([cells] differ), in which case the rates measure different
+      populations and only the mismatch is reported. Refusal-histogram
+      counts moving are informational, new refusal keys are
+      {!severity.Added}, and the per-approach [p50_ns]/[p95_ns] wall
+      times follow the normal time policy above. *)
 
 type json =
   | Null

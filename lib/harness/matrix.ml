@@ -1,0 +1,175 @@
+module Vm = Icfg_runtime.Vm
+module Baseline = Icfg_baselines.Baseline
+module Cache = Icfg_core.Cache
+module Trace = Icfg_core.Trace
+module Corpus = Icfg_workloads.Corpus
+
+type cls =
+  | Verified
+  | Diverged
+  | Refused of string
+  | Crashed of string
+
+type row = {
+  row_approach : string;
+  row_cells : int;
+  row_verified : int;
+  row_diverged : int;
+  row_refused : int;
+  row_crashed : int;
+  row_refusals : (string * int) list;
+  row_p50_ns : float;
+  row_p95_ns : float;
+}
+
+type t = {
+  m_seed : int;
+  m_count : int;
+  m_jobs : int;
+  m_rows : row list;
+  m_cache : Cache.stats;
+  m_hit_rate : float;
+}
+
+let pass_rate_pct r =
+  if r.row_cells = 0 then 0.
+  else 100. *. float_of_int r.row_verified /. float_of_int r.row_cells
+
+(* Nearest-rank percentile over an unsorted sample. *)
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.
+  | sorted ->
+      let n = List.length sorted in
+      let i = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+      List.nth sorted (max 0 (min (n - 1) i))
+
+let classify ~orig outcome =
+  match outcome with
+  | Baseline.Refused reason -> Refused (Baseline.refusal_key reason)
+  | Baseline.Rewritten rw -> (
+      let r = Runner.run_rewritten rw in
+      match r.Runner.r_outcome with
+      | Vm.Crashed m -> Crashed m
+      | Vm.Halted ->
+          if r.Runner.r_output = orig.Runner.r_output then Verified
+          else Diverged)
+
+let row_of ~approach cells =
+  let count pred = List.length (List.filter pred cells) in
+  let refusals =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (_, c) -> match c with Refused k -> Some k | _ -> None)
+         cells)
+  in
+  let refusal_count k =
+    count (fun (_, c) -> match c with Refused k' -> k' = k | _ -> false)
+  in
+  {
+    row_approach = approach;
+    row_cells = List.length cells;
+    row_verified = count (fun (_, c) -> c = Verified);
+    row_diverged = count (fun (_, c) -> c = Diverged);
+    row_refused = count (fun (_, c) -> match c with Refused _ -> true | _ -> false);
+    row_crashed = count (fun (_, c) -> match c with Crashed _ -> true | _ -> false);
+    row_refusals = List.map (fun k -> (k, refusal_count k)) refusals;
+    row_p50_ns = percentile 0.50 (List.map fst cells);
+    row_p95_ns = percentile 0.95 (List.map fst cells);
+  }
+
+let run ?(seed = 7) ?(count = 300) ?(jobs = 1) ?(progress = fun _ -> ()) () =
+  let jobs = max 1 jobs in
+  let entries = Corpus.generate ~seed ~count in
+  let cache = Cache.create () in
+  (* One shared cache, cells evaluated serially in corpus order: hit/miss
+     counts (and thus the corpus-wide hit rate) are jobs-independent,
+     because [Cache.memo_map] probes serially and only fans misses out.
+     Parallelism lives inside each cell's parse/rewrite pipeline — the
+     pool must not be entered twice (no nested [Pool.map]). *)
+  let cells = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) -> Hashtbl.replace cells name [])
+    Baseline.approaches;
+  List.iteri
+    (fun i e ->
+      let bin = Corpus.build e in
+      let orig = Runner.run_original bin in
+      List.iter
+        (fun
+          ( name,
+            (driver :
+              ?jobs:int ->
+              ?cache:Cache.t ->
+              Icfg_obj.Binary.t ->
+              Baseline.outcome) )
+        ->
+          let t0 = Unix.gettimeofday () in
+          (* An adversarial shape may defeat a rewriter outright (e.g. an
+             encoder range overflow); that is a [Crashed] cell, not the
+             end of the sweep. *)
+          let c =
+            match classify ~orig (driver ~jobs ~cache bin) with
+            | c -> c
+            | exception e -> Crashed (Printexc.to_string e)
+          in
+          let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+          (match c with
+          | Verified -> Trace.add "corpus.verified" 1
+          | Diverged -> Trace.add "corpus.diverged" 1
+          | Refused _ -> Trace.add "corpus.refused" 1
+          | Crashed _ -> Trace.add "corpus.crashed" 1);
+          Hashtbl.replace cells name ((ns, c) :: Hashtbl.find cells name))
+        Baseline.approaches;
+      progress (i + 1))
+    entries;
+  let rows =
+    List.map
+      (fun (name, _) ->
+        row_of ~approach:name (List.rev (Hashtbl.find cells name)))
+      Baseline.approaches
+  in
+  let stats = Cache.stats cache in
+  {
+    m_seed = seed;
+    m_count = count;
+    m_jobs = jobs;
+    m_rows = rows;
+    m_cache = stats;
+    m_hit_rate = Cache.hit_rate stats;
+  }
+
+let render m =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "== Corpus robustness matrix (seed %d, %d binaries, jobs %d) ==\n"
+    m.m_seed m.m_count m.m_jobs;
+  Printf.bprintf b "  %-16s %6s %9s %9s %8s %8s %10s %10s\n" "approach"
+    "pass%" "verified" "diverged" "refused" "crashed" "p50(ms)" "p95(ms)";
+  List.iter
+    (fun r ->
+      Printf.bprintf b "  %-16s %6.1f %9d %9d %8d %8d %10.2f %10.2f\n"
+        r.row_approach (pass_rate_pct r) r.row_verified r.row_diverged
+        r.row_refused r.row_crashed
+        (r.row_p50_ns /. 1e6)
+        (r.row_p95_ns /. 1e6))
+    m.m_rows;
+  let with_refusals =
+    List.filter (fun r -> r.row_refusals <> []) m.m_rows
+  in
+  if with_refusals <> [] then begin
+    Buffer.add_string b "  refusals:\n";
+    List.iter
+      (fun r ->
+        Printf.bprintf b "    %-16s %s\n" r.row_approach
+          (String.concat " "
+             (List.map
+                (fun (k, n) -> Printf.sprintf "%s=%d" k n)
+                r.row_refusals)))
+      with_refusals
+  end;
+  Printf.bprintf b
+    "  cache: %d hits, %d misses, %d stores (corpus-wide hit-rate %.1f%%)\n"
+    m.m_cache.Cache.c_hits m.m_cache.Cache.c_misses m.m_cache.Cache.c_stores
+    (100. *. m.m_hit_rate);
+  Buffer.contents b

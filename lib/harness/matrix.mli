@@ -1,0 +1,58 @@
+(** Corpus-scale robustness matrix: every {!Icfg_baselines.Baseline}
+    roster entry swept over a seeded {!Icfg_workloads.Corpus}, each cell
+    classified by what actually happened, aggregated into per-approach
+    pass-rate / refusal-histogram / latency rows.
+
+    Cells are evaluated serially in corpus order against one shared
+    {!Icfg_core.Cache}; parallelism ([jobs]) lives {e inside} each cell's
+    parse/rewrite pipeline (the {!Icfg_core.Pool} must not be entered
+    twice). Because {!Icfg_core.Cache.memo_map} probes serially, every
+    classification count and the corpus-wide hit rate are deterministic:
+    independent of [jobs] and of the machine. Only the [p50]/[p95] wall
+    times vary between runs. *)
+
+(** What one (binary, approach) cell did. *)
+type cls =
+  | Verified  (** rewritten; output matches the original run *)
+  | Diverged  (** rewritten and ran to completion, but output differs *)
+  | Refused of string
+      (** the approach refused up front; payload is the stable
+          {!Icfg_baselines.Baseline.refusal_key} *)
+  | Crashed of string  (** the rewritten binary crashed in the VM *)
+
+type row = {
+  row_approach : string;  (** roster name, e.g. ["srbi"], ["ours/jt"] *)
+  row_cells : int;  (** corpus size; the four counts below sum to it *)
+  row_verified : int;
+  row_diverged : int;
+  row_refused : int;
+  row_crashed : int;
+  row_refusals : (string * int) list;
+      (** refusal histogram, keyed by {!Icfg_baselines.Baseline.refusal_key},
+          sorted by key *)
+  row_p50_ns : float;  (** median per-cell rewrite wall time *)
+  row_p95_ns : float;
+}
+
+type t = {
+  m_seed : int;
+  m_count : int;
+  m_jobs : int;
+  m_rows : row list;  (** one per roster entry, in roster order *)
+  m_cache : Icfg_core.Cache.stats;  (** shared-cache stats for the sweep *)
+  m_hit_rate : float;  (** corpus-wide {!Icfg_core.Cache.hit_rate} *)
+}
+
+val pass_rate_pct : row -> float
+(** [100 * verified / cells]; [0.] on an empty row. Deterministic — this
+    is the number the bench gate compares exactly. *)
+
+val run :
+  ?seed:int -> ?count:int -> ?jobs:int -> ?progress:(int -> unit) -> unit -> t
+(** Sweep [Corpus.generate ~seed ~count] (defaults: seed 7, count 300)
+    through every roster approach. [progress] is called with the number of
+    corpus entries completed after each binary. *)
+
+val render : t -> string
+(** Human-readable table: one line per approach, then the non-empty
+    refusal histograms and the shared-cache summary. *)

@@ -36,6 +36,37 @@ let default_spec =
     cases = 8;
   }
 
+let max_iters = 30000
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* Out-of-range fields used to be clamped or accepted silently; a spec
+   that asks for more than the VM budget allows (or a non-power-of-two
+   table that the [x land (cases-1)] index would silently alias) now
+   fails loudly instead of producing a subtly different program. *)
+let validate spec =
+  let bad fmt = Printf.ksprintf invalid_arg fmt in
+  if spec.iters < 1 || spec.iters > max_iters then
+    bad "Gen.build %s: iters %d out of range [1, %d]" spec.name spec.iters
+      max_iters;
+  if not (is_power_of_two spec.cases) then
+    bad "Gen.build %s: cases %d is not a power of two" spec.name spec.cases;
+  if spec.inner < 1 then bad "Gen.build %s: inner %d < 1" spec.name spec.inner;
+  if spec.work < 1 then bad "Gen.build %s: work %d < 1" spec.name spec.work;
+  if spec.n_compute < 1 then
+    bad "Gen.build %s: n_compute %d < 1 (the dispatch tables need a target)"
+      spec.name spec.n_compute;
+  List.iter
+    (fun (field, v) ->
+      if v < 0 then bad "Gen.build %s: %s %d < 0" spec.name field v)
+    [
+      ("n_switch", spec.n_switch);
+      ("n_dispatch", spec.n_dispatch);
+      ("n_hard_spill", spec.n_hard_spill);
+      ("n_frameless_tail", spec.n_frameless_tail);
+      ("n_data_table", spec.n_data_table);
+    ]
+
 let mask = 0xFFFFF
 
 let masked e = Ir.Bin (Band, e, Int mask)
@@ -193,6 +224,7 @@ let main_func iters =
     ]
 
 let build spec =
+  validate spec;
   let rng = Rng.create spec.seed in
   let computes = List.init spec.n_compute (fun i -> compute_func rng i spec.work) in
   let switches =
@@ -320,6 +352,7 @@ let go_classify_func i cases =
     (Ir.Let ("idx", Bin (Band, Var "x", Int (cases - 1))) :: chain 0)
 
 let build_go ?(vtab_check = true) ?(goexit_adjust = 1) spec =
+  validate spec;
   let rng = Rng.create spec.seed in
   let computes = List.init spec.n_compute (fun i -> compute_func rng i spec.work) in
   let classifies = List.init 2 (fun i -> go_classify_func i 4) in

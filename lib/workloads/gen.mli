@@ -25,7 +25,7 @@ type spec = {
   n_hard_spill : int;  (** switches with a stack-spilled table base *)
   n_frameless_tail : int;  (** frame-less indirect tail calls *)
   n_data_table : int;  (** unresolvable writable-table dispatchers *)
-  iters : int;  (** outer iterations (at most 30000) *)
+  iters : int;  (** outer iterations (in [1, 30000]) *)
   inner : int;  (** driver-level repetitions per iteration *)
   work : int;  (** arithmetic loop length inside compute kernels *)
   cases : int;  (** jump-table size; must be a power of two *)
@@ -33,15 +33,26 @@ type spec = {
 
 val default_spec : spec
 
+val max_iters : int
+(** Upper bound on [iters] accepted by {!validate} (30000). *)
+
+val validate : spec -> unit
+(** Raises [Invalid_argument] on out-of-range fields: [iters] outside
+    [1, 30000], non-power-of-two [cases], non-positive [inner]/[work]/
+    [n_compute], or any negative kernel count. Called by {!build} and
+    {!build_go} — out-of-range specs fail loudly rather than being
+    silently clamped into a different program. *)
+
 val build : spec -> Icfg_codegen.Ir.program
-(** Deterministic for a given [spec]. *)
+(** Deterministic for a given [spec]. Raises [Invalid_argument] on an
+    invalid spec (see {!validate}). *)
 
 val go_spec : seed:int -> name:string -> iters:int -> spec
 (** Go programs get no jump tables (Go's compiler does not emit them,
     section 8.2); [build_go] must be used instead of [build]. *)
 
 val build_go : ?vtab_check:bool -> ?goexit_adjust:int -> spec -> Icfg_codegen.Ir.program
-(** A Go-style program: if-chains instead of switches, a [.gopclntab]
+(** Raises [Invalid_argument] like {!build}. A Go-style program: if-chains instead of switches, a [.gopclntab]
     function table, periodic tracebacks, the [&goexit + adjust] pointer
     idiom of Listing 1, and (with [vtab_check]) interface-table slots whose
     values are both called and compared against the function table — the

@@ -251,6 +251,108 @@ let test_overhead_ordering () =
   Alcotest.(check bool) (Printf.sprintf "dir (%d) >= jt (%d)" dir jt) true (dir >= jt);
   Alcotest.(check bool) (Printf.sprintf "jt (%d) >= fp (%d)" jt fp) true (jt >= fp)
 
+(* ------------------------------------------------------------------ *)
+(* Refusal messages and their histogram keys                           *)
+(*                                                                     *)
+(* The corpus matrix buckets refusals by [Baseline.refusal_key], and   *)
+(* the bench gate keys its refusal histograms on the result — both     *)
+(* depend on these exact strings staying put.                          *)
+(* ------------------------------------------------------------------ *)
+
+module Spec = Icfg_workloads.Spec_suite
+module Apps = Icfg_workloads.Apps
+
+let refused name = function
+  | Baseline.Refused r -> r
+  | Baseline.Rewritten _ -> Alcotest.failf "%s: expected a refusal" name
+
+let test_refusal_strings_stable () =
+  let cpp, _ = Compile.compile Arch.Aarch64 Test_codegen.prog_exceptions in
+  Alcotest.(check string) "srbi C++ refusal"
+    "call emulation for C++ exceptions is only implemented on x86-64 in \
+     Dyninst-10.2"
+    (refused "srbi/cpp" (Baseline.srbi cpp));
+  let gcc =
+    List.find
+      (fun b -> b.Spec.bench_name = "602.gcc_s")
+      (Spec.benchmarks Arch.Ppc64le)
+  in
+  let gcc_bin, _ = Spec.compile Arch.Ppc64le gcc in
+  Alcotest.(check string) "srbi trap refusal (the 602.gcc failure)"
+    "heavy trap-trampoline use; Dyninst-10.2's runtime-library signal \
+     delivery is broken (the 602.gcc failure)"
+    (refused "srbi/trap" (Baseline.srbi gcc_bin));
+  let non_pie, _ = Compile.compile Arch.X86_64 Test_codegen.prog_loop in
+  Alcotest.(check string) "ir-lowering non-PIE refusal"
+    "IR lowering requires PIE with run-time relocation entries"
+    (refused "irl/pie" (Baseline.ir_lowering non_pie));
+  let cpp_pie, _ =
+    Compile.compile ~pie:true Arch.X86_64 Test_codegen.prog_exceptions
+  in
+  Alcotest.(check string) "ir-lowering C++ refusal"
+    "C++ exceptions are not supported (known Egalito limitation)"
+    (refused "irl/cpp" (Baseline.ir_lowering cpp_pie));
+  let docker, _ = Apps.docker Arch.X86_64 in
+  Alcotest.(check string) "ir-lowering Go refusal"
+    "Go metadata and builtin stack unwinding are not supported"
+    (refused "irl/go" (Baseline.ir_lowering docker));
+  (* libxul itself trips the C++-exceptions check first; the Rust branch
+     needs a binary whose only offending feature is the metadata. *)
+  let rusty =
+    let bin, _ = Compile.compile ~pie:true Arch.X86_64 Test_codegen.prog_calls in
+    {
+      bin with
+      Binary.features =
+        { bin.Binary.features with Binary.rust_metadata = true };
+    }
+  in
+  Alcotest.(check string) "ir-lowering Rust refusal (the libxul failure)"
+    "unsupported Rust metadata (the libxul failure)"
+    (refused "irl/rust" (Baseline.ir_lowering rusty));
+  let libcuda, _ = Apps.libcuda ~iters:5 Arch.X86_64 in
+  Alcotest.(check string) "ir-lowering symver refusal (the libcuda failure)"
+    "cannot rewrite symbol versioning information (the libcuda failure)"
+    (refused "irl/symver" (Baseline.ir_lowering libcuda));
+  Alcotest.(check string) "bolt link-relocs refusal"
+    "BOLT-ERROR: function reordering only works when relocations are enabled"
+    (refused "bolt" (Baseline.bolt_function_reorder non_pie))
+
+let test_refusal_keys () =
+  List.iter
+    (fun (reason, key) ->
+      Alcotest.(check string) reason key (Baseline.refusal_key reason))
+    [
+      ( "heavy trap-trampoline use; Dyninst-10.2's runtime-library signal \
+         delivery is broken (the 602.gcc failure)",
+        "tramp/trap" );
+      ( "all-or-nothing: cannot lift function f0 (unresolved-indirect-jump)",
+        "func/unresolved-indirect-jump" );
+      ( "call emulation for C++ exceptions is only implemented on x86-64 in \
+         Dyninst-10.2",
+        "feature/cpp-exceptions" );
+      ( "C++ exceptions are not supported (known Egalito limitation)",
+        "feature/cpp-exceptions" );
+      ( "IR lowering requires PIE with run-time relocation entries",
+        "feature/non-pie" );
+      ( "Go metadata and builtin stack unwinding are not supported",
+        "feature/go-runtime" );
+      ("unsupported Rust metadata (the libxul failure)", "feature/rust-metadata");
+      ( "cannot rewrite symbol versioning information (the libcuda failure)",
+        "feature/symbol-versioning" );
+      ( "BOLT-ERROR: function reordering only works when relocations are \
+         enabled",
+        "feature/link-relocs" );
+      ("some novel failure", "feature/other");
+    ]
+
+let test_roster_shape () =
+  Alcotest.(check (list string)) "roster names and order"
+    [
+      "srbi"; "ir-lowering"; "insn-patching"; "dyn-translation"; "ours/dir";
+      "ours/jt"; "ours/func-ptr";
+    ]
+    (List.map fst Baseline.approaches)
+
 let suite =
   [
     ("baselines:table1", [ Alcotest.test_case "shape" `Quick test_table1_shape ]);
@@ -289,4 +391,11 @@ let suite =
       ] );
     ( "baselines:ordering",
       [ Alcotest.test_case "overhead ordering" `Quick test_overhead_ordering ] );
+    ( "baselines:refusals",
+      [
+        Alcotest.test_case "refusal strings stable" `Quick
+          test_refusal_strings_stable;
+        Alcotest.test_case "refusal histogram keys" `Quick test_refusal_keys;
+        Alcotest.test_case "roster shape" `Quick test_roster_shape;
+      ] );
   ]

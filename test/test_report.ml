@@ -286,7 +286,8 @@ let counters_json counters =
   String.concat ", "
     (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) counters)
 
-let doc ?(cores = 1) ?(micro = []) ?(stages = []) ?(cache = []) () =
+let doc ?(cores = 1) ?(micro = []) ?(stages = []) ?(cache = []) ?(corpus = [])
+    () =
   let micro_json =
     String.concat ", "
       (List.map
@@ -313,10 +314,20 @@ let doc ?(cores = 1) ?(micro = []) ?(stages = []) ?(cache = []) () =
              name ns (counters_json counters))
          cache)
   in
+  let corpus_json =
+    String.concat ", "
+      (List.map
+         (fun (approach, cells, pass, p50, p95, refusals) ->
+           Printf.sprintf
+             "{\"approach\": \"%s\", \"cells\": %d, \"pass_rate_pct\": %.1f, \
+              \"p50_ns\": %.1f, \"p95_ns\": %.1f, \"refusals\": {%s}}"
+             approach cells pass p50 p95 (counters_json refusals))
+         corpus)
+  in
   Printf.sprintf
     "{\"schema\": \"icfg-bench-micro/1\", \"cores\": %d, \"micro\": [%s], \
-     \"parallel\": [], \"stages\": [%s], \"cache\": [%s]}"
-    cores micro_json stages_json cache_json
+     \"parallel\": [], \"stages\": [%s], \"cache\": [%s], \"corpus\": [%s]}"
+    cores micro_json stages_json cache_json corpus_json
 
 let diff_ok ?gate old_s new_s =
   match Bench_diff.diff_strings ?gate old_s new_s with
@@ -480,6 +491,65 @@ let bench_diff_cache_section () =
   Alcotest.(check bool) "lost cache row is a regression" true
     (Bench_diff.has_regression (diff_ok (mk []) (doc ())))
 
+(* The corpus section: deterministic pass rates gate unconditionally on a
+   drop (no --gate, no noise floor), rises and refusal-count movement are
+   informational, new refusal keys are Added, incomparable sweeps (cells
+   differ) never gate, and row loss gates like everywhere else. *)
+let bench_diff_corpus_section () =
+  let row ?(cells = 48) ?(p50 = 1_000_000.) ?(refusals = []) pass =
+    ("ours/jt", cells, pass, p50, 10. *. p50, refusals)
+  in
+  let mk ?cells ?p50 ?refusals pass =
+    doc ~corpus:[ row ?cells ?p50 ?refusals pass ] ()
+  in
+  Alcotest.(check int) "identical corpus rows diff clean" 0
+    (List.length (diff_ok ~gate:50. (mk 100.) (mk 100.)));
+  Alcotest.(check bool) "pass-rate drop gates even without --gate" true
+    (Bench_diff.has_regression (diff_ok (mk 100.) (mk 97.9)));
+  let f = diff_ok (mk 95.8) (mk 100.) in
+  Alcotest.(check bool) "pass-rate rise is reported" true (f <> []);
+  Alcotest.(check bool) "pass-rate rise never gates" false
+    (Bench_diff.has_regression f);
+  let f = diff_ok (mk ~cells:48 100.) (mk ~cells:96 97.9) in
+  Alcotest.(check bool) "incomparable corpus sizes never gate" false
+    (Bench_diff.has_regression f);
+  Alcotest.(check bool) "incomparable corpus sizes are reported" true (f <> []);
+  (* Refusal histograms: movement is Info, a new key is Added, neither
+     gates. *)
+  let f =
+    diff_ok
+      (mk ~refusals:[ ("tramp/trap", 3) ] 90.)
+      (mk ~refusals:[ ("tramp/trap", 5) ] 90.)
+  in
+  Alcotest.(check bool) "refusal-count movement is reported" true (f <> []);
+  Alcotest.(check bool) "refusal-count movement never gates" false
+    (Bench_diff.has_regression f);
+  let f =
+    diff_ok
+      (mk ~refusals:[ ("tramp/trap", 3) ] 90.)
+      (mk ~refusals:[ ("tramp/trap", 3); ("feature/non-pie", 1) ] 90.)
+  in
+  Alcotest.(check bool) "new refusal key is Added" true
+    (List.exists (fun x -> x.Bench_diff.f_severity = Bench_diff.Added) f);
+  Alcotest.(check bool) "new refusal key never gates" false
+    (Bench_diff.has_regression f);
+  (* Times on corpus rows follow the normal time policy. *)
+  Alcotest.(check bool) "corpus p50 growth gates under --gate" true
+    (Bench_diff.has_regression
+       (diff_ok ~gate:50. (mk ~p50:1_000_000. 100.) (mk ~p50:2_000_000. 100.)));
+  Alcotest.(check bool) "corpus p50 growth without --gate never gates" false
+    (Bench_diff.has_regression
+       (diff_ok (mk ~p50:1_000_000. 100.) (mk ~p50:2_000_000. 100.)));
+  (* Rows: loss gates, a corpus section the OLD baseline predates is all
+     Added and passes. *)
+  Alcotest.(check bool) "lost corpus row is a regression" true
+    (Bench_diff.has_regression (diff_ok (mk 100.) (doc ())));
+  let f = diff_ok ~gate:50. (doc ()) (mk 100.) in
+  Alcotest.(check bool) "new corpus section never gates" false
+    (Bench_diff.has_regression f);
+  Alcotest.(check bool) "new corpus section is reported as Added" true
+    (List.exists (fun x -> x.Bench_diff.f_severity = Bench_diff.Added) f)
+
 (* The real harness output must parse and self-diff clean — guards the
    bench/main.ml writer and this parser against drifting apart. *)
 let bench_diff_real_baseline () =
@@ -599,6 +669,8 @@ let suite =
         Alcotest.test_case "bench diff: added policy" `Quick bench_diff_added;
         Alcotest.test_case "bench diff: cache section" `Quick
           bench_diff_cache_section;
+        Alcotest.test_case "bench diff: corpus section" `Quick
+          bench_diff_corpus_section;
         Alcotest.test_case "bench diff: committed baseline" `Quick
           bench_diff_real_baseline;
         Alcotest.test_case "trace file on raise" `Quick trace_file_on_raise;

@@ -187,6 +187,35 @@ let test_go_vtab_failure_is_mode_specific () =
   Alcotest.(check bool) "func-ptr fails" true
     (try_mode Icfg_core.Mode.Func_ptr <> Vm.Halted)
 
+(* ------------------------------------------------------------------ *)
+(* Gen spec validation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_validation () =
+  let expect_invalid name spec =
+    match Gen.build spec with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "iters zero" { Gen.default_spec with Gen.iters = 0 };
+  expect_invalid "iters over cap"
+    { Gen.default_spec with Gen.iters = Gen.max_iters + 1 };
+  expect_invalid "cases not a power of two"
+    { Gen.default_spec with Gen.cases = 6 };
+  expect_invalid "cases zero" { Gen.default_spec with Gen.cases = 0 };
+  expect_invalid "negative switches"
+    { Gen.default_spec with Gen.n_switch = -1 };
+  expect_invalid "no compute targets"
+    { Gen.default_spec with Gen.n_compute = 0 };
+  (* build_go shares the validation *)
+  (match Gen.build_go { Gen.default_spec with Gen.iters = 0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "build_go: expected Invalid_argument");
+  (* the boundary values themselves are fine *)
+  ignore
+    (Gen.build { Gen.default_spec with Gen.iters = 1; cases = 1; inner = 1 });
+  ignore (Gen.build { Gen.default_spec with Gen.iters = Gen.max_iters })
+
 let suite =
   [
     ( "workloads:rng",
@@ -212,4 +241,6 @@ let suite =
         Alcotest.test_case "go vtab failure is mode-specific" `Quick
           test_go_vtab_failure_is_mode_specific;
       ] );
+    ( "workloads:gen",
+      [ Alcotest.test_case "spec validation" `Quick test_gen_validation ] );
   ]
