@@ -30,7 +30,14 @@
                                     -- regression gate between two --json
                                        runs; non-zero exit on regression
                                        (deterministic pass-rate drops gate
-                                       even without --gate) *)
+                                       even without --gate)
+     bench/main.exe check-cache FILE [--max-ratio r]
+                                    -- warm-path gate over one run's cache
+                                       rows: warm-perturbed must stay
+                                       within r (default 1.3) of
+                                       warm-identical, and the data-edit
+                                       row must show zero text-stage
+                                       misses; non-zero exit on failure *)
 
 open Icfg_isa
 module Experiments = Icfg_harness.Experiments
@@ -432,7 +439,27 @@ let run_cache_micro () =
       ("stores", s.Cache.c_stores);
       ("bytes_reused", s.Cache.c_bytes_reused);
       ("evict_corrupt", s.Cache.c_evict_corrupt);
+      ("evict_lru", s.Cache.c_evict_lru);
     ]
+  in
+  (* Representative runs execute under a private trace so the row also
+     records per-stage miss counters ("miss:parse/pass1", ...): the
+     warm-data-edit row gates on text-stage misses staying exactly zero. *)
+  let with_misses f =
+    let t = Icfg_core.Trace.create () in
+    let r = Icfg_core.Trace.with_current t f in
+    let prefix = "cache.miss:" in
+    let n = String.length prefix in
+    let misses =
+      List.sort compare
+        (List.filter_map
+           (fun (k, v) ->
+             if String.length k > n && String.sub k 0 n = prefix then
+               Some ("miss:" ^ String.sub k n (String.length k - n), v)
+             else None)
+           (Icfg_core.Trace.counters t))
+    in
+    (r, misses)
   in
   let row name ~reps ~counters run =
     ignore (Sys.opaque_identity (run ()));
@@ -460,9 +487,9 @@ let run_cache_micro () =
   in
   let cold_counters =
     let c = Cache.create () in
-    let rw = rewrite ~cache:c bin in
+    let rw, misses = with_misses (fun () -> rewrite ~cache:c bin) in
     check "cache-cold-rewrite" rw;
-    counters_of c
+    counters_of c @ misses
   in
   let cold =
     row "cache-cold-rewrite" ~reps:20 ~counters:cold_counters (fun () ->
@@ -470,32 +497,44 @@ let run_cache_micro () =
   in
   let warm_counters =
     let c = Cache.clone warm in
-    let rw = rewrite ~cache:c bin in
+    let rw, misses = with_misses (fun () -> rewrite ~cache:c bin) in
     check "cache-warm-identical" rw;
-    counters_of c
+    counters_of c @ misses
   in
   let warm_ns =
     row "cache-warm-identical" ~reps:20 ~counters:warm_counters (fun () ->
         rewrite ~cache:(Cache.clone warm) bin)
   in
   Printf.printf "  %-24s cold/warm speedup: %.2fx\n%!" "cache" (cold /. warm_ns);
-  match Runner.perturb_function (Icfg_analysis.Parse.parse bin) with
+  let p = Icfg_analysis.Parse.parse bin in
+  (* A warm rewrite against an edited binary, checked byte-identical to the
+     uncached rewrite of the same edit. *)
+  let warm_edited name pbin =
+    let edited_fp = fingerprint (rewrite pbin) in
+    let counters =
+      let c = Cache.clone warm in
+      let rw, misses = with_misses (fun () -> rewrite ~cache:c pbin) in
+      if fingerprint rw <> edited_fp then
+        Printf.printf "  WARNING: %s output differs from uncached\n%!" name;
+      counters_of c @ misses
+    in
+    row name ~reps:20 ~counters (fun () ->
+        rewrite ~cache:(Cache.clone warm) pbin)
+  in
+  (match Runner.perturb_function p with
   | None ->
       print_endline "  (no safely perturbable function; skipping perturbed row)"
   | Some (pbin, fname) ->
-      let pert_fp = fingerprint (rewrite pbin) in
-      let pert_counters =
-        let c = Cache.clone warm in
-        let rw = rewrite ~cache:c pbin in
-        if fingerprint rw <> pert_fp then
-          Printf.printf
-            "  WARNING: cache-warm-perturbed output differs from uncached\n%!";
-        counters_of c
-      in
       Printf.printf "  (perturbed function: %s)\n%!" fname;
-      ignore
-        (row "cache-warm-perturbed" ~reps:20 ~counters:pert_counters (fun () ->
-             rewrite ~cache:(Cache.clone warm) pbin))
+      let pert_ns = warm_edited "cache-warm-perturbed" pbin in
+      Printf.printf "  %-24s warm-perturbed/warm-identical: %.2fx\n%!" "cache"
+        (pert_ns /. warm_ns));
+  match Runner.perturb_data p with
+  | None ->
+      print_endline "  (no safely perturbable data byte; skipping data-edit row)"
+  | Some (pbin, sname) ->
+      Printf.printf "  (perturbed data section: %s)\n%!" sname;
+      ignore (warm_edited "cache-warm-data-edit" pbin)
 
 let run_micro () =
   let open Bechamel in
@@ -568,11 +607,41 @@ let run_diff args =
       Printf.eprintf "usage: bench/main.exe diff OLD.json NEW.json [--gate pct]\n";
       exit 2
 
+(* The warm-path gate: `bench/main.exe check-cache FILE [--max-ratio r]`
+   asserts the cache section of a bench JSON keeps warm-perturbed within
+   the target ratio of warm-identical, and the data-only-edit row with
+   zero text-stage misses (CI runs this against the refreshed artifact). *)
+let run_check_cache args =
+  let rec split_flag flag acc = function
+    | f :: v :: rest when f = flag -> (Some v, List.rev_append acc rest)
+    | x :: rest -> split_flag flag (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let ratio_s, args = split_flag "--max-ratio" [] args in
+  let max_ratio = Option.map float_of_string ratio_s in
+  match args with
+  | [ path ] -> (
+      match Icfg_harness.Bench_diff.check_cache_file ?max_ratio path with
+      | Error e ->
+          Printf.eprintf "check-cache: %s\n" e;
+          exit 2
+      | Ok findings ->
+          print_string (Icfg_harness.Bench_diff.render findings);
+          if Icfg_harness.Bench_diff.has_regression findings then (
+            Printf.eprintf "check-cache: warm-path gate failed\n";
+            exit 1))
+  | _ ->
+      Printf.eprintf "usage: bench/main.exe check-cache FILE [--max-ratio r]\n";
+      exit 2
+
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
   (match args with
   | "diff" :: rest ->
       run_diff rest;
+      exit 0
+  | "check-cache" :: rest ->
+      run_check_cache rest;
       exit 0
   | _ -> ());
   (* Extract "--json FILE" / "--trace FILE" pairs anywhere in the argument

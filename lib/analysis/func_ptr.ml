@@ -229,7 +229,26 @@ let analyze ?(par = serial) ?scan_map bin (fm : Failure_model.t)
       cfg.Cfg.blocks
   in
   let per_cfg =
-    match scan_map with Some m -> m scan cfgs | None -> par.pmap scan cfgs
+    match scan_map with
+    | Some m ->
+        (* Canonical bytes of exactly the frozen cross-CFG state a scan
+           reads besides the CFG itself: the failure model, the TOC base,
+           the entry set and the slot-target map (tables folded to sorted
+           lists so the digest is independent of insertion order). A
+           memoizer combining this with the scanned CFG's content has
+           covered every input of [scan]. *)
+        let extra =
+          Marshal.to_string
+            ( fm,
+              bin.Binary.toc_base,
+              List.sort compare
+                (Hashtbl.fold (fun a () acc -> a :: acc) entries []),
+              List.sort compare
+                (Hashtbl.fold (fun s t acc -> (s, t) :: acc) slot_targets []) )
+            [ Marshal.No_sharing ]
+        in
+        m ~extra scan cfgs
+    | None -> par.pmap scan cfgs
   in
   dedup (data_sites @ List.concat per_cfg)
 

@@ -37,7 +37,8 @@ val serial : par
 
 val analyze :
   ?par:par ->
-  ?scan_map:((Cfg.t -> site list) -> Cfg.t list -> site list list) ->
+  ?scan_map:
+    (extra:string -> (Cfg.t -> site list) -> Cfg.t list -> site list list) ->
   Icfg_obj.Binary.t ->
   Failure_model.t ->
   Cfg.t list ->
@@ -49,7 +50,11 @@ val analyze :
     so the site list is independent of the mapper used. [scan_map], when
     given, replaces [par.pmap] for the per-CFG scans — the hook Parse uses
     to interpose the content-addressed rewrite cache; it must be an
-    order-preserving observation-equivalent of [par.pmap]. *)
+    order-preserving observation-equivalent of [par.pmap]. [extra] is the
+    canonical bytes of every cross-CFG input the scan closure reads
+    (failure model, TOC base, entry set, slot-target map): [extra] plus a
+    digest of the scanned CFG covers the scan's inputs completely, so a
+    memoizer may key on exactly those two parts. *)
 
 val dedup : site list -> site list
 (** Keep the first occurrence of each distinct site: materializations are

@@ -193,12 +193,41 @@ let kjoin parts =
     parts;
   Buffer.contents b
 
-(* Everything the per-function analyses read *except* bytes inside the
-   functions themselves: arch/ABI facts, the failure model, symbols,
-   relocations, eh_frame, every non-text section's bytes, and the text
-   bytes before the first function. The binary's [name] is deliberately
-   excluded — renaming a file must not invalidate its entries. *)
-let context_digest bin fm syms =
+(* Whole-binary context, split into per-section digests compared
+   piecewise: each stage's key mixes in only the digests of what that
+   stage actually reads, so an edit invalidates the stages that depend
+   on it and nothing else.
+
+   - [cd_common]: arch/ABI facts, the failure model, the nameless symbol
+     map (addresses/sizes/kinds — what CFG building and entry detection
+     consume), per-section metadata, and the text bytes before the first
+     function. Read by every per-function text stage.
+   - [cd_eh]: the eh_frame tables ([Cfg.build] reads landing pads).
+   - [cd_data]: every non-text section's bytes. Only jump-table
+     finalization dereferences data words, so a data-only edit costs the
+     finalize stage and keeps every other text-stage hit.
+
+   Symbol {e names} are deliberately excluded from [cd_common]: no
+   per-function analysis of function [f] reads another function's name,
+   and [f]'s own name is already in its per-function key — so renaming
+   one symbol costs exactly that function's entries instead of flushing
+   the store. Relocations are excluded entirely: their only cached
+   consumers are the function-pointer scans, whose keys digest the
+   reloc-derived slot-target map directly (the [extra] computed inside
+   {!Func_ptr.analyze}). The binary's [name] is excluded too — renaming
+   a file must not invalidate its entries.
+
+   Each digest is collapsed to 16 bytes here: the raw marshals can be
+   tens of MiB for bulk-data binaries, and these strings are copied into
+   every per-function key of every stage — digesting once per parse
+   keeps key construction O(function size), not O(binary size). *)
+type context_digests = {
+  cd_common : string;
+  cd_eh : string;
+  cd_data : string;
+}
+
+let context_digests bin fm syms =
   let text = Binary.text bin in
   let first_func =
     List.fold_left
@@ -207,37 +236,46 @@ let context_digest bin fm syms =
   in
   let head_len = max 0 (first_func - text.Section.vaddr) in
   let head = Bytes.sub_string text.Section.data 0 head_len in
-  let sections =
+  let section_meta =
     List.map
       (fun (s : Section.t) ->
-        let body =
-          if s.Section.name = text.Section.name then
-            (* Covered by [head] + the per-function slices. *)
-            "text:" ^ string_of_int (Bytes.length s.Section.data)
-          else Bytes.to_string s.Section.data
-        in
-        (s.Section.name, s.Section.vaddr, s.Section.perm, s.Section.loaded, body))
+        ( s.Section.name,
+          s.Section.vaddr,
+          s.Section.perm,
+          s.Section.loaded,
+          Bytes.length s.Section.data ))
       bin.Binary.sections
   in
-  (* Collapse to a fixed-size digest here: the raw marshal can be tens of
-     MiB for bulk-data binaries, and this string is copied into every
-     per-function key of every stage — digesting once per parse instead
-     keeps key construction O(function size), not O(binary size). *)
-  Digest.string
-    (mdig
-       ( bin.Binary.arch,
-         bin.Binary.pie,
-         bin.Binary.entry,
-         bin.Binary.toc_base,
-         bin.Binary.dynsyms,
-         bin.Binary.features,
-         bin.Binary.symbols,
-         bin.Binary.relocs,
-         bin.Binary.link_relocs,
-         bin.Binary.eh_frame,
-         fm,
-         sections,
-         head ))
+  let nameless_symbols =
+    List.map
+      (fun (s : Symbol.t) ->
+        (s.Symbol.addr, s.Symbol.size, s.Symbol.kind, s.Symbol.global, s.Symbol.version))
+      bin.Binary.symbols
+  in
+  let data_bodies =
+    List.filter_map
+      (fun (s : Section.t) ->
+        if s.Section.name = text.Section.name then None
+        else Some (s.Section.name, Bytes.to_string s.Section.data))
+      bin.Binary.sections
+  in
+  {
+    cd_common =
+      Digest.string
+        (mdig
+           ( bin.Binary.arch,
+             bin.Binary.pie,
+             bin.Binary.entry,
+             bin.Binary.toc_base,
+             bin.Binary.dynsyms,
+             bin.Binary.features,
+             fm,
+             nameless_symbols,
+             section_meta,
+             head ));
+    cd_eh = Digest.string (mdig bin.Binary.eh_frame);
+    cd_data = Digest.string (mdig data_bodies);
+  }
 
 (* A function's content slice: its text bytes extended to the next
    function start (clamped to the text section), so the padding bytes that
@@ -276,23 +314,34 @@ let parse ?(fm = Failure_model.ours) ?(par = serial) ?(probe = no_probe) ?memo
      path costs (and does) exactly what it did before memoization. *)
   let keys =
     lazy
-      (let ctx = context_digest bin fm syms in
+      (let cd = context_digests bin fm syms in
        let slice = func_slices bin syms in
-       fun extras (sym : Symbol.t) ->
+       fun pieces (sym : Symbol.t) ->
          kjoin
-           (ctx
-           :: mdig (sym.Symbol.addr, sym.Symbol.size, sym.Symbol.name)
-           :: slice sym :: extras))
+           (pieces cd
+           @ [
+               mdig (sym.Symbol.addr, sym.Symbol.size, sym.Symbol.name);
+               slice sym;
+             ]))
   in
-  let fkey extras sym = (Lazy.force keys) extras sym in
+  (* [pieces] selects which context digests this stage's key mixes in —
+     the piecewise comparison that keeps unrelated edits from flushing
+     the stage. *)
+  let fkey pieces sym = (Lazy.force keys) pieces sym in
   let mmap ~stage ~key f l =
     match memo with None -> par.pmap f l | Some m -> m.mmap ~stage ~key f l
   in
-  let scan_map stage extras =
+  (* The per-CFG function-pointer scans are keyed on exactly their
+     inputs: the scanned CFG's content plus the [extra] digest
+     {!Func_ptr.analyze} computes from its frozen cross-CFG state
+     (failure model, TOC base, entry set, slot-target map). No context
+     digest is needed — everything the scan reads is in those two
+     parts. *)
+  let scan_map stage =
     Option.map
-      (fun m scan cfgs ->
+      (fun m ~extra scan cfgs ->
         m.mmap ~stage
-          ~key:(fun (cfg : Cfg.t) -> fkey extras cfg.Cfg.fsym)
+          ~key:(fun (cfg : Cfg.t) -> kjoin [ extra; mdig cfg ])
           scan cfgs)
       memo
   in
@@ -301,7 +350,8 @@ let parse ?(fm = Failure_model.ours) ?(par = serial) ?(probe = no_probe) ?memo
      per-function passes fan out through [par]. *)
   let pass1 =
     probe.pspan "pass1" (fun () ->
-        mmap ~stage:"parse/pass1" ~key:(fkey [])
+        mmap ~stage:"parse/pass1"
+          ~key:(fkey (fun cd -> [ cd.cd_common; cd.cd_eh ]))
           (fun sym ->
             let cfg0, slices, pres = analyze_function bin fm sym in
             ((sym, cfg0, slices), pres))
@@ -321,31 +371,37 @@ let parse ?(fm = Failure_model.ours) ?(par = serial) ?(probe = no_probe) ?memo
   let fptrs =
     probe.pspan "func-ptr" (fun () ->
         Func_ptr.analyze ~par:fpar
-          ?scan_map:(scan_map "parse/fptr" [])
+          ?scan_map:(scan_map "parse/fptr")
           bin fm cfg0s)
   in
   let pointer_targets = Func_ptr.derived_block_targets fptrs in
-  (* Finalization (and the second scan below) also reads the cross-function
-     results of round 1, so those join the per-function keys as extras. *)
+  (* Finalization also reads the cross-function results of round 1 and —
+     alone among the text stages — dereferences data words (resolved
+     table entries), so its key adds [round1] and [cd_data]. *)
   let round1 = lazy (mdig (known_data, pointer_targets)) in
   let funcs =
     probe.pspan "finalize" (fun () ->
         mmap ~stage:"parse/finalize"
-          ~key:(fun ((sym, _, _), _) -> fkey [ Lazy.force round1 ] sym)
+          ~key:(fun ((sym, _, _), _) ->
+            fkey
+              (fun cd ->
+                [ cd.cd_common; cd.cd_eh; cd.cd_data; Lazy.force round1 ])
+              sym)
           (fun ((sym, cfg0, slices), _) ->
             finalize_function bin fm ~known_data pointer_targets
               (sym, cfg0, slices))
           pass1)
   in
   (* Second function-pointer pass over the final CFGs (covers pointer
-     materializations inside switch-case blocks). *)
+     materializations inside switch-case blocks). The per-CFG keys digest
+     the finalized CFGs themselves, which already embed every round-1
+     influence (jump-table edges, pointer-target leaders) — so no extra
+     round-1 digest is needed, and an unchanged CFG hits even when a
+     distant function's analysis moved. *)
   let fptrs =
     probe.pspan "func-ptr-2" (fun () ->
         Func_ptr.analyze ~par:fpar
-          ?scan_map:
-            (match memo with
-            | None -> None
-            | Some _ -> scan_map "parse/fptr2" [ Lazy.force round1 ])
+          ?scan_map:(scan_map "parse/fptr2")
           bin fm
           (List.map (fun f -> f.fa_cfg) funcs))
   in

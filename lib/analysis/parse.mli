@@ -87,13 +87,21 @@ val parse :
     ([parse/funcs], [parse/instrumentable], [parse/jump-tables], ...).
 
     [memo] memoizes the four per-function stages (stage tags
-    [parse/pass1], [parse/fptr], [parse/finalize], [parse/fptr2]). Keys
-    combine a whole-binary context digest (everything except text bytes
-    inside functions), the function's symbol and content slice (extended
-    to the next function start so padding is owned), and — for the
-    post-round-1 stages — the known-data and pointer-target results of
-    round 1. Without [memo] the key machinery is never even forced, so
-    the default path is bit- and cost-identical to an unmemoized parse. *)
+    [parse/pass1], [parse/fptr], [parse/finalize], [parse/fptr2]). The
+    whole-binary context is digested per section kind and compared
+    piecewise: every stage key carries the common digest (ABI facts,
+    failure model, nameless symbol map, section metadata, pre-function
+    text bytes) plus the eh_frame digest; only [parse/finalize] — the
+    one stage that dereferences data words — adds the non-text section
+    bytes and the round-1 results, so a data-only edit keeps every other
+    text-stage hit and a one-symbol rename costs exactly that function's
+    entries. Per-function stages additionally key on the function's
+    symbol and content slice (extended to the next function start so
+    padding is owned); the per-CFG pointer scans key on the scanned
+    CFG's content plus the scan-input digest computed inside
+    {!Func_ptr.analyze}. Without [memo] the key machinery is never even
+    forced, so the default path is bit- and cost-identical to an
+    unmemoized parse. *)
 
 val func : t -> string -> func_analysis option
 val func_at : t -> int -> func_analysis option

@@ -258,6 +258,35 @@ let chunk_key arch ~pie ~toc ~labels ch =
     (arch, pie, toc, ch.c_lo, ch.c_hi, resolved)
     [ Marshal.No_sharing ]
 
+let encode_chunk arch ~pie ~toc ~labels ch =
+  let citems = Array.of_list ch.c_items in
+  let data = Bytes.make (ch.c_hi - ch.c_lo) '\000' in
+  let relocs =
+    encode_run arch ~pie ~toc ~labels ~org:ch.c_lo data citems 0
+      (Array.length citems)
+  in
+  (data, relocs)
+
+(* Encode an explicit chunk list against a frozen label table, blitting
+   into one buffer spanning the layout. Chunks need not tile the extent:
+   address ranges no chunk covers (holes a pinned layout left behind)
+   stay zero-filled. Relocs concatenate in chunk (address) order. *)
+let encode_chunks arch ~pie ~toc ~labels ?(par = serial) ?memo lay chunks =
+  let enc = encode_chunk arch ~pie ~toc ~labels in
+  let encoded =
+    match memo with
+    | None -> par.pmap enc chunks
+    | Some m ->
+        m.cmap ~stage:"encode" ~key:(chunk_key arch ~pie ~toc ~labels) enc
+          chunks
+  in
+  let data = Bytes.make (lay.l_end - lay.l_base) '\000' in
+  List.iter2
+    (fun ch (d, _) ->
+      Bytes.blit d 0 data (ch.c_lo - lay.l_base) (Bytes.length d))
+    chunks encoded;
+  (data, List.concat_map snd encoded)
+
 (* Sharded second pass. Layout is inherently sequential (each address
    depends on every earlier item's size), but once the label table is
    frozen, encoding any item depends only on its own (item, address) pair
@@ -292,29 +321,154 @@ let encode_sharded arch ~pie ~toc ~labels ?(par = serial) ?memo ?(chunks = 1)
               c_hi = addr_of i1;
             })
       in
-      let enc ch =
-        let citems = Array.of_list ch.c_items in
-        let data = Bytes.make (ch.c_hi - ch.c_lo) '\000' in
-        let relocs =
-          encode_run arch ~pie ~toc ~labels ~org:ch.c_lo data citems 0
-            (Array.length citems)
-        in
-        (data, relocs)
-      in
-      let encoded =
-        match memo with
-        | None -> par.pmap enc chs
-        | Some m ->
-            m.cmap ~stage:"encode"
-              ~key:(chunk_key arch ~pie ~toc ~labels)
-              enc chs
-      in
-      let data = Bytes.make (lay.l_end - lay.l_base) '\000' in
-      List.iter2
-        (fun ch (d, _) ->
-          Bytes.blit d 0 data (ch.c_lo - lay.l_base) (Bytes.length d))
-        chs encoded;
-      (data, List.concat_map snd encoded)
+      encode_chunks arch ~pie ~toc ~labels ~par ?memo lay chs
+
+(* ------------------------------------------------------------------ *)
+(* Pinned-address incremental layout                                   *)
+(* ------------------------------------------------------------------ *)
+
+type seg_rec = {
+  sr_id : int;
+  sr_digest : string;
+  sr_start : int;
+  sr_len : int;
+}
+
+type pinned_result = {
+  p_layout : layout;
+  p_recs : seg_rec list;
+  p_chunks : chunk list;
+  p_pinned : int;
+  p_moved : int;
+}
+
+let seg_digest items =
+  Digest.string (Marshal.to_string items [ Marshal.No_sharing ])
+
+let seg_len arch ~pie ~start items =
+  List.fold_left (fun at it -> at + item_size arch ~pie ~at it) start items
+  - start
+
+(* Zipr-style incremental placement: a segment whose content digest,
+   recorded address and recomputed size all match its previous record is
+   pinned exactly where it was; only the dirty segments are re-solved,
+   first-fit into the holes the pinned extents leave (ending in the
+   unbounded tail, which always accepts). Segment sizes are recomputed at
+   each candidate address because [Align] items are position-dependent.
+
+   Without [prev] every segment is dirty and first-fit against the single
+   tail hole degenerates to sequential emission-order placement — bit- and
+   address-identical to {!layout} over the concatenated item lists, which
+   is what makes a cold pinned layout indistinguishable from the plain
+   one. *)
+let layout_pinned arch ~pie ~labels ~base ?(prev = []) segs =
+  let prev_tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace prev_tbl r.sr_id r) prev;
+  let tagged =
+    List.mapi (fun eidx (id, items) -> (eidx, id, items, seg_digest items)) segs
+  in
+  let pinned_segs, dirty_segs =
+    List.partition_map
+      (fun (eidx, id, items, dg) ->
+        match Hashtbl.find_opt prev_tbl id with
+        | Some r
+          when r.sr_digest = dg && r.sr_start >= base
+               && seg_len arch ~pie ~start:r.sr_start items = r.sr_len ->
+            Either.Left (eidx, id, items, dg, r.sr_start, r.sr_len, true)
+        | _ -> Either.Right (eidx, id, items, dg))
+      tagged
+  in
+  (* The free holes: the complement of the pinned extents above [base],
+     closed by an unbounded tail. *)
+  let extents =
+    List.sort compare
+      (List.map (fun (_, _, _, _, s, l, _) -> (s, s + l)) pinned_segs)
+  in
+  let rev_holes, tail_lo =
+    List.fold_left
+      (fun (acc, pos) (s, e) ->
+        ((if s > pos then (pos, Some s) :: acc else acc), max pos e))
+      ([], base) extents
+  in
+  let holes = ref (List.rev ((tail_lo, None) :: rev_holes)) in
+  let place items =
+    let rec go acc = function
+      | [] -> invalid_arg "Asm.layout_pinned: exhausted the unbounded tail"
+      | (lo, hi) :: rest -> (
+          let len = seg_len arch ~pie ~start:lo items in
+          match hi with
+          | Some h when lo + len > h -> go ((lo, hi) :: acc) rest
+          | _ -> (lo, len, List.rev_append acc ((lo + len, hi) :: rest)))
+    in
+    let lo, len, hs = go [] !holes in
+    holes := hs;
+    (lo, len)
+  in
+  let placed_dirty =
+    List.map
+      (fun (eidx, id, items, dg) ->
+        let start, len = place items in
+        (eidx, id, items, dg, start, len, false))
+      dirty_segs
+  in
+  (* Register labels walking the segments in address order (emission order
+     breaks ties so zero-length segments keep their relative position),
+     producing the placed-item runs the layout and the chunks share. *)
+  let ordered =
+    List.sort
+      (fun (e1, _, _, _, s1, _, _) (e2, _, _, _, s2, _, _) ->
+        compare (s1, e1) (s2, e2))
+      (pinned_segs @ placed_dirty)
+  in
+  let place_items start items =
+    let addr = ref start in
+    List.map
+      (fun it ->
+        let at = !addr in
+        (match it with
+        | Label l ->
+            if Hashtbl.mem labels l then
+              invalid_arg (Printf.sprintf "Asm: duplicate label %s" l);
+            Hashtbl.add labels l at
+        | _ -> ());
+        addr := at + item_size arch ~pie ~at it;
+        (it, at))
+      items
+  in
+  let seg_placed =
+    List.map
+      (fun (_, id, items, dg, s, l, pinned) ->
+        (id, dg, s, l, pinned, place_items s items))
+      ordered
+  in
+  let l_end =
+    List.fold_left (fun e (_, _, s, l, _, _) -> max e (s + l)) base seg_placed
+  in
+  let count pred =
+    List.length
+      (List.filter (fun (_, _, _, l, pinned, _) -> l > 0 && pred pinned)
+         seg_placed)
+  in
+  {
+    p_layout =
+      {
+        items = List.concat_map (fun (_, _, _, _, _, pi) -> pi) seg_placed;
+        l_base = base;
+        l_end;
+      };
+    p_recs =
+      List.map
+        (fun (id, dg, s, l, _, _) ->
+          { sr_id = id; sr_digest = dg; sr_start = s; sr_len = l })
+        seg_placed;
+    p_chunks =
+      List.filter_map
+        (fun (_, _, s, l, _, pi) ->
+          if l = 0 then None else Some { c_items = pi; c_lo = s; c_hi = s + l })
+        seg_placed;
+    p_pinned = count (fun pinned -> pinned);
+    p_moved = count (fun pinned -> not pinned);
+  }
 
 type result = {
   data : Bytes.t;

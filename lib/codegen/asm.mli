@@ -119,6 +119,70 @@ val encode_sharded :
     [memo], per-chunk encoding goes through [memo.cmap] under stage
     ["encode"] instead of [par]. *)
 
+val encode_chunks :
+  Icfg_isa.Arch.t ->
+  pie:bool ->
+  toc:int ->
+  labels:(string, int) Hashtbl.t ->
+  ?par:par ->
+  ?memo:memo ->
+  layout ->
+  chunk list ->
+  Bytes.t * Icfg_obj.Reloc.t list
+(** Encode an explicit chunk list (e.g. {!pinned_result.p_chunks}) against
+    a frozen label table into one buffer spanning
+    [[lay.l_base, lay.l_end)]. Unlike {!encode_sharded} the chunks need
+    not tile the extent: uncovered holes (gaps a pinned layout left
+    behind) stay zero-filled. Relocs concatenate in chunk (address)
+    order. *)
+
+(** {1 Pinned-address incremental layout}
+
+    Zipr-style (arXiv 2312.00714) re-layout for warm rewrites: the caller
+    splits the item stream into identified segments (one per function);
+    segments whose content and recorded placement still fit are pinned at
+    their previous addresses, and only the dirty segments are re-solved
+    into the holes the pinned extents leave. A segment that keeps its
+    address keeps every label it defines, so downstream chunk-encode keys
+    and placement replays for it stay warm. *)
+
+type seg_rec = {
+  sr_id : int;  (** caller-chosen stable segment identity *)
+  sr_digest : string;  (** content digest of the segment's items *)
+  sr_start : int;
+  sr_len : int;
+}
+(** One placed segment, as persisted between runs. *)
+
+type pinned_result = {
+  p_layout : layout;  (** placed items in address order *)
+  p_recs : seg_rec list;  (** records to persist for the next run *)
+  p_chunks : chunk list;
+      (** one chunk per nonzero-length segment, in address order — feed to
+          {!encode_chunks} *)
+  p_pinned : int;  (** nonzero-length segments kept at their prior address *)
+  p_moved : int;  (** nonzero-length segments (re-)solved this run *)
+}
+
+val layout_pinned :
+  Icfg_isa.Arch.t ->
+  pie:bool ->
+  labels:(string, int) Hashtbl.t ->
+  base:int ->
+  ?prev:seg_rec list ->
+  (int * item list) list ->
+  pinned_result
+(** [layout_pinned arch ~pie ~labels ~base ?prev segs] places each
+    [(id, items)] segment. A segment is pinned when [prev] holds a record
+    with the same [sr_id] and content digest whose recorded extent starts
+    at or above [base] and whose size, recomputed at that address, is
+    unchanged; every other segment is placed first-fit (in emission
+    order) into the address holes between pinned extents, falling back to
+    the unbounded tail. Without [prev] (or with nothing pinnable) the
+    result is address- and item-identical to {!layout} over the
+    concatenated segment items. Duplicate labels raise
+    [Invalid_argument], as in {!layout}. *)
+
 type result = {
   data : Bytes.t;
   base : int;

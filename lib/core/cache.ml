@@ -6,9 +6,16 @@
    free: changed inputs -> changed key -> miss. The disk format is
    self-validating (magic + key echo + payload length + payload digest);
    anything that fails validation is evicted and recomputed — a corrupt
-   store can cost time, never correctness. *)
+   store can cost time, never correctness.
 
-let schema_version = 1
+   The disk tier is optionally size-bounded: [create ~max_disk_bytes]
+   caps the total bytes of .entry files, evicting least-recently-used
+   entries (by an in-process access tick; ties broken by key so the
+   victim order is deterministic). Evicted entries keep their in-memory
+   copy — LRU eviction limits the store's footprint, not this process's
+   working set. *)
+
+let schema_version = 2
 
 type stats = {
   c_hits : int;
@@ -16,17 +23,26 @@ type stats = {
   c_stores : int;
   c_bytes_reused : int;
   c_evict_corrupt : int;
+  c_evict_lru : int;
 }
 
 type t = {
   cdir : string option;
+  max_disk : int option;
   mem : (string, string) Hashtbl.t;
+  (* On-disk .entry accounting for the LRU bound: key -> (encoded file
+     size, last-access tick). Slots (.slot files) are deliberately not
+     tracked — they are a bounded handful of layout snapshots. *)
+  disk_entries : (string, int * int) Hashtbl.t;
+  mutable disk_total : int;
+  mutable tick : int;
   lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
   mutable bytes_reused : int;
   mutable evict_corrupt : int;
+  mutable evict_lru : int;
 }
 
 let rec mkdir_p d =
@@ -36,30 +52,70 @@ let rec mkdir_p d =
     try Sys.mkdir d 0o755 with Sys_error _ -> ()
   end
 
-let create ?dir () =
+let entry_ext = ".entry"
+let slot_ext = ".slot"
+
+let file_path dir key ext = Filename.concat dir (key ^ ext)
+
+let file_size path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> in_channel_length ic)
+  with Sys_error _ -> 0
+
+let create ?dir ?max_disk_bytes () =
   Option.iter mkdir_p dir;
+  let disk_entries = Hashtbl.create 256 in
+  let disk_total = ref 0 in
+  (* Seed the LRU table from entries already on disk (tick 0: anything
+     present before this process touched it is the coldest). *)
+  (match dir with
+  | None -> ()
+  | Some d ->
+      let names = try Array.to_list (Sys.readdir d) with Sys_error _ -> [] in
+      List.iter
+        (fun n ->
+          if Filename.check_suffix n entry_ext then begin
+            let key = Filename.chop_suffix n entry_ext in
+            let size = file_size (Filename.concat d n) in
+            Hashtbl.replace disk_entries key (size, 0);
+            disk_total := !disk_total + size
+          end)
+        (List.sort String.compare names));
   {
     cdir = dir;
+    max_disk = max_disk_bytes;
     mem = Hashtbl.create 256;
+    disk_entries;
+    disk_total = !disk_total;
+    tick = 0;
     lock = Mutex.create ();
     hits = 0;
     misses = 0;
     stores = 0;
     bytes_reused = 0;
     evict_corrupt = 0;
+    evict_lru = 0;
   }
 
 let clone c =
   let mem = Mutex.protect c.lock (fun () -> Hashtbl.copy c.mem) in
   {
     cdir = None;
+    max_disk = None;
     mem;
+    disk_entries = Hashtbl.create 16;
+    disk_total = 0;
+    tick = 0;
     lock = Mutex.create ();
     hits = 0;
     misses = 0;
     stores = 0;
     bytes_reused = 0;
     evict_corrupt = 0;
+    evict_lru = 0;
   }
 
 let stats c =
@@ -70,6 +126,7 @@ let stats c =
         c_stores = c.stores;
         c_bytes_reused = c.bytes_reused;
         c_evict_corrupt = c.evict_corrupt;
+        c_evict_lru = c.evict_lru;
       })
 
 let hit_rate s =
@@ -109,8 +166,6 @@ let final_key ~stage raw =
 
 let disk_magic = "icfgcache/1"
 
-let entry_path dir key = Filename.concat dir (key ^ ".entry")
-
 let entry_files c =
   match c.cdir with
   | None -> []
@@ -121,7 +176,7 @@ let entry_files c =
       List.sort String.compare
         (List.filter_map
            (fun n ->
-             if Filename.check_suffix n ".entry" then
+             if Filename.check_suffix n entry_ext then
                Some (Filename.concat d n)
              else None)
            names)
@@ -167,42 +222,108 @@ let decode_entry key s =
     else None
   else None
 
-(* Best-effort atomic write: a same-directory temp file renamed into
-   place, so concurrent readers never observe a torn entry. Failures
-   (read-only store, races) silently cost a future recompute. *)
-let disk_store c key payload =
+(* All disk-accounting helpers below assume [c.lock] is held. *)
+
+let disk_forget c key =
+  match Hashtbl.find_opt c.disk_entries key with
+  | Some (size, _) ->
+      Hashtbl.remove c.disk_entries key;
+      c.disk_total <- c.disk_total - size
+  | None -> ()
+
+let disk_remove c key ext =
   match c.cdir with
   | None -> ()
-  | Some d -> (
-      let path = entry_path d key in
-      let tmp = path ^ ".tmp" in
-      try
-        let oc = open_out_bin tmp in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc (encode_entry key payload));
-        Sys.rename tmp path
-      with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ()))
+  | Some d ->
+      (try Sys.remove (file_path d key ext) with Sys_error _ -> ());
+      if ext = entry_ext then disk_forget c key
 
 let count_evict c =
   c.evict_corrupt <- c.evict_corrupt + 1;
   if Trace.active () then Trace.incr "cache.evict_corrupt"
 
 (* Look up [key] on disk; corrupt/stale entries are removed and counted.
-   Caller holds [c.lock]. *)
-let disk_find c key =
+   A valid .entry hit refreshes its LRU tick. Caller holds [c.lock]. *)
+let disk_find c key ext =
   match c.cdir with
   | None -> None
   | Some d -> (
-      let path = entry_path d key in
+      let path = file_path d key ext in
       if not (Sys.file_exists path) then None
       else
-        match Option.bind (read_file path) (decode_entry key) with
-        | Some payload -> Some payload
-        | None ->
-            (try Sys.remove path with Sys_error _ -> ());
-            count_evict c;
-            None)
+        match read_file path with
+        | None -> None
+        | Some s -> (
+            match decode_entry key s with
+            | Some payload ->
+                if ext = entry_ext then begin
+                  c.tick <- c.tick + 1;
+                  Hashtbl.replace c.disk_entries key (String.length s, c.tick)
+                end;
+                Some payload
+            | None ->
+                disk_remove c key ext;
+                count_evict c;
+                None))
+
+(* Pick the least-recently-used on-disk entry other than [keep]: minimal
+   (tick, key) — the key tie-break makes the victim order deterministic
+   for entries seeded from a pre-existing store (all tick 0). *)
+let lru_victim c ~keep =
+  Hashtbl.fold
+    (fun key (_, tick) best ->
+      if key = keep then best
+      else
+        match best with
+        | Some (bt, bk) when (bt, bk) <= (tick, key) -> best
+        | _ -> Some (tick, key))
+    c.disk_entries None
+
+(* Best-effort atomic write: a same-directory temp file renamed into
+   place, so concurrent readers never observe a torn entry. Failures
+   (read-only store, races) silently cost a future recompute. After a
+   successful .entry write, the LRU bound is enforced: coldest entries
+   lose their disk file (the in-memory copy stays) until the store fits.
+   Caller holds [c.lock]. *)
+let disk_store c key payload ext =
+  match c.cdir with
+  | None -> ()
+  | Some d -> (
+      let path = file_path d key ext in
+      let tmp = path ^ ".tmp" in
+      let encoded = encode_entry key payload in
+      let written =
+        try
+          let oc = open_out_bin tmp in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc encoded);
+          Sys.rename tmp path;
+          true
+        with Sys_error _ ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          false
+      in
+      if written && ext = entry_ext then begin
+        disk_forget c key;
+        c.tick <- c.tick + 1;
+        Hashtbl.replace c.disk_entries key (String.length encoded, c.tick);
+        c.disk_total <- c.disk_total + String.length encoded;
+        match c.max_disk with
+        | None -> ()
+        | Some limit ->
+            let rec shrink () =
+              if c.disk_total > limit then
+                match lru_victim c ~keep:key with
+                | Some (_, victim) ->
+                    disk_remove c victim entry_ext;
+                    c.evict_lru <- c.evict_lru + 1;
+                    if Trace.active () then Trace.incr "cache.evict_lru";
+                    shrink ()
+                | None -> ()
+            in
+            shrink ()
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Store operations                                                    *)
@@ -216,7 +337,7 @@ let find c key =
       match Hashtbl.find_opt c.mem key with
       | Some _ as r -> r
       | None -> (
-          match disk_find c key with
+          match disk_find c key entry_ext with
           | Some payload ->
               Hashtbl.replace c.mem key payload;
               Some payload
@@ -225,7 +346,7 @@ let find c key =
 let store c key payload =
   Mutex.protect c.lock (fun () ->
       Hashtbl.replace c.mem key payload;
-      disk_store c key payload;
+      disk_store c key payload entry_ext;
       c.stores <- c.stores + 1)
 
 (* Drop an entry whose payload would not unmarshal (possible only via a
@@ -234,9 +355,7 @@ let store c key payload =
 let evict c key =
   Mutex.protect c.lock (fun () ->
       Hashtbl.remove c.mem key;
-      (match c.cdir with
-      | Some d -> ( try Sys.remove (entry_path d key) with Sys_error _ -> ())
-      | None -> ());
+      disk_remove c key entry_ext;
       count_evict c)
 
 let count_hit c ~stage n =
@@ -255,6 +374,52 @@ let count_miss c ~stage =
     Trace.incr "cache.miss";
     Trace.incr ("cache.miss:" ^ stage)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Slots                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A slot is a small mutable-by-overwrite side value (e.g. the previous
+   run's layout snapshot) addressed by what it is {e for} rather than by
+   its contents — so a warm run can find "the layout of this binary under
+   these options" without knowing what it contains. Slots ride in the
+   same in-memory table (so [clone] carries them into warm replays) and
+   in .slot files next to the .entry tier; they are invisible to hit/miss
+   statistics, [entry_files] and the LRU bound. *)
+
+let slot_key raw = final_key ~stage:"slot" raw
+
+let find_slot (type a) c raw : a option =
+  let key = slot_key raw in
+  let payload =
+    Mutex.protect c.lock (fun () ->
+        match Hashtbl.find_opt c.mem key with
+        | Some _ as r -> r
+        | None -> (
+            match disk_find c key slot_ext with
+            | Some payload ->
+                Hashtbl.replace c.mem key payload;
+                Some payload
+            | None -> None))
+  in
+  match payload with
+  | None -> None
+  | Some payload -> (
+      match (Marshal.from_string payload 0 : a) with
+      | v -> Some v
+      | exception _ ->
+          Mutex.protect c.lock (fun () ->
+              Hashtbl.remove c.mem key;
+              disk_remove c key slot_ext;
+              count_evict c);
+          None)
+
+let store_slot c raw v =
+  let key = slot_key raw in
+  let payload = Marshal.to_string v [] in
+  Mutex.protect c.lock (fun () ->
+      Hashtbl.replace c.mem key payload;
+      disk_store c key payload slot_ext)
 
 (* ------------------------------------------------------------------ *)
 (* memo_map                                                            *)

@@ -18,7 +18,11 @@
       format. Corrupt, truncated or version-skewed entries degrade to a
       miss — never an error, never wrong bytes — and are evicted
       (counted in [c_evict_corrupt] / the [cache.evict_corrupt] trace
-      counter).
+      counter). The disk tier can be size-bounded
+      ([create ~max_disk_bytes]): once the total size of on-disk entries
+      exceeds the bound, least-recently-used entries lose their disk file
+      (counted in [c_evict_lru] / [cache.evict_lru]) while keeping their
+      in-memory copy.
 
     Observation safety: the cache must be jobs-independent like every
     other pipeline observable. {!memo_map} therefore computes keys and
@@ -34,9 +38,15 @@ val schema_version : int
 
 type t
 
-val create : ?dir:string -> unit -> t
+val create : ?dir:string -> ?max_disk_bytes:int -> unit -> t
 (** In-memory cache; with [dir], also backed by an on-disk store rooted
-    there (created, including parents, if missing). *)
+    there (created, including parents, if missing). With
+    [max_disk_bytes], the on-disk tier is LRU-bounded: entries already
+    present in [dir] are accounted as coldest, and every store that
+    pushes the total over the bound evicts least-recently-used disk
+    files (deterministically: minimal access tick, ties by key) until it
+    fits again. Eviction removes only the disk file — the in-memory copy
+    is kept. *)
 
 val clone : t -> t
 (** Snapshot: a new cache sharing nothing with [t] but pre-populated with
@@ -49,6 +59,7 @@ type stats = {
   c_stores : int;
   c_bytes_reused : int;  (** marshalled payload bytes served from cache *)
   c_evict_corrupt : int;  (** on-disk entries dropped as corrupt/stale *)
+  c_evict_lru : int;  (** on-disk entries dropped by the size bound *)
 }
 
 val stats : t -> stats
@@ -96,4 +107,25 @@ val memo_map :
 
 val entry_files : t -> string list
 (** Absolute paths of the on-disk entries currently present (sorted);
-    [[]] without a disk tier. For fault-injection tests. *)
+    [[]] without a disk tier. Slot files (see {!find_slot}) are not
+    included. For fault-injection tests. *)
+
+(** {1 Slots}
+
+    A slot is a small side value addressed by what it is {e for} rather
+    than by its contents — e.g. "the previous layout of this binary
+    under these options" — so a warm run can load last run's result and
+    overwrite it with this run's. Slots live in the shared in-memory
+    table (so {!clone} carries them into warm replays) and in [.slot]
+    files next to the entry tier; they do not participate in hit/miss
+    statistics, {!entry_files} or the LRU bound. A slot that fails to
+    unmarshal (foreign writer, cross-version store) reads as absent and
+    is evicted, counted in [c_evict_corrupt]. *)
+
+val find_slot : t -> string -> 'a option
+(** [find_slot c raw] is the value last stored under [raw], if any.
+    Like [Marshal.from_string], the ['a] is trusted: read a slot with
+    the type it was stored at. *)
+
+val store_slot : t -> string -> 'a -> unit
+(** [store_slot c raw v] (over)writes the slot named by [raw]. *)

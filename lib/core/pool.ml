@@ -1,5 +1,16 @@
 let recommended_jobs () = Domain.recommended_domain_count ()
 
+exception Incomplete_map of { lane : int; index : int; total : int }
+
+let () =
+  Printexc.register_printer (function
+    | Incomplete_map { lane; index; total } ->
+        Some
+          (Printf.sprintf
+             "Pool.map: result slot %d/%d left unfilled (claimed by lane %d)"
+             index total lane)
+    | _ -> None)
+
 (* A pool is a bag of worker domains draining one shared queue of batch
    thunks. Scheduling state for a particular [map] call (the index and
    completion counters) lives in the thunk's closure, so the pool itself is
@@ -86,10 +97,16 @@ let map_array ~jobs f arr =
        under it even from a worker domain; [trace_ctx] is [None] (and the
        wrappers are pass-through) when no trace is ambient. *)
     let trace_ctx = Trace.fork () in
-    let body () =
+    (* Which lane claimed each index, for the diagnostic below: a slot
+       still [None] after a clean barrier is an impossible state, and when
+       the impossible happens the error should name the culprit rather
+       than die as a bare [Assert_failure]. *)
+    let owners = Array.make n (-1) in
+    let body lane () =
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          owners.(i) <- lane;
           (if Atomic.get failure = None then
              try results.(i) <- Some (f arr.(i))
              with e ->
@@ -108,12 +125,12 @@ let map_array ~jobs f arr =
     Mutex.lock pool.m;
     for k = 1 to lanes - 1 do
       Queue.push
-        (fun () -> Trace.lane trace_ctx ("lane-" ^ string_of_int k) body)
+        (fun () -> Trace.lane trace_ctx ("lane-" ^ string_of_int k) (body k))
         pool.q
     done;
     Condition.broadcast pool.work_available;
     Mutex.unlock pool.m;
-    Trace.lane trace_ctx "lane-0" body;
+    Trace.lane trace_ctx "lane-0" (body 0);
     Mutex.lock done_m;
     while Atomic.get completed < n do
       Condition.wait all_done done_m
@@ -122,7 +139,12 @@ let map_array ~jobs f arr =
     (match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
-    Array.map (function Some v -> v | None -> assert false) results
+    Array.mapi
+      (fun i -> function
+        | Some v -> v
+        | None ->
+            raise (Incomplete_map { lane = owners.(i); index = i; total = n }))
+      results
   end
 
 let map ~jobs f xs =

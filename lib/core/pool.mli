@@ -14,6 +14,14 @@
     costs 7 worker domains in total, not 1+3+7. Idle workers block on a
     condition variable and cost nothing. *)
 
+exception Incomplete_map of { lane : int; index : int; total : int }
+(** Raised (instead of a bare assertion) if a result slot is still empty
+    after the completion barrier with no recorded failure — an internal
+    scheduling invariant violation. [lane] is the lane that claimed the
+    index ([-1] if none ever did), [index]/[total] locate the missing
+    item. A printer is registered, so an escaped exception reads
+    ["Pool.map: result slot i/n left unfilled (claimed by lane k)"]. *)
+
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: the hardware-sized default for a
     [--jobs] flag, and the hard ceiling on concurrent lanes. *)

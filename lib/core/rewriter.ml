@@ -691,6 +691,18 @@ type place_plan = {
   pl_events : place_event list;  (** in serial placement order *)
 }
 
+(* The previous run's section layout, persisted in the cache's slot tier
+   so a warm run can pin unchanged functions at their prior addresses
+   (Zipr-style incremental placement) instead of re-solving the whole
+   section — which would shift every address downstream of the first
+   changed function and cold the encode and plan stages. *)
+type layout_snap = {
+  sn_instr_base : int;
+  sn_jt_base : int;
+  sn_instr : Asm.seg_rec list;
+  sn_jt : Asm.seg_rec list;
+}
+
 (* ------------------------------------------------------------------ *)
 (* The rewrite driver                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -791,11 +803,16 @@ let rewrite_inner ?cache ~options (p : Parse.t) =
                Array.to_list dynsyms,
                p.Parse.fptrs,
                p.Parse.pointer_targets );
+           (* Function symbols enter namelessly: nothing cross-function the
+              relocator or planner reads depends on a name (labels are
+              address-namespaced, [next_start_of] compares addresses, and
+              the name-sensitive inputs — [go_hook_funcs], the [only]
+              selection — are digested above), so a one-symbol rename
+              invalidates only that function's own entries via [dval fa]. *)
            Cache.dval
              ( bin.Binary.eh_frame,
                List.map
-                 (fun (s : Symbol.t) ->
-                   (s.Symbol.addr, s.Symbol.size, s.Symbol.name))
+                 (fun (s : Symbol.t) -> (s.Symbol.addr, s.Symbol.size))
                  (Binary.func_symbols bin) );
          ])
   in
@@ -835,16 +852,79 @@ let rewrite_inner ?cache ~options (p : Parse.t) =
      runs against the frozen label table, so it shards into contiguous
      chunks across the same domain pool. Several chunks per lane keep the
      lanes busy when chunk costs are skewed (data-heavy vs code-heavy
-     runs); bytes and reloc order are chunking-independent. *)
+     runs); bytes and reloc order are chunking-independent.
+
+     With a cache, layout goes through {!Asm.layout_pinned} over
+     per-function segments instead: the previous run's placement (persisted
+     in the cache's slot tier) pins every unchanged function at its prior
+     address, so a perturbed warm run re-solves and re-encodes only the
+     functions whose content actually changed — everything downstream of
+     an edit keeps its addresses, its encode-chunk hits and its placement
+     plans. A cold cache has no snapshot and the pinned layout degenerates
+     to exactly the sequential one. *)
   let labels = Hashtbl.create 1024 in
-  let instr_lay =
-    Trace.span "layout:instr" @@ fun () ->
-    Asm.layout arch ~pie ~labels ~base:instr_base instr_items
+  let pinned =
+    match cache with
+    | None -> None
+    | Some c ->
+        let seg_of proj =
+          List.map2
+            (fun (fa : Parse.func_analysis) img ->
+              (fa.Parse.fa_sym.Symbol.addr, List.rev (proj img)))
+            emission_funcs fimgs
+        in
+        let snap_key =
+          Cache.dval
+            ("layout-snap", bin.Binary.name, arch, pie, toc,
+             { opts with jobs = 0 })
+        in
+        let prev_instr, prev_jt_base, prev_jt =
+          match (Cache.find_slot c snap_key : layout_snap option) with
+          | Some sn when sn.sn_instr_base = instr_base ->
+              (sn.sn_instr, sn.sn_jt_base, sn.sn_jt)
+          | _ -> ([], -1, [])
+        in
+        let pi =
+          Trace.span "layout:instr" @@ fun () ->
+          Asm.layout_pinned arch ~pie ~labels ~base:instr_base
+            ~prev:prev_instr
+            (seg_of (fun img -> img.ri_items))
+        in
+        (* The jump-table base is always derived from the instr extent the
+           run actually produced — never pinned — so the two sections can
+           not collide when the instr section grows. *)
+        let jt_base = align_up pi.Asm.p_layout.Asm.l_end 0x100 in
+        let pj =
+          Trace.span "layout:jtnew" @@ fun () ->
+          Asm.layout_pinned arch ~pie ~labels ~base:jt_base
+            ~prev:(if jt_base = prev_jt_base then prev_jt else [])
+            (seg_of (fun img -> img.ri_jt_items))
+        in
+        Cache.store_slot c snap_key
+          {
+            sn_instr_base = instr_base;
+            sn_jt_base = jt_base;
+            sn_instr = pi.Asm.p_recs;
+            sn_jt = pj.Asm.p_recs;
+          };
+        Trace.add "layout.pinned" (pi.Asm.p_pinned + pj.Asm.p_pinned);
+        Trace.add "layout.moved" (pi.Asm.p_moved + pj.Asm.p_moved);
+        Some (pi, jt_base, pj)
   in
-  let jt_base = align_up instr_lay.Asm.l_end 0x100 in
-  let jt_lay =
-    Trace.span "layout:jtnew" @@ fun () ->
-    Asm.layout arch ~pie ~labels ~base:jt_base jt_items
+  let instr_lay, jt_base, jt_lay =
+    match pinned with
+    | Some (pi, jt_base, pj) -> (pi.Asm.p_layout, jt_base, pj.Asm.p_layout)
+    | None ->
+        let instr_lay =
+          Trace.span "layout:instr" @@ fun () ->
+          Asm.layout arch ~pie ~labels ~base:instr_base instr_items
+        in
+        let jt_base = align_up instr_lay.Asm.l_end 0x100 in
+        let jt_lay =
+          Trace.span "layout:jtnew" @@ fun () ->
+          Asm.layout arch ~pie ~labels ~base:jt_base jt_items
+        in
+        (instr_lay, jt_base, jt_lay)
   in
   let apar =
     if jobs <= 1 then Asm.serial
@@ -860,22 +940,31 @@ let rewrite_inner ?cache ~options (p : Parse.t) =
               (fun ~stage ~key f l -> Cache.memo_map ?cache ~jobs ~stage ~key f l);
           }
   in
-  (* Chunk boundaries feed chunk cache keys, so with a cache on the chunk
-     count is a fixed constant rather than jobs-derived — hit/miss counts
-     must be jobs-independent (bytes are chunking-independent either way,
-     which the sharding battery pins). *)
-  let enc_chunks =
-    if Option.is_some cache then 8 else if jobs <= 1 then 1 else 4 * jobs
-  in
+  let enc_chunks = if jobs <= 1 then 1 else 4 * jobs in
+  (* With a cache, encoding follows the pinned layout's per-function
+     chunks: chunk boundaries — hence chunk cache keys and hit/miss
+     counts — are function boundaries, fixed by the binary rather than
+     jobs-derived, and a pinned function's chunk key is bit-identical
+     across runs (same items, same addresses, same resolved labels). *)
   let instr_bytes, instr_relocs =
     Trace.span "encode:instr" @@ fun () ->
-    Asm.encode_sharded arch ~pie ~toc ~labels ~par:apar ?memo:amemo
-      ~chunks:enc_chunks instr_lay
+    match pinned with
+    | Some (pi, _, _) ->
+        Asm.encode_chunks arch ~pie ~toc ~labels ~par:apar ?memo:amemo
+          pi.Asm.p_layout pi.Asm.p_chunks
+    | None ->
+        Asm.encode_sharded arch ~pie ~toc ~labels ~par:apar ?memo:amemo
+          ~chunks:enc_chunks instr_lay
   in
   let jt_bytes, jt_relocs =
     Trace.span "encode:jtnew" @@ fun () ->
-    Asm.encode_sharded arch ~pie ~toc ~labels ~par:apar ?memo:amemo
-      ~chunks:enc_chunks jt_lay
+    match pinned with
+    | Some (_, _, pj) ->
+        Asm.encode_chunks arch ~pie ~toc ~labels ~par:apar ?memo:amemo
+          pj.Asm.p_layout pj.Asm.p_chunks
+    | None ->
+        Asm.encode_sharded arch ~pie ~toc ~labels ~par:apar ?memo:amemo
+          ~chunks:enc_chunks jt_lay
   in
   let label_addr l = Asm.label_exn labels l in
   let reloc_of a = label_addr (block_label a) in

@@ -408,6 +408,99 @@ let diff_files ?gate old_path new_path =
   | Ok o, Ok nw -> diff_strings ?gate o nw
   | Error e, _ | _, Error e -> Error e
 
+(* -------------------------------------------------------------------- *)
+(* Warm-path gate                                                        *)
+(* -------------------------------------------------------------------- *)
+
+(* The per-stage miss counters that must stay exactly zero on the
+   data-only-edit warm row: with piecewise context digests, a validated
+   data edit invalidates only [parse/finalize] (the one stage that
+   dereferences data words) — any other stage going cold means a digest
+   leaked data bytes into a text-stage key. *)
+let data_edit_zero_misses =
+  [
+    "miss:parse/pass1";
+    "miss:parse/fptr";
+    "miss:parse/fptr2";
+    "miss:rewrite/relocate";
+    "miss:rewrite/plan";
+    "miss:encode";
+  ]
+
+let check_cache ?(max_ratio = 1.3) doc =
+  match member "schema" doc with
+  | Some (Str ("icfg-bench-micro/1" | "icfg-bench-cache/1")) ->
+      let rows = Option.fold ~none:[] ~some:as_list (member "cache" doc) in
+      let row name =
+        List.find_opt
+          (fun r ->
+            match member "name" r with Some (Str s) -> s = name | _ -> false)
+          rows
+      in
+      let ns r = Option.bind (member "ns_per_run" r) as_num in
+      let findings = ref [] in
+      let report sev metric msg =
+        findings := { f_severity = sev; f_metric = metric; f_msg = msg } :: !findings
+      in
+      (match (row "cache-warm-identical", row "cache-warm-perturbed") with
+      | Some wi, Some wp -> (
+          match (ns wi, ns wp) with
+          | Some ident, Some pert when ident > 0. ->
+              let ratio = pert /. ident in
+              if ratio > max_ratio then
+                report Regression "cache:warm-perturbed-ratio"
+                  (Printf.sprintf
+                     "warm-perturbed is %.2fx warm-identical (limit %.2fx)"
+                     ratio max_ratio)
+              else
+                report Info "cache:warm-perturbed-ratio"
+                  (Printf.sprintf
+                     "warm-perturbed is %.2fx warm-identical (limit %.2fx)"
+                     ratio max_ratio)
+          | _ ->
+              report Regression "cache:warm-perturbed-ratio"
+                "warm rows lack usable ns_per_run values")
+      | _ ->
+          report Regression "cache:warm-perturbed-ratio"
+            "cache-warm-identical / cache-warm-perturbed rows missing");
+      (match row "cache-warm-data-edit" with
+      | None ->
+          report Regression "cache:data-edit"
+            "cache-warm-data-edit row missing"
+      | Some r -> (
+          (* Per-stage miss counters are only emitted when nonzero, so an
+             absent key IS the passing case — but a row with no counter
+             object at all is malformed, not a pass. *)
+          match member "counters" r with
+          | Some (Obj counters) ->
+              List.iter
+                (fun k ->
+                  match List.assoc_opt k counters with
+                  | None | Some (Num 0.) -> ()
+                  | Some (Num v) ->
+                      report Regression ("cache:data-edit:" ^ k)
+                        (Printf.sprintf
+                           "%.0f misses on a data-only edit (want 0)" v)
+                  | Some _ ->
+                      report Regression ("cache:data-edit:" ^ k)
+                        "counter is not a number")
+                data_edit_zero_misses
+          | _ ->
+              report Regression "cache:data-edit"
+                "data-edit row lacks a counter object"));
+      Ok (List.rev !findings)
+  | _ -> Error "not an icfg-bench-micro/1 or icfg-bench-cache/1 document"
+
+let check_cache_string ?max_ratio s =
+  match parse_json s with
+  | Ok doc -> check_cache ?max_ratio doc
+  | Error e -> Error e
+
+let check_cache_file ?max_ratio path =
+  match read_file path with
+  | Ok s -> check_cache_string ?max_ratio s
+  | Error e -> Error e
+
 let has_regression = List.exists (fun f -> f.f_severity = Regression)
 
 let render findings =

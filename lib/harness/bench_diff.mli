@@ -63,6 +63,24 @@ val diff_files :
 (** [diff_files ?gate old_path new_path]. [Error] on unreadable files or
     parse failures. *)
 
+val check_cache : ?max_ratio:float -> json -> (finding list, string) result
+(** Warm-path gate over the ["cache"] section of a parsed
+    [icfg-bench-micro/1] (or standalone [icfg-bench-cache/1]) document:
+    the [cache-warm-perturbed] row's time must stay within [max_ratio]
+    (default [1.3]) of [cache-warm-identical], and the
+    [cache-warm-data-edit] row must report zero misses for every
+    text-stage counter ([miss:parse/pass1], [miss:parse/fptr],
+    [miss:parse/fptr2], [miss:rewrite/relocate], [miss:rewrite/plan],
+    [miss:encode]) — a data-only edit may cold only [parse/finalize].
+    Violations come back as [Regression] findings (the passing ratio is
+    reported as [Info]); [Error] on non-bench documents. *)
+
+val check_cache_string :
+  ?max_ratio:float -> string -> (finding list, string) result
+
+val check_cache_file :
+  ?max_ratio:float -> string -> (finding list, string) result
+
 val has_regression : finding list -> bool
 
 val render : finding list -> string

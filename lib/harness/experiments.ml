@@ -502,17 +502,26 @@ let bolt () =
 (* Section 9: Diogenes                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* A refusal from either rewriter is a data-shape outcome, not a harness
+   crash: report it as [Error reason] so the experiment table can print a
+   skipped cell instead of [failwith] killing the whole bench run. *)
 let diogenes_data arch =
   let bin, _ = Apps.libcuda arch in
   let subset = Apps.libcuda_api_subset bin in
-  let run outcome =
+  let run label outcome =
     match outcome with
-    | Baseline.Rewritten rw -> Runner.run_rewritten rw
-    | Baseline.Refused r -> failwith ("diogenes: unexpected refusal: " ^ r)
+    | Baseline.Rewritten rw -> Ok (Runner.run_rewritten rw)
+    | Baseline.Refused r -> Error (label ^ ": " ^ r)
   in
-  let legacy = run (Baseline.legacy_dyninst ~only:subset bin) in
-  let ours = run (Baseline.ours_partial ~mode:Mode.Jt ~only:subset bin) in
-  float_of_int legacy.Runner.r_cycles /. float_of_int (max 1 ours.Runner.r_cycles)
+  match
+    ( run "dyninst" (Baseline.legacy_dyninst ~only:subset bin),
+      run "ours" (Baseline.ours_partial ~mode:Mode.Jt ~only:subset bin) )
+  with
+  | Ok legacy, Ok ours ->
+      Ok
+        (float_of_int legacy.Runner.r_cycles
+        /. float_of_int (max 1 ours.Runner.r_cycles))
+  | Error r, _ | _, Error r -> Error r
 
 let diogenes () =
   buf_out (fun b ->
@@ -538,7 +547,9 @@ let diogenes () =
           in
           describe "Dyninst mainstream:" (Baseline.legacy_dyninst ~only:subset bin);
           describe "our approach:" (Baseline.ours_partial ~mode:Mode.Jt ~only:subset bin);
-          line b "  speedup: %.1fx" (diogenes_data arch);
+          (match diogenes_data arch with
+          | Ok s -> line b "  speedup: %.1fx" s
+          | Error r -> line b "  speedup: skipped (refused: %s)" r);
           match Baseline.ir_lowering bin with
           | Baseline.Refused r -> line b "  Egalito: REFUSED (%s)" r
           | Baseline.Rewritten _ -> line b "  Egalito: unexpectedly succeeded")

@@ -71,9 +71,11 @@ val bolt : unit -> string
 
 (** {1 Section 9 — the Diogenes case study} *)
 
-val diogenes_data : Icfg_isa.Arch.t -> float
+val diogenes_data : Icfg_isa.Arch.t -> (float, string) result
 (** Speedup factor of our configuration over mainstream-Dyninst-style
-    instrumentation of the libcuda subset. *)
+    instrumentation of the libcuda subset, or [Error reason] when either
+    rewriter refuses the binary — a reportable outcome (the caller prints
+    a skipped cell), not a harness failure. *)
 
 val diogenes : unit -> string
 

@@ -35,14 +35,24 @@ let pass_rate_pct r =
   if r.row_cells = 0 then 0.
   else 100. *. float_of_int r.row_verified /. float_of_int r.row_cells
 
-(* Nearest-rank percentile over an unsorted sample. *)
-let percentile p xs =
-  match List.sort compare xs with
-  | [] -> 0.
-  | sorted ->
-      let n = List.length sorted in
-      let i = int_of_float (Float.round (p *. float_of_int (n - 1))) in
-      List.nth sorted (max 0 (min (n - 1) i))
+(* Nearest-rank percentile. Non-finite samples are dropped before
+   ranking: the polymorphic [compare] orders [nan] arbitrarily against
+   other floats, so one poisoned timing cell would otherwise silently
+   shift every rank. The sample is sorted once into an array and each
+   query indexes directly — O(1) per rank instead of [List.nth]'s O(n). *)
+let sorted_sample xs =
+  let a = Array.of_list (List.filter Float.is_finite xs) in
+  Array.sort Float.compare a;
+  a
+
+let rank_of_sorted a p =
+  let n = Array.length a in
+  if n = 0 then 0.
+  else
+    let i = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+    a.(max 0 (min (n - 1) i))
+
+let percentile p xs = rank_of_sorted (sorted_sample xs) p
 
 let classify ~orig outcome =
   match outcome with
@@ -66,6 +76,7 @@ let row_of ~approach cells =
   let refusal_count k =
     count (fun (_, c) -> match c with Refused k' -> k' = k | _ -> false)
   in
+  let times = sorted_sample (List.map fst cells) in
   {
     row_approach = approach;
     row_cells = List.length cells;
@@ -74,8 +85,8 @@ let row_of ~approach cells =
     row_refused = count (fun (_, c) -> match c with Refused _ -> true | _ -> false);
     row_crashed = count (fun (_, c) -> match c with Crashed _ -> true | _ -> false);
     row_refusals = List.map (fun k -> (k, refusal_count k)) refusals;
-    row_p50_ns = percentile 0.50 (List.map fst cells);
-    row_p95_ns = percentile 0.95 (List.map fst cells);
+    row_p50_ns = rank_of_sorted times 0.50;
+    row_p95_ns = rank_of_sorted times 0.95;
   }
 
 let run ?(seed = 7) ?(count = 300) ?(jobs = 1) ?(progress = fun _ -> ()) () =

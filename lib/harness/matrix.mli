@@ -47,6 +47,12 @@ val pass_rate_pct : row -> float
 (** [100 * verified / cells]; [0.] on an empty row. Deterministic — this
     is the number the bench gate compares exactly. *)
 
+val percentile : float -> float list -> float
+(** [percentile p xs] is the nearest-rank [p]-percentile ([0. <= p <= 1.])
+    of the finite values in [xs]; non-finite samples ([nan], infinities)
+    are dropped before ranking and the empty sample yields [0.]. Exposed
+    for the harness statistics tests. *)
+
 val run :
   ?seed:int -> ?count:int -> ?jobs:int -> ?progress:(int -> unit) -> unit -> t
 (** Sweep [Corpus.generate ~seed ~count] (defaults: seed 7, count 300)

@@ -97,6 +97,105 @@ let perturb_function (p : Parse.t) =
   in
   find p.Parse.funcs
 
+(* Flip one byte of one loaded, non-executable section, choosing a site
+   that provably changes nothing the text-stage analyses compute: the
+   perturbed binary is re-parsed (serially) and must reproduce the
+   identical analysis — CFGs, jump tables, pointer sites — so the edit's
+   only cache-visible effect is the data bytes themselves. This is the
+   probe behind the data-only-edit battery and the [cache-warm-data-edit]
+   bench row: with piecewise context digests, only [parse/finalize] (the
+   one stage that dereferences data words) may go cold. Read-only
+   sections are tried first — writable words feed the value-match pointer
+   scan on non-PIE binaries — and [.eh_frame] is excluded because its
+   bytes are a text-stage input. *)
+let perturb_data (p : Parse.t) =
+  let bin = p.Parse.bin in
+  let digest_of (q : Parse.t) =
+    Digest.string
+      (Marshal.to_string
+         (q.Parse.funcs, q.Parse.fptrs, q.Parse.pointer_targets)
+         [ Marshal.No_sharing ])
+  in
+  let want = digest_of p in
+  let eligible (s : Icfg_obj.Section.t) =
+    s.Icfg_obj.Section.loaded
+    && (not s.Icfg_obj.Section.perm.Icfg_obj.Section.execute)
+    && Icfg_obj.Section.size s > 0
+    && s.Icfg_obj.Section.name <> ".eh_frame"
+  in
+  let ro, rw =
+    List.partition
+      (fun (s : Icfg_obj.Section.t) ->
+        not s.Icfg_obj.Section.perm.Icfg_obj.Section.write)
+      (List.filter eligible bin.Binary.sections)
+  in
+  let candidates =
+    List.concat_map
+      (fun (s : Icfg_obj.Section.t) ->
+        let n = Icfg_obj.Section.size s in
+        List.map
+          (fun off -> (s, off))
+          (List.sort_uniq compare
+             (List.filter
+                (fun off -> off >= 0 && off < n)
+                [ n / 2; n / 3; 2 * n / 3; n - 1; 0 ])))
+      (ro @ rw)
+  in
+  let try_one ((s : Icfg_obj.Section.t), off) =
+    let out = Binary.copy bin in
+    let addr = s.Icfg_obj.Section.vaddr + off in
+    let c = Char.code (Bytes.get s.Icfg_obj.Section.data off) in
+    Binary.write_string out addr (String.make 1 (Char.chr (c lxor 1)));
+    let q = Parse.parse ~fm:p.Parse.fm out in
+    if digest_of q = want then Some (out, s.Icfg_obj.Section.name) else None
+  in
+  (* Each probe costs a serial re-parse, so the attempt budget is small. *)
+  let rec find k = function
+    | [] -> None
+    | _ when k <= 0 -> None
+    | c :: rest -> (
+        match try_one c with Some r -> Some r | None -> find (k - 1) rest)
+  in
+  find 16 candidates
+
+(* Rename one instrumentable function symbol. Symbol names are not
+   analysis or layout inputs anywhere else — relocated-block labels are
+   address-namespaced and the cache digests other functions' symbols
+   namelessly — so a rename must cost exactly the renamed function's own
+   cache entries and nothing downstream (in particular zero encode
+   misses), which is what the one-symbol-edit battery pins. Go-hook names
+   are skipped: those are matched by name in the rewriter. *)
+let perturb_symbol (p : Parse.t) =
+  let bin = p.Parse.bin in
+  let hook n = n = "runtime.findfunc" || n = "runtime.pcvalue" in
+  let pick (fa : Parse.func_analysis) =
+    fa.Parse.fa_instrumentable
+    && not (hook fa.Parse.fa_sym.Icfg_obj.Symbol.name)
+  in
+  match List.find_opt pick p.Parse.funcs with
+  | None -> None
+  | Some fa ->
+      let old = fa.Parse.fa_sym.Icfg_obj.Symbol.name in
+      let fresh = old ^ "$renamed" in
+      if
+        List.exists
+          (fun (s : Icfg_obj.Symbol.t) -> s.Icfg_obj.Symbol.name = fresh)
+          bin.Binary.symbols
+      then None
+      else
+        let symbols =
+          List.sort Icfg_obj.Symbol.compare_by_addr
+            (List.map
+               (fun (s : Icfg_obj.Symbol.t) ->
+                 if
+                   s.Icfg_obj.Symbol.addr = fa.Parse.fa_sym.Icfg_obj.Symbol.addr
+                   && s.Icfg_obj.Symbol.name = old
+                 then { s with Icfg_obj.Symbol.name = fresh }
+                 else s)
+               bin.Binary.symbols)
+        in
+        Some ({ (Binary.copy bin) with Binary.symbols = symbols }, old)
+
 type run = {
   r_outcome : Vm.outcome;
   r_cycles : int;

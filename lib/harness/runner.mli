@@ -43,6 +43,23 @@ val perturb_function : Icfg_analysis.Parse.t -> (Icfg_obj.Binary.t * string) opt
     incremental-cache tests use to prove per-function invalidation.
     [None] if no safely perturbable site exists. *)
 
+val perturb_data : Icfg_analysis.Parse.t -> (Icfg_obj.Binary.t * string) option
+(** A copy of the parsed binary with one byte flipped in one loaded
+    non-executable section (plus that section's name), validated by
+    re-parsing: the perturbed binary must reproduce the identical analysis,
+    so the edit's only cache-visible input change is the data bytes — with
+    piecewise context digests, a warm rewrite re-runs only
+    [parse/finalize]. [None] if no validated site is found within the
+    attempt budget. *)
+
+val perturb_symbol :
+  Icfg_analysis.Parse.t -> (Icfg_obj.Binary.t * string) option
+(** A copy of the parsed binary with one instrumentable function's symbol
+    renamed (plus the original name): names feed only that function's own
+    cache keys, so a warm rewrite after a rename costs exactly that
+    function's per-function entries and zero encode chunks. [None] if no
+    suitable symbol exists. *)
+
 type run = {
   r_outcome : Icfg_runtime.Vm.outcome;
   r_cycles : int;

@@ -457,13 +457,20 @@ let rop_btar = 42
 let rop_adrp = 43 (* rd[24:21] pages21[20:0] *)
 let rop_addis = 44 (* rd[23:20] rs[19:16] imm16[15:0] *)
 
-let branch_disp_bits (arch : Arch.t) =
+let branch_disp_bits ?(opcode = "branch") (arch : Arch.t) =
   (* Displacement field width in 4-byte instruction units: 24 bits gives
-     +/-32 MiB (ppc64le b), 26 bits gives +/-128 MiB (aarch64 b). *)
+     +/-32 MiB (ppc64le b), 26 bits gives +/-128 MiB (aarch64 b). x86-64
+     branches encode byte displacements, so asking is a caller bug — name
+     the opcode instead of dying as a bare [Assert_failure]. *)
   match arch with
   | Arch.Ppc64le -> 24
   | Arch.Aarch64 -> 26
-  | Arch.X86_64 -> assert false
+  | Arch.X86_64 ->
+      invalid_arg
+        (Printf.sprintf
+           "Encode.branch_disp_bits: x86-64 %s uses byte-granular \
+            displacements, not 4-byte instruction units"
+           opcode)
 
 let risc_word arch (i : Insn.t) =
   let mk opc payload = (opc lsl 26) lor (payload land 0x3FFFFFF) in
@@ -485,7 +492,10 @@ let risc_word arch (i : Insn.t) =
     if disp land 3 <> 0 then
       not_encodable "branch displacement %d is not 4-byte aligned" disp;
     let units = disp asr 2 in
-    let bits = branch_disp_bits arch in
+    let opcode =
+      if opc = rop_call then "call" else if opc = rop_jcc then "jcc" else "jmp"
+    in
+    let bits = branch_disp_bits ~opcode arch in
     if not (fits_signed units bits) then
       not_encodable "branch displacement %d out of range" disp;
     mk opc (units land ((1 lsl bits) - 1))

@@ -48,6 +48,13 @@ val wide_jmp_len : Arch.t -> int
 val jmp_fits : Arch.t -> wide:bool -> int -> bool
 (** Whether displacement [d] fits the (short or wide) direct branch. *)
 
+val branch_disp_bits : ?opcode:string -> Arch.t -> int
+(** Width of the RISC branch displacement field in 4-byte instruction
+    units (24 on ppc64le, 26 on aarch64). x86-64 branches carry
+    byte-granular displacements, so asking for it there raises
+    [Invalid_argument] naming [opcode] (default ["branch"]) — a
+    descriptive caller-bug diagnostic rather than an [Assert_failure]. *)
+
 val encode_jmp : Arch.t -> wide:bool -> int -> string
 (** Encode a direct branch with displacement [d] in the requested form.
     Raises {!Not_encodable} if out of range. *)

@@ -205,6 +205,95 @@ let test_raw_and_space () =
     (Bytes.sub_string r.Asm.data 0 5);
   Alcotest.(check int) "space" (0x400000 + 8) (Asm.label_exn r.Asm.labels "after")
 
+(* ------------------------------------------------------------------ *)
+(* Pinned-address incremental layout                                   *)
+(* ------------------------------------------------------------------ *)
+
+let seg id body = (id, [ Asm.Label (Printf.sprintf "s%d" id); Asm.Raw body ])
+
+let pin ?prev segs =
+  let labels = Hashtbl.create 16 in
+  let r =
+    Asm.layout_pinned Arch.X86_64 ~pie:false ~labels ~base:0x400000 ?prev segs
+  in
+  (r, labels)
+
+let bindings tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let base_segs = [ seg 0 "AAAA"; seg 1 "BB"; seg 2 "CCCCCCCC" ]
+
+(* Without a previous run, layout_pinned is exactly [layout] over the
+   concatenated segment items. *)
+let test_pinned_no_prev () =
+  let r, labels = pin base_segs in
+  let plain = Hashtbl.create 16 in
+  let lay =
+    Asm.layout Arch.X86_64 ~pie:false ~labels:plain ~base:0x400000
+      (List.concat_map snd base_segs)
+  in
+  Alcotest.(check bool) "layout identical to Asm.layout" true
+    (r.Asm.p_layout = lay);
+  Alcotest.(check bool) "labels identical" true
+    (bindings labels = bindings plain);
+  Alcotest.(check int) "nothing pinned" 0 r.Asm.p_pinned;
+  Alcotest.(check int) "all segments placed" 3 r.Asm.p_moved;
+  (* Duplicate labels are rejected like in [layout]. *)
+  match pin [ (0, [ Asm.Label "x" ]); (1, [ Asm.Label "x" ]) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate label must be rejected"
+
+(* An unchanged run pins everything; a same-length content edit re-fits
+   the dirty segment into its own hole, so every address survives. *)
+let test_pinned_stable () =
+  let r1, l1 = pin base_segs in
+  let r2, l2 = pin ~prev:r1.Asm.p_recs base_segs in
+  Alcotest.(check bool) "warm layout identical" true
+    (r2.Asm.p_layout = r1.Asm.p_layout);
+  Alcotest.(check bool) "warm labels identical" true
+    (bindings l1 = bindings l2);
+  Alcotest.(check int) "all pinned" 3 r2.Asm.p_pinned;
+  Alcotest.(check int) "none moved" 0 r2.Asm.p_moved;
+  let edited = [ seg 0 "AAAA"; seg 1 "ZZ"; seg 2 "CCCCCCCC" ] in
+  let r3, l3 = pin ~prev:r1.Asm.p_recs edited in
+  Alcotest.(check bool) "same-length edit keeps every address" true
+    (bindings l1 = bindings l3);
+  Alcotest.(check int) "two pinned" 2 r3.Asm.p_pinned;
+  Alcotest.(check int) "one re-fitted" 1 r3.Asm.p_moved;
+  Alcotest.(check int) "extent unchanged" r1.Asm.p_layout.Asm.l_end
+    r3.Asm.p_layout.Asm.l_end
+
+(* A grown segment no longer fits its hole and spills to the tail; the
+   others stay pinned, and encoding the chunk list zero-fills the hole. *)
+let test_pinned_growth () =
+  let r1, l1 = pin base_segs in
+  let grown = "BBBBBBBBBBBB" in
+  let edited = [ seg 0 "AAAA"; seg 1 grown; seg 2 "CCCCCCCC" ] in
+  let r, labels = pin ~prev:r1.Asm.p_recs edited in
+  Alcotest.(check int) "two pinned" 2 r.Asm.p_pinned;
+  Alcotest.(check int) "one moved" 1 r.Asm.p_moved;
+  let addr tbl s = Asm.label_exn tbl s in
+  Alcotest.(check int) "s0 pinned" (addr l1 "s0") (addr labels "s0");
+  Alcotest.(check int) "s2 pinned" (addr l1 "s2") (addr labels "s2");
+  Alcotest.(check bool) "s1 spilled past the old end" true
+    (addr labels "s1" >= r1.Asm.p_layout.Asm.l_end);
+  let lay = r.Asm.p_layout in
+  Alcotest.(check int) "tail grew by the spilled segment"
+    (r1.Asm.p_layout.Asm.l_end + String.length grown)
+    lay.Asm.l_end;
+  let bytes, relocs =
+    Asm.encode_chunks Arch.X86_64 ~pie:false ~toc:0 ~labels lay r.Asm.p_chunks
+  in
+  Alcotest.(check (list pass)) "no relocs" [] relocs;
+  let expect = Bytes.make (lay.Asm.l_end - lay.Asm.l_base) '\000' in
+  List.iter
+    (fun (s, body) ->
+      Bytes.blit_string body 0 expect (addr labels s - lay.Asm.l_base)
+        (String.length body))
+    [ ("s0", "AAAA"); ("s1", grown); ("s2", "CCCCCCCC") ];
+  Alcotest.(check string) "holes stay zero-filled" (Bytes.to_string expect)
+    (Bytes.to_string bytes)
+
 (* Layout sizes must agree with encoded sizes for every item kind. *)
 let layout_matches_encoding =
   QCheck2.Test.make ~count:300 ~name:"asm layout size = encoded size"
@@ -253,6 +342,12 @@ let suite =
         Alcotest.test_case "mater const (exec)" `Quick test_mater_const;
         Alcotest.test_case "absolute branches" `Quick test_abs_branches;
         Alcotest.test_case "raw/space" `Quick test_raw_and_space;
+        Alcotest.test_case "pinned layout: no prev = layout" `Quick
+          test_pinned_no_prev;
+        Alcotest.test_case "pinned layout: stable + same-length edit" `Quick
+          test_pinned_stable;
+        Alcotest.test_case "pinned layout: growth spills to tail" `Quick
+          test_pinned_growth;
         QCheck_alcotest.to_alcotest layout_matches_encoding;
       ] );
   ]

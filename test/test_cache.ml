@@ -170,6 +170,113 @@ let disk_forged_payload () =
              payload;
            ]))
 
+(* ------------------------------------------------------------------ *)
+(* Disk-tier size bound (LRU)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Payloads dwarf the per-entry framing, so "how many entries fit" is
+   easy to pin: a bound of three payloads holds exactly the three most
+   recently stored of eight. Eviction loses only the disk file — the
+   in-memory copies keep serving — and a fresh cache over the directory
+   misses exactly the five oldest. *)
+let disk_lru_bound () =
+  Test_parallel.with_temp_dir (fun dir ->
+      let calls = ref [] in
+      let f x =
+        calls := x :: !calls;
+        String.make 2048 (Char.chr (x land 0xff))
+      in
+      let key x = Cache.dval x in
+      let xs = List.init 8 (fun i -> i) in
+      let c = Cache.create ~dir ~max_disk_bytes:(3 * 2200) () in
+      ignore (Cache.memo_map ~cache:c ~jobs:1 ~stage:"t" ~key f xs);
+      let s = Cache.stats c in
+      Alcotest.(check int) "evictions counted" 5 s.Cache.c_evict_lru;
+      Alcotest.(check int) "bound holds three disk entries" 3
+        (List.length (Cache.entry_files c));
+      (* The in-memory tier kept every evicted entry. *)
+      calls := [];
+      ignore (Cache.memo_map ~cache:c ~jobs:1 ~stage:"t" ~key f xs);
+      Alcotest.(check (list int)) "warm run recomputes nothing" [] !calls;
+      Alcotest.(check int) "warm run all hits" 8 (Cache.stats c).Cache.c_hits;
+      (* A fresh cache sees only the survivors: the five oldest stores
+         lost their files and recompute. *)
+      let c2 = Cache.create ~dir () in
+      ignore (Cache.memo_map ~cache:c2 ~jobs:1 ~stage:"t" ~key f xs);
+      let s2 = Cache.stats c2 in
+      Alcotest.(check int) "survivors hit" 3 s2.Cache.c_hits;
+      Alcotest.(check int) "evicted miss" 5 s2.Cache.c_misses;
+      Alcotest.(check (list int)) "victims were the oldest" [ 0; 1; 2; 3; 4 ]
+        (List.sort compare !calls))
+
+(* A disk hit refreshes the entry's LRU tick: entries seeded from a
+   pre-existing store are all equally cold, and touching one protects it
+   from the next eviction. *)
+let disk_lru_refresh () =
+  Test_parallel.with_temp_dir (fun dir ->
+      let f x = String.make 2048 (Char.chr (x land 0xff)) in
+      let key x = Cache.dval x in
+      let seed = Cache.create ~dir () in
+      ignore (Cache.memo_map ~cache:seed ~jobs:1 ~stage:"t" ~key f [ 0; 1; 2 ]);
+      let c = Cache.create ~dir ~max_disk_bytes:(3 * 2200) () in
+      (* Disk hit on item 0: its tick is now newer than the other seeds. *)
+      ignore (Cache.memo_map ~cache:c ~jobs:1 ~stage:"t" ~key f [ 0 ]);
+      (* A fourth store overflows the bound; the victim must be one of
+         the untouched seeds. *)
+      ignore (Cache.memo_map ~cache:c ~jobs:1 ~stage:"t" ~key f [ 3 ]);
+      Alcotest.(check int) "one eviction" 1 (Cache.stats c).Cache.c_evict_lru;
+      let c2 = Cache.create ~dir () in
+      ignore (Cache.memo_map ~cache:c2 ~jobs:1 ~stage:"t" ~key f [ 0 ]);
+      Alcotest.(check int) "the touched seed survived" 1
+        (Cache.stats c2).Cache.c_hits)
+
+(* ------------------------------------------------------------------ *)
+(* Slots                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let slot_files dir =
+  List.filter
+    (fun f -> Filename.check_suffix f ".slot")
+    (Array.to_list (Sys.readdir dir))
+
+let slot_battery () =
+  Test_parallel.with_temp_dir (fun dir ->
+      let c = Cache.create ~dir () in
+      Alcotest.(check bool) "absent initially" true
+        ((Cache.find_slot c "layout" : int list option) = None);
+      Cache.store_slot c "layout" [ 1; 2; 3 ];
+      Alcotest.(check (list int)) "round-trip" [ 1; 2; 3 ]
+        (Option.get (Cache.find_slot c "layout"));
+      Cache.store_slot c "layout" [ 9 ];
+      Alcotest.(check (list int)) "overwrite" [ 9 ]
+        (Option.get (Cache.find_slot c "layout"));
+      (* Slots are invisible to statistics and the entry tier. *)
+      let s = Cache.stats c in
+      Alcotest.(check int) "no hits" 0 s.Cache.c_hits;
+      Alcotest.(check int) "no misses" 0 s.Cache.c_misses;
+      Alcotest.(check int) "no stores" 0 s.Cache.c_stores;
+      Alcotest.(check (list string)) "no entry files" [] (Cache.entry_files c);
+      Alcotest.(check int) "one slot file" 1 (List.length (slot_files dir));
+      (* clone carries slots into warm replays (and drops the disk tier). *)
+      let k = Cache.clone c in
+      Alcotest.(check (list int)) "clone carries the slot" [ 9 ]
+        (Option.get (Cache.find_slot k "layout"));
+      (* A fresh cache over the directory reads last run's slot. *)
+      let c2 = Cache.create ~dir () in
+      Alcotest.(check (list int)) "slot persists on disk" [ 9 ]
+        (Option.get (Cache.find_slot c2 "layout"));
+      (* A mangled slot file reads as absent and is evicted, counted. *)
+      (match slot_files dir with
+      | [ f ] -> write_file (Filename.concat dir f) "not a slot"
+      | fs -> Alcotest.fail (Printf.sprintf "%d slot files" (List.length fs)));
+      let c3 = Cache.create ~dir () in
+      Alcotest.(check bool) "corrupt slot reads as absent" true
+        ((Cache.find_slot c3 "layout" : int list option) = None);
+      Alcotest.(check int) "corrupt slot evicted" 1
+        (Cache.stats c3).Cache.c_evict_corrupt;
+      Alcotest.(check (list string)) "corrupt slot file removed" []
+        (slot_files dir))
+
 let suite =
   [
     ( "cache",
@@ -185,5 +292,9 @@ let suite =
         Alcotest.test_case "disk: empty entry" `Quick disk_empty;
         Alcotest.test_case "disk: version skew" `Quick disk_version_skew;
         Alcotest.test_case "disk: forged payload" `Quick disk_forged_payload;
+        Alcotest.test_case "disk: LRU size bound" `Quick disk_lru_bound;
+        Alcotest.test_case "disk: LRU hit refresh" `Quick disk_lru_refresh;
+        Alcotest.test_case "slots: round-trip, clone, corruption" `Quick
+          slot_battery;
       ] );
   ]

@@ -147,12 +147,30 @@ let test_hit_rate () =
       c_stores = 0;
       c_bytes_reused = 0;
       c_evict_corrupt = 0;
+      c_evict_lru = 0;
     }
   in
   Alcotest.(check (float 1e-9)) "no lookups" 0.
     (Cache.hit_rate (stats ~hits:0 ~misses:0));
   Alcotest.(check (float 1e-9)) "3/4" 0.75
     (Cache.hit_rate (stats ~hits:3 ~misses:1))
+
+(* [Matrix.percentile]: nearest-rank on the finite values only. NaN and
+   infinities must be dropped, not allowed to poison the sort order, and
+   an empty (or all-non-finite) sample reads as 0. *)
+let test_percentile () =
+  let check name want got = Alcotest.(check (float 1e-9)) name want got in
+  check "empty" 0. (Matrix.percentile 0.5 []);
+  check "singleton" 42. (Matrix.percentile 0.95 [ 42. ]);
+  let xs = [ 5.; 1.; 4.; 2.; 3. ] in
+  check "median of 1..5" 3. (Matrix.percentile 0.5 xs);
+  check "p0 is the min" 1. (Matrix.percentile 0. xs);
+  check "p100 is the max" 5. (Matrix.percentile 1. xs);
+  (* Nearest rank: p95 over five values rounds to the last index. *)
+  check "p95 of 1..5" 5. (Matrix.percentile 0.95 xs);
+  let poisoned = [ Float.nan; 5.; Float.infinity; 1.; 4.; Float.nan; 2.; 3. ] in
+  check "nan/inf dropped" 3. (Matrix.percentile 0.5 poisoned);
+  check "all non-finite" 0. (Matrix.percentile 0.5 [ Float.nan; Float.nan ])
 
 let suite =
   [
@@ -168,5 +186,6 @@ let suite =
         Alcotest.test_case "matrix smoke + determinism" `Slow
           test_matrix_smoke_and_determinism;
         Alcotest.test_case "cache hit rate" `Quick test_hit_rate;
+        Alcotest.test_case "percentile" `Quick test_percentile;
       ] );
   ]

@@ -249,6 +249,31 @@ let test_not_encodable () =
   Alcotest.(check bool) "unaligned risc branch" true
     (raises (fun () -> Encode.encode Arch.Aarch64 (Insn.Jmp 6)))
 
+(* Asking for the word-granular displacement field on x86-64 is a caller
+   bug; it must fail as [Invalid_argument] naming the opcode, not as a
+   bare assertion. *)
+let test_branch_disp_bits () =
+  List.iter
+    (fun arch ->
+      Alcotest.(check bool)
+        (Arch.name arch ^ " has a displacement field")
+        true
+        (Encode.branch_disp_bits arch > 0))
+    [ Arch.Ppc64le; Arch.Aarch64 ];
+  match Encode.branch_disp_bits ~opcode:"jcc" Arch.X86_64 with
+  | exception Invalid_argument m ->
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i =
+          i + n <= h && (String.sub hay i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "message names the opcode (%s)" m)
+        true (contains m "jcc")
+  | _ -> Alcotest.fail "x86-64 branch_disp_bits must be rejected"
+
 (* ------------------------------------------------------------------ *)
 (* Trampolines                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -496,6 +521,7 @@ let suite =
           Alcotest.test_case "zero bytes illegal" `Quick
             test_zero_bytes_are_illegal;
           Alcotest.test_case "not encodable" `Quick test_not_encodable;
+          Alcotest.test_case "branch disp bits" `Quick test_branch_disp_bits;
         ] );
     ( "isa:trampoline",
       [

@@ -315,6 +315,25 @@ let pool_partial_failure () =
     (List.map (fun x -> x + 1) xs)
     (Pool.map ~jobs:4 (fun x -> x + 1) xs)
 
+(* The impossible-state diagnostic: if a result slot were ever left
+   unfilled, the raised exception names the slot and the lane that
+   claimed it instead of a bare [Assert_failure]. *)
+let pool_incomplete_diag () =
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let msg =
+    Printexc.to_string (Pool.Incomplete_map { lane = 2; index = 5; total = 9 })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "names the slot (%s)" msg)
+    true (contains msg "5/9");
+  Alcotest.(check bool)
+    (Printf.sprintf "names the lane (%s)" msg)
+    true (contains msg "lane 2")
+
 (* ------------------------------------------------------------------ *)
 (* Go binaries (hooks + vtable paths)                                  *)
 (* ------------------------------------------------------------------ *)
@@ -472,17 +491,128 @@ let cache_invalidation () =
           "parse/pass1"; "parse/fptr"; "parse/finalize"; "parse/fptr2";
           "rewrite/relocate"; "rewrite/plan";
         ];
-      (* The perturbed function lands in at most two encode chunks. *)
-      let enc = get "cache.miss:encode" in
-      Alcotest.(check bool)
-        (Printf.sprintf "encode misses localized (%d)" enc)
-        true
-        (enc >= 1 && enc <= 2);
+      (* Encode chunks under a cache are per-function, and the pinned
+         layout re-places the (same-length) perturbed function back into
+         its old slot, so every other function's chunk key is untouched:
+         exactly the perturbed function's chunk re-encodes. *)
+      Alcotest.(check int) "exactly one encode miss" 1
+        (get "cache.miss:encode");
       (* Everything else hits: total activity matches the cold run. *)
       let cold = Cache.stats warm in
       Alcotest.(check int) "hits + misses = cold misses"
         cold.Cache.c_misses
         (get "cache.hit" + get "cache.miss")
+
+(* A data-only edit — one byte flipped in a loaded data section,
+   validated to leave the parsed analysis identical — keeps every
+   text-stage entry warm: with piecewise context digests only
+   [parse/finalize] (the one stage dereferencing data words) may miss,
+   and the cached rewrite still matches the uncached rewrite of the
+   edited binary byte-for-byte. *)
+let cache_data_edit () =
+  let arch = Arch.X86_64 in
+  let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+  let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+  let options = opts Mode.Jt in
+  let warm = Cache.create () in
+  ignore (Runner.rewrite ~options ~jobs:1 ~cache:warm bin);
+  match Runner.perturb_data (Runner.parse ~jobs:1 bin) with
+  | None -> Alcotest.fail "no safely perturbable data byte in the spec binary"
+  | Some (pbin, sname) ->
+      let uncached = Runner.rewrite ~options ~jobs:1 pbin in
+      let t = Trace.create () in
+      let rw =
+        Trace.with_current t (fun () ->
+            Runner.rewrite ~options ~jobs:1 ~cache:(Cache.clone warm) pbin)
+      in
+      check_same ~what:(Printf.sprintf "data edit in %s" sname) uncached rw;
+      let get name = Option.value ~default:0 (Trace.find_counter t name) in
+      List.iter
+        (fun stage ->
+          Alcotest.(check int)
+            (Printf.sprintf "zero misses in %s" stage)
+            0
+            (get ("cache.miss:" ^ stage)))
+        [
+          "parse/pass1"; "parse/fptr"; "parse/fptr2"; "rewrite/relocate";
+          "rewrite/plan"; "encode";
+        ];
+      Alcotest.(check bool) "finalize recomputed" true
+        (get "cache.miss:parse/finalize" > 0);
+      Alcotest.(check int) "every miss is a finalize miss" (get "cache.miss")
+        (get "cache.miss:parse/finalize")
+
+(* Renaming one function symbol costs exactly that function's own
+   entries: symbol names are digested namelessly in every cross-function
+   key and relocated-block labels are address-namespaced, so each
+   per-function stage misses once for the renamed function — and encode
+   misses zero chunks, because the pinned layout keeps every address and
+   no chunk's items or resolved labels change. *)
+let cache_symbol_edit () =
+  let arch = Arch.X86_64 in
+  let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+  let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+  let options = opts Mode.Jt in
+  let warm = Cache.create () in
+  ignore (Runner.rewrite ~options ~jobs:1 ~cache:warm bin);
+  match Runner.perturb_symbol (Runner.parse ~jobs:1 bin) with
+  | None -> Alcotest.fail "no renamable function symbol in the spec binary"
+  | Some (pbin, fname) ->
+      let uncached = Runner.rewrite ~options ~jobs:1 pbin in
+      let t = Trace.create () in
+      let rw =
+        Trace.with_current t (fun () ->
+            Runner.rewrite ~options ~jobs:1 ~cache:(Cache.clone warm) pbin)
+      in
+      check_same ~what:(Printf.sprintf "renamed %s" fname) uncached rw;
+      let get name = Option.value ~default:0 (Trace.find_counter t name) in
+      List.iter
+        (fun stage ->
+          Alcotest.(check int)
+            (Printf.sprintf "one miss in %s" stage)
+            1
+            (get ("cache.miss:" ^ stage)))
+        [
+          "parse/pass1"; "parse/fptr"; "parse/finalize"; "parse/fptr2";
+          "rewrite/relocate"; "rewrite/plan";
+        ];
+      Alcotest.(check int) "zero encode misses" 0 (get "cache.miss:encode")
+
+(* The pinned incremental layout is jobs-independent: warm rewrites of a
+   perturbed binary at any jobs count produce identical cache statistics
+   and bit-identical output (the layout/pin decisions are serial; only
+   encoding fans out). *)
+let cache_pinning_jobs () =
+  let arch = Arch.X86_64 in
+  let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+  let bin, _ = Icfg_workloads.Spec_suite.compile arch bench in
+  let options = opts Mode.Jt in
+  let warm = Cache.create () in
+  ignore (Runner.rewrite ~options ~jobs:1 ~cache:warm bin);
+  match Runner.perturb_function (Runner.parse ~jobs:1 bin) with
+  | None -> Alcotest.fail "no safely perturbable function in the spec binary"
+  | Some (pbin, _) -> (
+      let uncached = Runner.rewrite ~options ~jobs:1 pbin in
+      let stats =
+        List.map
+          (fun jobs ->
+            let c = Cache.clone warm in
+            let rw = Runner.rewrite ~options ~jobs ~cache:c pbin in
+            check_same
+              ~what:(Printf.sprintf "warm perturbed jobs=%d" jobs)
+              uncached rw;
+            Cache.stats c)
+          [ 1; 2; 4 ]
+      in
+      match stats with
+      | s0 :: rest ->
+          List.iteri
+            (fun i s ->
+              Alcotest.(check bool)
+                (Printf.sprintf "pinned stats jobs-independent (%d)" i)
+                true (s = s0))
+            rest
+      | [] -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Random programs: differential property                              *)
@@ -546,6 +676,8 @@ let suite =
         Alcotest.test_case "pool: shared growth + clamp" `Quick pool_shared_growth;
         Alcotest.test_case "pool: fail-fast abort" `Quick pool_fail_fast;
         Alcotest.test_case "pool: usable after failure" `Quick pool_partial_failure;
+        Alcotest.test_case "pool: incomplete-map diagnostic" `Quick
+          pool_incomplete_diag;
         Alcotest.test_case "go binaries" `Quick go_battery;
         Alcotest.test_case "cache: cached = uncached, jobs-independent" `Quick
           cache_battery;
@@ -553,6 +685,12 @@ let suite =
           cache_disk_battery;
         Alcotest.test_case "cache: per-function invalidation" `Quick
           cache_invalidation;
+        Alcotest.test_case "cache: data-only edit keeps text stages warm"
+          `Quick cache_data_edit;
+        Alcotest.test_case "cache: one-symbol edit is function-local" `Quick
+          cache_symbol_edit;
+        Alcotest.test_case "cache: pinned layout jobs-independent" `Quick
+          cache_pinning_jobs;
         QCheck_alcotest.to_alcotest parallel_equals_serial;
       ] );
   ]

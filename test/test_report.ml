@@ -491,6 +491,55 @@ let bench_diff_cache_section () =
   Alcotest.(check bool) "lost cache row is a regression" true
     (Bench_diff.has_regression (diff_ok (mk []) (doc ())))
 
+(* The warm-path gate ([check_cache]): the perturbed/identical ratio must
+   stay under the limit, the data-edit row must report zero misses on
+   every text-stage counter (absent keys are the passing zero — the
+   tracer only emits nonzero counters), and malformed documents fail
+   loudly rather than passing silently. *)
+let bench_check_cache () =
+  let mk ?(ratio = 1.02) ?(data = Some [ ("miss:parse/finalize", 18) ]) () =
+    let rows =
+      [
+        ("cache-warm-identical", 1_000_000., [ ("hits", 130) ]);
+        ("cache-warm-perturbed", 1_000_000. *. ratio, [ ("miss:encode", 1) ]);
+      ]
+      @
+      match data with
+      | Some counters -> [ ("cache-warm-data-edit", 3_000_000., counters) ]
+      | None -> []
+    in
+    doc ~cache:rows ()
+  in
+  let check ?max_ratio s =
+    match Bench_diff.check_cache_string ?max_ratio s with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "check_cache failed: %s" e
+  in
+  let f = check (mk ()) in
+  Alcotest.(check bool) "healthy doc passes" false (Bench_diff.has_regression f);
+  Alcotest.(check bool) "passing ratio is reported as Info" true
+    (List.exists
+       (fun x ->
+         x.Bench_diff.f_severity = Bench_diff.Info
+         && x.Bench_diff.f_metric = "cache:warm-perturbed-ratio")
+       f);
+  Alcotest.(check bool) "no data-edit misses at all also passes" false
+    (Bench_diff.has_regression (check (mk ~data:(Some []) ())));
+  Alcotest.(check bool) "ratio over the default limit gates" true
+    (Bench_diff.has_regression (check (mk ~ratio:1.5 ())));
+  Alcotest.(check bool) "tighter --max-ratio gates" true
+    (Bench_diff.has_regression (check ~max_ratio:1.01 (mk ())));
+  Alcotest.(check bool) "text-stage miss on a data edit gates" true
+    (Bench_diff.has_regression
+       (check (mk ~data:(Some [ ("miss:encode", 2) ]) ())));
+  Alcotest.(check bool) "missing data-edit row gates" true
+    (Bench_diff.has_regression (check (mk ~data:None ())));
+  Alcotest.(check bool) "missing warm rows gate" true
+    (Bench_diff.has_regression (check (doc ())));
+  match Bench_diff.check_cache_string "{\"schema\": \"nope\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "foreign schema must be an error"
+
 (* The corpus section: deterministic pass rates gate unconditionally on a
    drop (no --gate, no noise floor), rises and refusal-count movement are
    informational, new refusal keys are Added, incomparable sweeps (cells
@@ -669,6 +718,8 @@ let suite =
         Alcotest.test_case "bench diff: added policy" `Quick bench_diff_added;
         Alcotest.test_case "bench diff: cache section" `Quick
           bench_diff_cache_section;
+        Alcotest.test_case "bench diff: warm-path gate" `Quick
+          bench_check_cache;
         Alcotest.test_case "bench diff: corpus section" `Quick
           bench_diff_corpus_section;
         Alcotest.test_case "bench diff: committed baseline" `Quick
