@@ -37,7 +37,14 @@
                                        within r (default 1.3) of
                                        warm-identical, and the data-edit
                                        row must show zero text-stage
-                                       misses; non-zero exit on failure *)
+                                       misses; non-zero exit on failure
+     bench/main.exe serve-check [--seed N] [--count N] [--clients N] [--jobs N]
+                                    -- daemon equivalence gate: stream the
+                                       corpus slice through a live icfg
+                                       serve instance and compare every
+                                       per-approach classification row
+                                       against the in-process sweep;
+                                       non-zero exit on any mismatch *)
 
 open Icfg_isa
 module Experiments = Icfg_harness.Experiments
@@ -157,6 +164,9 @@ let stage_rows : (string * int * int * int * (string * int) list) list ref =
    cold/warm incremental-cache rewrites. *)
 let cache_rows : (string * float * (string * int) list) list ref = ref []
 
+(* (name, ns_per_request, counter bag) for the daemon throughput streams. *)
+let serve_rows : (string * float * (string * int) list) list ref = ref []
+
 (* The corpus robustness matrix, when the "corpus" experiment ran. *)
 let corpus_result : Icfg_harness.Matrix.t option ref = ref None
 
@@ -229,6 +239,15 @@ let write_json path =
   out "  ],\n";
   out "  \"cache\": [\n";
   write_cache_rows oc;
+  out "  ],\n";
+  out "  \"serve\": [\n";
+  List.iteri
+    (fun i (name, ns, counters) ->
+      out
+        "    {\"name\": \"%s\", \"ns_per_request\": %s, \"counters\": {%s}}%s\n"
+        (json_escape name) (json_float ns) (counters_json counters)
+        (if i = List.length !serve_rows - 1 then "" else ","))
+    !serve_rows;
   out "  ],\n";
   (match !corpus_result with
   | Some m ->
@@ -536,6 +555,45 @@ let run_cache_micro () =
       Printf.printf "  (perturbed data section: %s)\n%!" sname;
       ignore (warm_edited "cache-warm-data-edit" pbin)
 
+(* Daemon throughput: a twin-bearing corpus slice streamed through a live
+   [icfg serve] instance as classify requests, at 1 and 4 concurrent
+   clients, all sharing the daemon's one cross-request cache. The twins
+   (and cross-approach parse reuse) make the cache hit across requests,
+   which `bench diff` gates as hits > 0; overloaded and errors are
+   deterministically zero (in-flight is bounded by the client count,
+   classification never answers Error). *)
+let run_serve_micro () =
+  print_endline "== Rewrite-as-a-service: daemon request streams ==";
+  let module Sweep = Icfg_service.Sweep in
+  let module Cache = Icfg_core.Cache in
+  List.iter
+    (fun clients ->
+      let r = Sweep.run ~seed:7 ~count:12 ~clients () in
+      let name = Printf.sprintf "serve-stream-c%d" clients in
+      let ns_per_request =
+        r.Sweep.sw_wall_ns /. float_of_int (max 1 r.Sweep.sw_requests)
+      in
+      let counters =
+        [
+          ("requests", r.Sweep.sw_requests);
+          ("overloaded", r.Sweep.sw_overloaded);
+          ("errors", r.Sweep.sw_errors);
+          ("hits", r.Sweep.sw_cache.Cache.c_hits);
+          ("misses", r.Sweep.sw_cache.Cache.c_misses);
+          ("hit_rate_pct", int_of_float (100. *. r.Sweep.sw_hit_rate));
+          ("rps", int_of_float r.Sweep.sw_rps);
+        ]
+      in
+      serve_rows := !serve_rows @ [ (name, ns_per_request, counters) ];
+      Printf.printf
+        "  %-18s %12.0f ns/request  %7.1f req/s  (%d requests, %d \
+         overloaded, %d errors, cache %d/%d = %.1f%% hits)\n%!"
+        name ns_per_request r.Sweep.sw_rps r.Sweep.sw_requests
+        r.Sweep.sw_overloaded r.Sweep.sw_errors r.Sweep.sw_cache.Cache.c_hits
+        (r.Sweep.sw_cache.Cache.c_hits + r.Sweep.sw_cache.Cache.c_misses)
+        (100. *. r.Sweep.sw_hit_rate))
+    [ 1; 4 ]
+
 let run_micro () =
   let open Bechamel in
   print_endline "== Micro-benchmarks (bechamel; one per table/figure) ==";
@@ -563,7 +621,8 @@ let run_micro () =
     tests;
   run_parallel_micro ();
   run_trace_stages ();
-  run_cache_micro ()
+  run_cache_micro ();
+  run_serve_micro ()
 
 (* The corpus-scale robustness matrix: every roster baseline and every
    mode of ours swept over a seeded adversarial corpus under one shared
@@ -634,6 +693,49 @@ let run_check_cache args =
       Printf.eprintf "usage: bench/main.exe check-cache FILE [--max-ratio r]\n";
       exit 2
 
+(* The serve equivalence gate: `bench/main.exe serve-check [--seed N]
+   [--count N] [--clients N] [--jobs N]` sweeps a corpus slice through a
+   live daemon AND in-process, and exits non-zero unless every
+   per-approach classification row matches exactly (CI runs this as the
+   serve smoke step). *)
+let run_serve_check args =
+  let rec split_flag flag acc = function
+    | f :: v :: rest when f = flag -> (Some v, List.rev_append acc rest)
+    | x :: rest -> split_flag flag (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let int_flag flag default args =
+    let s, args = split_flag flag [] args in
+    (Option.fold ~none:default ~some:int_of_string s, args)
+  in
+  let seed, args = int_flag "--seed" 7 args in
+  let count, args = int_flag "--count" 60 args in
+  let clients, args = int_flag "--clients" 4 args in
+  let jobs, args = int_flag "--jobs" 1 args in
+  if args <> [] then (
+    Printf.eprintf
+      "usage: bench/main.exe serve-check [--seed N] [--count N] [--clients \
+       N] [--jobs N]\n";
+    exit 2);
+  let module Sweep = Icfg_service.Sweep in
+  let module Cache = Icfg_core.Cache in
+  Printf.printf
+    "serve-check: daemon vs in-process sweep (seed %d, %d binaries, %d \
+     clients, jobs %d)\n%!"
+    seed count clients jobs;
+  let ok, report, r = Sweep.check ~seed ~count ~clients ~jobs () in
+  print_string report;
+  Printf.printf
+    "daemon: %d requests, %d overloaded, %d errors, %.1f req/s, cache %d \
+     hits / %d misses (%.1f%%)\n%!"
+    r.Sweep.sw_requests r.Sweep.sw_overloaded r.Sweep.sw_errors r.Sweep.sw_rps
+    r.Sweep.sw_cache.Cache.c_hits r.Sweep.sw_cache.Cache.c_misses
+    (100. *. r.Sweep.sw_hit_rate);
+  if not ok then (
+    Printf.eprintf "serve-check: daemon and in-process sweeps disagree\n";
+    exit 1);
+  print_endline "serve-check: classifications match exactly"
+
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
   (match args with
@@ -642,6 +744,9 @@ let () =
       exit 0
   | "check-cache" :: rest ->
       run_check_cache rest;
+      exit 0
+  | "serve-check" :: rest ->
+      run_serve_check rest;
       exit 0
   | _ -> ());
   (* Extract "--json FILE" / "--trace FILE" pairs anywhere in the argument

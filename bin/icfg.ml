@@ -367,6 +367,92 @@ let bench_cmd names =
       | None -> Printf.eprintf "unknown experiment %s\n" n)
     names
 
+(* ------------------------------------------------------------------ *)
+(* Rewrite-as-a-service: the serve daemon and its submit client        *)
+(* ------------------------------------------------------------------ *)
+
+(* The serve loop deliberately contains no [exit 1] path and loads no
+   workloads: every failure past startup is a typed response frame (or a
+   dropped connection), never a dead daemon. The [exit 1]s above all live
+   in one-shot workload loading, which only the other subcommands call. *)
+let serve_cmd socket bound workers jobs cache_dir =
+  let jobs = resolve_jobs jobs in
+  let cache = cache_of cache_dir in
+  let srv =
+    Icfg_service.Server.start ~path:socket ~bound ~workers ~jobs ?cache ()
+  in
+  Format.printf
+    "icfg serve: listening on %s (queue bound %d, %d executor domains, \
+     default jobs %d)@."
+    socket bound workers jobs;
+  Format.printf "press Ctrl-C to stop@.";
+  let stop = Atomic.make false in
+  let request_stop _ = Atomic.set stop true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
+   with _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+   with _ -> ());
+  while not (Atomic.get stop) do
+    Unix.sleepf 0.2
+  done;
+  Icfg_service.Server.stop srv;
+  let st = Icfg_service.Server.stats srv in
+  let cs = Icfg_core.Cache.stats (Icfg_service.Server.cache srv) in
+  Format.printf
+    "icfg serve: stopped after %d requests (%d overloaded, %d errors); \
+     cross-request cache: %d hits, %d misses (%.1f%% hit rate)@."
+    st.Icfg_service.Server.requests st.Icfg_service.Server.overloaded
+    st.Icfg_service.Server.errors cs.Icfg_core.Cache.c_hits
+    cs.Icfg_core.Cache.c_misses
+    (100. *. Icfg_core.Cache.hit_rate cs)
+
+let pp_counters counters =
+  let get n = Option.value ~default:0 (List.assoc_opt n counters) in
+  Format.printf "request counters: %d cache hits, %d misses@." (get "cache.hit")
+    (get "cache.miss")
+
+let submit_cmd socket approach file jobs classify output =
+  let bin = Icfg_obj.Binfile.load file in
+  Icfg_service.Client.with_connection socket @@ fun c ->
+  let resp =
+    if classify then
+      Icfg_service.Client.classify c ~approach ~jobs:(resolve_jobs jobs) bin
+    else Icfg_service.Client.rewrite c ~approach ~jobs:(resolve_jobs jobs) bin
+  in
+  match resp with
+  | Ok (Icfg_service.Protocol.Rewritten { bin = out_bytes; counters }) -> (
+      Format.printf "rewritten: %d bytes on the wire@."
+        (String.length out_bytes);
+      pp_counters counters;
+      match output with
+      | Some path ->
+          let oc = open_out_bin path in
+          output_string oc out_bytes;
+          close_out oc;
+          Format.printf "wrote %s@." path
+      | None -> ())
+  | Ok (Icfg_service.Protocol.Refused { reason; counters }) ->
+      Format.printf "refused: %s@." reason;
+      pp_counters counters;
+      exit 2
+  | Ok (Icfg_service.Protocol.Classified { cls; ns; counters }) ->
+      Format.printf "classified: %s (%.2f ms)@."
+        (Icfg_harness.Matrix.cls_to_string cls)
+        (ns /. 1e6);
+      pp_counters counters
+  | Ok Icfg_service.Protocol.Overloaded ->
+      Format.printf "overloaded: the daemon's request queue is full@.";
+      exit 3
+  | Ok (Icfg_service.Protocol.Error m) ->
+      Format.printf "error: %s@." m;
+      exit 4
+  | Ok Icfg_service.Protocol.Pong ->
+      Format.printf "unexpected pong@.";
+      exit 4
+  | Error m ->
+      Format.printf "transport error: %s@." m;
+      exit 4
+
 let cmd_inspect =
   Cmd.v (Cmd.info "inspect" ~doc:"Compile a workload and print its layout.")
     Term.(const inspect $ workload_t $ arch_t $ pie_t)
@@ -454,9 +540,69 @@ let cmd_bench =
       const bench_cmd
       $ Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"))
 
+let socket_t =
+  Arg.(
+    value
+    & opt string "/tmp/icfg.sock"
+    & info [ "s"; "socket" ] ~doc:"Unix socket path of the daemon." ~docv:"PATH")
+
+let cmd_serve =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the rewrite daemon: accept framed rewrite/classify requests on \
+          a Unix socket, schedule them across a bounded queue of executor \
+          domains, and reuse one content-addressed cache across every \
+          request. A full queue answers with a typed Overloaded frame; a \
+          crashing driver answers with a typed Error frame; the daemon keeps \
+          serving through both.")
+    Term.(
+      const serve_cmd $ socket_t
+      $ Arg.(
+          value & opt int 64
+          & info [ "queue-bound" ]
+              ~doc:"Max queued requests before Overloaded refusals." ~docv:"K")
+      $ Arg.(
+          value & opt int 2
+          & info [ "workers" ]
+              ~doc:
+                "Executor domains (each request body runs on its own domain: \
+                 per-request trace isolation)."
+              ~docv:"N")
+      $ jobs_t $ cache_t)
+
+let cmd_submit =
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit one binary (an icfg Binfile, e.g. from rewrite --output) to \
+          a running icfg serve daemon.")
+    Term.(
+      const submit_cmd $ socket_t
+      $ Arg.(
+          value & opt string "ours/jt"
+          & info [ "approach" ]
+              ~doc:
+                "Roster approach: srbi | ir-lowering | insn-patching | \
+                 dyn-translation | ours/dir | ours/jt | ours/func-ptr."
+              ~docv:"NAME")
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"FILE" ~doc:"Binfile to submit.")
+      $ jobs_t
+      $ Arg.(
+          value & flag
+          & info [ "classify" ]
+              ~doc:
+                "Run the full corpus-matrix cell in the daemon (original run \
+                 + rewrite + VM verification) instead of returning the \
+                 rewritten bytes.")
+      $ output_t)
+
 let () =
   let info =
     Cmd.info "icfg" ~version:"1.0.0"
       ~doc:"Incremental CFG patching for binary rewriting (ASPLOS 2021)"
   in
-  exit (Cmd.eval (Cmd.group info [ cmd_inspect; cmd_analyze; cmd_rewrite; cmd_run; cmd_verify; cmd_report; cmd_source; cmd_disasm; cmd_dot; cmd_bench ]))
+  exit (Cmd.eval (Cmd.group info [ cmd_inspect; cmd_analyze; cmd_rewrite; cmd_run; cmd_verify; cmd_report; cmd_source; cmd_disasm; cmd_dot; cmd_bench; cmd_serve; cmd_submit ]))

@@ -16,9 +16,17 @@ type t = {
 let create () =
   { roots = []; counters = Hashtbl.create 64; m = Mutex.create () }
 
-(* The ambient trace. An atomic (not a plain ref) because pool worker
-   domains read it while the installing domain may be swapping it. *)
-let ambient : t option Atomic.t = Atomic.make None
+(* The ambient trace, per domain. Used to be a single process-global
+   [Atomic.t], which meant two concurrent requests in one process (the
+   [icfg serve] daemon) would bleed counters into whichever trace was
+   installed last. Per-domain storage gives each request its own ambient
+   as long as requests run on distinct domains; [Pool] lanes re-install
+   the forking request's trace via [lane], so sharded stages still land
+   in the right trace. *)
+let ambient : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let get_ambient () = Domain.DLS.get ambient
+let set_ambient v = Domain.DLS.set ambient v
 
 (* Innermost-first stack of open spans, per domain: nesting is a property
    of one domain's call stack, while the finished-span tree is shared. *)
@@ -26,11 +34,11 @@ let open_spans : node list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
 let with_current t f =
-  let prev = Atomic.get ambient in
-  Atomic.set ambient (Some t);
-  Fun.protect ~finally:(fun () -> Atomic.set ambient prev) f
+  let prev = get_ambient () in
+  set_ambient (Some t);
+  Fun.protect ~finally:(fun () -> set_ambient prev) f
 
-let active () = Atomic.get ambient <> None
+let active () = get_ambient () <> None
 
 let attach t ~parent node =
   Mutex.lock t.m;
@@ -54,10 +62,10 @@ let span_in t name f =
     f
 
 let span name f =
-  match Atomic.get ambient with None -> f () | Some t -> span_in t name f
+  match get_ambient () with None -> f () | Some t -> span_in t name f
 
 let add name n =
-  match Atomic.get ambient with
+  match get_ambient () with
   | None -> ()
   | Some t ->
       Mutex.lock t.m;
@@ -70,7 +78,7 @@ let incr name = add name 1
 type ctx = (t * node option) option
 
 let fork () =
-  match Atomic.get ambient with
+  match get_ambient () with
   | None -> None
   | Some t ->
       let stack = Domain.DLS.get open_spans in
@@ -82,12 +90,20 @@ let lane ctx name f =
   | Some (t, parent) ->
       (* Replace this domain's open-span stack with the forking domain's
          innermost span so the lane's tree attaches under it (workers have
-         an empty stack; the caller's own lane is equivalent either way). *)
+         an empty stack; the caller's own lane is equivalent either way).
+         Also install the forking domain's trace as this domain's ambient:
+         pool workers are shared across requests, so counters recorded by
+         the batch body must land in the *forking* request's trace, not in
+         whatever trace another request left installed on this worker. *)
       let stack = Domain.DLS.get open_spans in
       let saved = !stack in
+      let saved_ambient = get_ambient () in
       stack := (match parent with Some p -> [ p ] | None -> []);
+      set_ambient (Some t);
       Fun.protect
-        ~finally:(fun () -> stack := saved)
+        ~finally:(fun () ->
+          stack := saved;
+          set_ambient saved_ambient)
         (fun () -> span_in t name f)
 
 let counters t =

@@ -20,10 +20,17 @@ type t
 val create : unit -> t
 
 val with_current : t -> (unit -> 'a) -> 'a
-(** Install [t] as the ambient trace for the duration of [f] (restoring the
-    previous ambient trace on exit, exceptional or not). Spans and counters
-    recorded by the pipeline anywhere under [f] — including from pool worker
-    domains servicing [f]'s batches — land in [t]. *)
+(** Install [t] as {e this domain's} ambient trace for the duration of [f]
+    (restoring the previous ambient trace on exit, exceptional or not).
+    Spans and counters recorded by the pipeline anywhere under [f] —
+    including from pool worker domains servicing [f]'s batches, which
+    re-install the forking domain's trace via [lane] — land in [t].
+
+    The ambient trace is per-domain ([Domain.DLS]), so concurrent requests
+    running on distinct domains (the [icfg serve] executors) each observe
+    only their own trace: no cross-request counter bleed. Note that
+    sys-threads share their domain's slot — request bodies that record
+    must run on dedicated domains, not threads of a shared domain. *)
 
 val active : unit -> bool
 (** Is an ambient trace installed? Lets instrumentation skip work whose only
@@ -46,7 +53,10 @@ val incr : string -> unit
     [Pool.map] captures the caller's innermost open span with [fork] before
     fanning out, and each lane (worker domains and the caller itself) runs
     its batch body under [lane ctx "lane-<k>"], which re-parents the lane's
-    span tree under the captured span even though it runs on another domain. *)
+    span tree under the captured span {e and} installs the forking domain's
+    trace as the worker's ambient for the batch — workers are shared across
+    concurrent requests, so the batch must record into the forking request's
+    trace, not the worker's leftover ambient. *)
 
 type ctx
 

@@ -194,7 +194,7 @@ let counter_worse_higher name =
   List.exists
     (fun sub -> contains ~sub name)
     [ "trampolines:trap"; "/traps"; "size-growth"; "icache-misses";
-      "evict_corrupt" ]
+      "evict_corrupt"; "overloaded"; "errors" ]
 
 (* A [lane-<k>] path segment marks a schedule-dependent span: lanes exist
    only when the domain pool actually spawns, so their presence varies
@@ -325,6 +325,31 @@ let diff ?gate old_json new_json =
           check_time ("cache:" ^ k) (num_member "ns_per_run" orow)
             (num_member "ns_per_run" nrow);
           check_counters ("cache:" ^ k) orow nrow);
+      (* Serve throughput rows (the daemon's request stream): per-request
+         wall time gates like every other time metric; the counter bag
+         gates [overloaded]/[errors] going up (a stream sized under the
+         queue bound must never be refused, and classify requests never
+         error). Additionally the cross-request cache must keep hitting —
+         the stream contains corpus twins, so a NEW run whose [hits]
+         counter drops to zero means cache reuse across requests broke,
+         regardless of what OLD measured. *)
+      compare_rows ~section:"serve"
+        ~key_of:(fun r -> str_member "name" r)
+        ~on_pair:(fun k orow nrow ->
+          check_time ("serve:" ^ k)
+            (num_member "ns_per_request" orow)
+            (num_member "ns_per_request" nrow);
+          check_counters ("serve:" ^ k) orow nrow;
+          let hits r =
+            match member "counters" r with
+            | Some c -> num_member "hits" c
+            | None -> None
+          in
+          match hits nrow with
+          | Some h when h <= 0. ->
+              report Regression ("serve:" ^ k ^ ":hit-rate")
+                "cross-request cache saw zero hits on a twin-bearing stream"
+          | _ -> ());
       (* Corpus robustness rows: classification is deterministic (serial
          cache probing, seeded corpus), so [pass_rate_pct] is compared
          exactly and a drop gates unconditionally — no noise floor, no

@@ -65,6 +65,44 @@ let classify ~orig outcome =
           if r.Runner.r_output = orig.Runner.r_output then Verified
           else Diverged)
 
+let cls_to_string = function
+  | Verified -> "verified"
+  | Diverged -> "diverged"
+  | Refused k -> "refused:" ^ k
+  | Crashed m -> "crashed:" ^ m
+
+let cls_of_string s =
+  let tail p = String.sub s (String.length p) (String.length s - String.length p) in
+  let has p =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  match s with
+  | "verified" -> Some Verified
+  | "diverged" -> Some Diverged
+  | _ when has "refused:" -> Some (Refused (tail "refused:"))
+  | _ when has "crashed:" -> Some (Crashed (tail "crashed:"))
+  | _ -> None
+
+(* One (binary, approach) cell, exceptions contained: an adversarial
+   shape may defeat a rewriter outright (e.g. an encoder range
+   overflow); that is a [Crashed] cell, not the end of the sweep — and
+   in the serve daemon, a typed error, not a dead process. *)
+let eval_cell ~orig ~approach ?(jobs = 1) ?cache bin =
+  let t0 = Unix.gettimeofday () in
+  let c =
+    match Runner.drive ~approach ~jobs ?cache bin with
+    | None -> Crashed ("unknown approach: " ^ approach)
+    | Some outcome -> classify ~orig outcome
+    | exception e -> Crashed (Printexc.to_string e)
+  in
+  let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  (match c with
+  | Verified -> Trace.add "corpus.verified" 1
+  | Diverged -> Trace.add "corpus.diverged" 1
+  | Refused _ -> Trace.add "corpus.refused" 1
+  | Crashed _ -> Trace.add "corpus.crashed" 1);
+  (ns, c)
+
 let row_of ~approach cells =
   let count pred = List.length (List.filter pred cells) in
   let refusals =
@@ -107,30 +145,9 @@ let run ?(seed = 7) ?(count = 300) ?(jobs = 1) ?(progress = fun _ -> ()) () =
       let bin = Corpus.build e in
       let orig = Runner.run_original bin in
       List.iter
-        (fun
-          ( name,
-            (driver :
-              ?jobs:int ->
-              ?cache:Cache.t ->
-              Icfg_obj.Binary.t ->
-              Baseline.outcome) )
-        ->
-          let t0 = Unix.gettimeofday () in
-          (* An adversarial shape may defeat a rewriter outright (e.g. an
-             encoder range overflow); that is a [Crashed] cell, not the
-             end of the sweep. *)
-          let c =
-            match classify ~orig (driver ~jobs ~cache bin) with
-            | c -> c
-            | exception e -> Crashed (Printexc.to_string e)
-          in
-          let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
-          (match c with
-          | Verified -> Trace.add "corpus.verified" 1
-          | Diverged -> Trace.add "corpus.diverged" 1
-          | Refused _ -> Trace.add "corpus.refused" 1
-          | Crashed _ -> Trace.add "corpus.crashed" 1);
-          Hashtbl.replace cells name ((ns, c) :: Hashtbl.find cells name))
+        (fun (name, _) ->
+          let cell = eval_cell ~orig ~approach:name ~jobs ~cache bin in
+          Hashtbl.replace cells name (cell :: Hashtbl.find cells name))
         Baseline.approaches;
       progress (i + 1))
     entries;

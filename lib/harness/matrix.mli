@@ -53,6 +53,37 @@ val percentile : float -> float list -> float
     are dropped before ranking and the empty sample yields [0.]. Exposed
     for the harness statistics tests. *)
 
+val cls_to_string : cls -> string
+(** Stable textual form: ["verified"], ["diverged"], ["refused:<key>"],
+    ["crashed:<msg>"] — the form carried on the serve wire protocol and
+    compared by the daemon-vs-in-process equality gate. *)
+
+val cls_of_string : string -> cls option
+(** Inverse of {!cls_to_string}; [None] on malformed input. *)
+
+val classify :
+  orig:Runner.run -> Icfg_baselines.Baseline.outcome -> cls
+(** Classify one driver outcome: refusals are bucketed by
+    {!Icfg_baselines.Baseline.refusal_key}; rewritten binaries are run in
+    the VM and their output compared against [orig]. *)
+
+val eval_cell :
+  orig:Runner.run ->
+  approach:string ->
+  ?jobs:int ->
+  ?cache:Icfg_core.Cache.t ->
+  Icfg_obj.Binary.t ->
+  float * cls
+(** Evaluate one (binary, approach) cell: resolve the roster driver by
+    name via {!Runner.drive}, classify, contain driver exceptions as
+    [Crashed] cells, bump the ambient [corpus.*] trace counters. Returns
+    (wall ns, classification). Both the in-process sweep ({!run}) and the
+    serve daemon evaluate cells through this one function — the basis of
+    the classification-equality gate. *)
+
+val row_of : approach:string -> (float * cls) list -> row
+(** Aggregate cells (in corpus order) into a row. *)
+
 val run :
   ?seed:int -> ?count:int -> ?jobs:int -> ?progress:(int -> unit) -> unit -> t
 (** Sweep [Corpus.generate ~seed ~count] (defaults: seed 7, count 300)

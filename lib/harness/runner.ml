@@ -31,6 +31,19 @@ let rewrite ?fm ?(options = Rewriter.default_options) ?jobs ?cache bin =
   let p = parse ?fm ~jobs ?cache bin in
   Rewriter.rewrite ?cache ~options:{ options with Rewriter.jobs } p
 
+(* Name-addressed driving: the one resolution point shared by the corpus
+   matrix and the serve daemon, so a request naming an approach runs the
+   exact code path the in-process sweep runs (classification equality
+   between the two is a gated invariant). *)
+let drive ~approach ?jobs ?cache bin =
+  Option.map
+    (fun (driver :
+           ?jobs:int ->
+           ?cache:Icfg_core.Cache.t ->
+           Binary.t ->
+           Baseline.outcome) -> driver ?jobs ?cache bin)
+    (List.assoc_opt approach Baseline.approaches)
+
 (* ------------------------------------------------------------------ *)
 (* Content perturbation (cache invalidation probes)                    *)
 (* ------------------------------------------------------------------ *)

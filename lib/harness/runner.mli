@@ -36,6 +36,18 @@ val rewrite :
     threaded through both stages; output is bit-identical with and without
     a cache. *)
 
+val drive :
+  approach:string ->
+  ?jobs:int ->
+  ?cache:Icfg_core.Cache.t ->
+  Icfg_obj.Binary.t ->
+  Icfg_baselines.Baseline.outcome option
+(** Run one {!Icfg_baselines.Baseline.approaches} roster entry by name.
+    [None] if [approach] is not on the roster. This is the single
+    resolution point shared by the corpus matrix and the serve daemon:
+    both drive cells through it, which is what makes daemon-vs-in-process
+    classification equality a meaningful (and gated) invariant. *)
+
 val perturb_function : Icfg_analysis.Parse.t -> (Icfg_obj.Binary.t * string) option
 (** A copy of the parsed binary with the low bit of one mov-immediate
     flipped in one function (plus that function's name), chosen so only

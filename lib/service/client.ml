@@ -1,0 +1,37 @@
+module Binfile = Icfg_obj.Binfile
+
+type t = { fd : Unix.file_descr }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  { fd }
+
+let close c = try Unix.close c.fd with _ -> ()
+let fd c = c.fd
+
+let with_connection path f =
+  let c = connect path in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
+
+let call c req =
+  Protocol.write_frame c.fd (Protocol.request_to_payload req);
+  match Protocol.read_frame c.fd with
+  | None -> Stdlib.Error "server closed the connection"
+  | Some p -> Protocol.response_of_payload p
+  | exception Protocol.Malformed m -> Stdlib.Error m
+
+let ping c = call c Protocol.Ping
+
+let rewrite c ~approach ?(jobs = 0) bin =
+  call c
+    (Protocol.Rewrite
+       { approach; jobs; bin = Bytes.to_string (Binfile.to_bytes bin) })
+
+let classify c ~approach ?(jobs = 0) bin =
+  call c
+    (Protocol.Classify
+       { approach; jobs; bin = Bytes.to_string (Binfile.to_bytes bin) })

@@ -1,0 +1,40 @@
+(** Blocking client for the [icfg serve] daemon: one connection, one
+    in-flight request at a time (concurrency = many clients, the model
+    the throughput bench and the determinism battery use). *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's Unix socket; raises [Unix.Unix_error] if no
+    daemon is listening. *)
+
+val close : t -> unit
+
+val fd : t -> Unix.file_descr
+(** The raw connection descriptor — lets tests speak raw frames at the
+    daemon (e.g. the malformed-frame containment battery). *)
+
+val with_connection : string -> (t -> 'a) -> 'a
+
+val call : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request, await its response. [Error] covers a malformed
+    response and a server hang-up; it never raises on protocol faults. *)
+
+val ping : t -> (Protocol.response, string) result
+
+val rewrite :
+  t ->
+  approach:string ->
+  ?jobs:int ->
+  Icfg_obj.Binary.t ->
+  (Protocol.response, string) result
+(** Submit [bin] for rewriting by the named roster approach ([jobs <= 0]
+    or omitted: the daemon's default). *)
+
+val classify :
+  t ->
+  approach:string ->
+  ?jobs:int ->
+  Icfg_obj.Binary.t ->
+  (Protocol.response, string) result
+(** Submit a full corpus-matrix cell evaluation. *)

@@ -1,0 +1,263 @@
+module Matrix = Icfg_harness.Matrix
+
+(* Wire format (DESIGN §13):
+
+   frame   := len:u32le payload            len = |payload|, <= max_frame
+   payload := magic:"isrv1" tag:u8 body
+
+   body fields are themselves length-prefixed:
+     str  := n:u32le byte*n
+     i64  := 8 bytes LE
+     f64  := IEEE-754 bits as i64
+     ctrs := n:u32le (str i64)*n
+
+   Request tags (high bit clear):
+     0x01 Ping
+     0x02 Rewrite   body = str approach, u32 jobs, str bin (Binfile bytes)
+     0x03 Classify  body = str approach, u32 jobs, str bin
+   Response tags (high bit set):
+     0x81 Pong
+     0x82 Rewritten  body = str bin, ctrs
+     0x83 Refused    body = str reason, ctrs
+     0x84 Classified body = str cls (Matrix.cls_to_string), f64 ns, ctrs
+     0x85 Error      body = str message
+     0x86 Overloaded
+
+   Decoding never raises across the module boundary: [request_of_payload]
+   and [response_of_payload] return [Error _] on any malformed input, so a
+   garbage frame is a refused request, not a dead connection thread. *)
+
+let magic = "isrv1"
+let max_frame = 256 * 1024 * 1024
+
+type request =
+  | Ping
+  | Rewrite of { approach : string; jobs : int; bin : string }
+  | Classify of { approach : string; jobs : int; bin : string }
+
+type response =
+  | Pong
+  | Rewritten of { bin : string; counters : (string * int) list }
+  | Refused of { reason : string; counters : (string * int) list }
+  | Classified of {
+      cls : Matrix.cls;
+      ns : float;
+      counters : (string * int) list;
+    }
+  | Error of string
+  | Overloaded
+
+(* ---------------- encoding ---------------- *)
+
+let put_u32 b n = Buffer.add_int32_le b (Int32.of_int n)
+let put_i64 b n = Buffer.add_int64_le b (Int64.of_int n)
+let put_f64 b x = Buffer.add_int64_le b (Int64.bits_of_float x)
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_ctrs b ctrs =
+  put_u32 b (List.length ctrs);
+  List.iter
+    (fun (k, v) ->
+      put_str b k;
+      put_i64 b v)
+    ctrs
+
+let payload tag body =
+  let b = Buffer.create (16 + String.length body) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr tag);
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let body f =
+  let b = Buffer.create 64 in
+  f b;
+  Buffer.contents b
+
+let request_to_payload = function
+  | Ping -> payload 0x01 ""
+  | Rewrite { approach; jobs; bin } ->
+      payload 0x02
+        (body (fun b ->
+             put_str b approach;
+             put_u32 b jobs;
+             put_str b bin))
+  | Classify { approach; jobs; bin } ->
+      payload 0x03
+        (body (fun b ->
+             put_str b approach;
+             put_u32 b jobs;
+             put_str b bin))
+
+let response_to_payload = function
+  | Pong -> payload 0x81 ""
+  | Rewritten { bin; counters } ->
+      payload 0x82
+        (body (fun b ->
+             put_str b bin;
+             put_ctrs b counters))
+  | Refused { reason; counters } ->
+      payload 0x83
+        (body (fun b ->
+             put_str b reason;
+             put_ctrs b counters))
+  | Classified { cls; ns; counters } ->
+      payload 0x84
+        (body (fun b ->
+             put_str b (Matrix.cls_to_string cls);
+             put_f64 b ns;
+             put_ctrs b counters))
+  | Error msg -> payload 0x85 (body (fun b -> put_str b msg))
+  | Overloaded -> payload 0x86 ""
+
+(* ---------------- decoding ---------------- *)
+
+exception Malformed of string
+
+type cursor = { s : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.s then raise (Malformed "truncated payload")
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_le c.s c.pos) in
+  c.pos <- c.pos + 4;
+  if v < 0 then raise (Malformed "negative length") else v
+
+let get_i64 c =
+  need c 8;
+  let v = Int64.to_int (String.get_int64_le c.s c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_f64 c =
+  need c 8;
+  let v = Int64.float_of_bits (String.get_int64_le c.s c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_str c =
+  let n = get_u32 c in
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_ctrs c =
+  let n = get_u32 c in
+  if n > String.length c.s then raise (Malformed "counter count overflow");
+  List.init n (fun _ ->
+      let k = get_str c in
+      let v = get_i64 c in
+      (k, v))
+
+let open_cursor s =
+  let ml = String.length magic in
+  if String.length s < ml + 1 then raise (Malformed "short payload");
+  if String.sub s 0 ml <> magic then raise (Malformed "bad magic");
+  let tag = Char.code s.[ml] in
+  (tag, { s; pos = ml + 1 })
+
+let finish c v =
+  if c.pos <> String.length c.s then raise (Malformed "trailing bytes") else v
+
+let decode f s =
+  match f s with
+  | v -> Ok v
+  | exception Malformed m -> Stdlib.Error m
+  | exception _ -> Stdlib.Error "malformed payload"
+
+let request_of_payload =
+  decode (fun s ->
+      let tag, c = open_cursor s in
+      match tag with
+      | 0x01 -> finish c Ping
+      | 0x02 | 0x03 ->
+          let approach = get_str c in
+          let jobs = get_u32 c in
+          let bin = get_str c in
+          finish c
+            (if tag = 0x02 then Rewrite { approach; jobs; bin }
+             else Classify { approach; jobs; bin })
+      | t -> raise (Malformed (Printf.sprintf "unknown request tag 0x%02x" t)))
+
+let response_of_payload =
+  decode (fun s ->
+      let tag, c = open_cursor s in
+      match tag with
+      | 0x81 -> finish c Pong
+      | 0x82 ->
+          let bin = get_str c in
+          let counters = get_ctrs c in
+          finish c (Rewritten { bin; counters })
+      | 0x83 ->
+          let reason = get_str c in
+          let counters = get_ctrs c in
+          finish c (Refused { reason; counters })
+      | 0x84 ->
+          let cls_s = get_str c in
+          let ns = get_f64 c in
+          let counters = get_ctrs c in
+          let cls =
+            match Matrix.cls_of_string cls_s with
+            | Some cls -> cls
+            | None -> raise (Malformed ("bad classification: " ^ cls_s))
+          in
+          finish c (Classified { cls; ns; counters })
+      | 0x85 -> finish c (Error (get_str c))
+      | 0x86 -> finish c Overloaded
+      | t -> raise (Malformed (Printf.sprintf "unknown response tag 0x%02x" t)))
+
+(* ---------------- framing over a fd ---------------- *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Bytes.unsafe_to_string b
+    else
+      match Unix.read fd b off (n - off) with
+      | 0 -> raise (Malformed "connection closed mid-frame")
+      | r -> go (off + r)
+  in
+  go 0
+
+let write_frame fd p =
+  let n = String.length p in
+  if n > max_frame then invalid_arg "Protocol.write_frame: frame too large";
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_le hdr 0 (Int32.of_int n);
+  write_all fd (Bytes.unsafe_to_string hdr ^ p)
+
+let read_frame fd =
+  (* A clean EOF at a frame boundary is a normal hang-up (None); anything
+     else mid-frame is a protocol violation and raises [Malformed]. *)
+  let hdr = Bytes.create 4 in
+  let r = Unix.read fd hdr 0 1 in
+  if r = 0 then None
+  else begin
+    let rec go off =
+      if off < 4 then
+        match Unix.read fd hdr off (4 - off) with
+        | 0 -> raise (Malformed "connection closed mid-frame")
+        | r -> go (off + r)
+    in
+    go 1;
+    let n = Int32.to_int (Bytes.get_int32_le hdr 0) in
+    if n < 0 || n > max_frame then
+      raise (Malformed (Printf.sprintf "frame length %d out of bounds" n));
+    Some (read_exact fd n)
+  end

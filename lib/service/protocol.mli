@@ -1,0 +1,63 @@
+(** The [icfg serve] wire protocol: length-prefixed frames on a Unix
+    socket, each framing one tagged, versioned payload (magic ["isrv1"]).
+
+    Layout (see DESIGN §13 for the byte-level grammar):
+    [frame := len:u32le payload], [payload := "isrv1" tag:u8 body], with
+    every variable-length body field itself length-prefixed. Frames are
+    capped at {!max_frame}; binaries travel as {!Icfg_obj.Binfile}
+    container bytes.
+
+    Decoding is total: [request_of_payload]/[response_of_payload] return
+    [Error] on malformed input instead of raising, so a garbage frame
+    costs one error response, never the connection loop. *)
+
+val magic : string
+val max_frame : int
+
+type request =
+  | Ping  (** liveness probe; answered inline by the accept side *)
+  | Rewrite of { approach : string; jobs : int; bin : string }
+      (** rewrite [bin] ({!Icfg_obj.Binfile} bytes) with the named
+          {!Icfg_baselines.Baseline.approaches} roster entry *)
+  | Classify of { approach : string; jobs : int; bin : string }
+      (** run the full corpus-matrix cell (original run + rewrite + VM
+          verification) in the daemon and return the classification *)
+
+type response =
+  | Pong
+  | Rewritten of { bin : string; counters : (string * int) list }
+      (** rewritten {!Icfg_obj.Binfile} bytes + the request's isolated
+          trace counter totals *)
+  | Refused of { reason : string; counters : (string * int) list }
+      (** the approach refused the binary (raw refusal message) *)
+  | Classified of {
+      cls : Icfg_harness.Matrix.cls;
+      ns : float;
+      counters : (string * int) list;
+    }
+  | Error of string
+      (** typed crash containment: the driver raised; the daemon lives *)
+  | Overloaded
+      (** typed backpressure: the request queue was at its bound when the
+          request arrived; nothing was enqueued *)
+
+val request_to_payload : request -> string
+val response_to_payload : response -> string
+val request_of_payload : string -> (request, string) result
+val response_of_payload : string -> (response, string) result
+
+(** {1 Framing over a file descriptor}
+
+    Blocking, whole-frame reads/writes — connection handling runs on
+    per-connection sys-threads, request execution on dedicated domains. *)
+
+exception Malformed of string
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one [len:u32le + payload] frame. [Invalid_argument] beyond
+    {!max_frame}. *)
+
+val read_frame : Unix.file_descr -> string option
+(** Read one frame. [None] on a clean EOF at a frame boundary (normal
+    client hang-up); raises {!Malformed} on mid-frame EOF or an
+    out-of-bounds length. *)

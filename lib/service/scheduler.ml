@@ -1,0 +1,138 @@
+(* Bounded request scheduler: a FIFO of thunks drained by N dedicated
+   executor *domains*.
+
+   Domains, not sys-threads, on purpose: the per-request trace isolation
+   contract (Trace.with_current is per-domain) only holds if two requests
+   never share a domain's ambient slot. Threads of one domain share DLS;
+   executor domains do not. Connection I/O threads never record traces,
+   so they may share the accept domain freely.
+
+   The bound counts *queued* jobs only. A submit that finds the queue at
+   its bound returns None immediately — the caller turns that into a
+   typed Overloaded response; nothing blocks, nothing is dropped
+   silently. [pause]/[resume] gate dequeueing (not submission), which
+   gives tests a deterministic way to fill the queue and lets a server
+   drain gracefully. *)
+
+type job = { run : unit -> unit }
+
+type t = {
+  m : Mutex.t;
+  wake : Condition.t; (* queue became non-empty / unpaused / stopping *)
+  queue : job Queue.t;
+  bound : int;
+  mutable paused : bool;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type 'a ticket = {
+  tm : Mutex.t;
+  tc : Condition.t;
+  mutable result : ('a, exn) result option;
+}
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.m;
+    let rec wait () =
+      if (not t.stopping) && (t.paused || Queue.is_empty t.queue) then begin
+        Condition.wait t.wake t.m;
+        wait ()
+      end
+    in
+    wait ();
+    (* On shutdown the queue is drained first: every accepted job holds a
+       ticket somebody may be awaiting, so dropping it would hang them. *)
+    if Queue.is_empty t.queue then begin
+      Mutex.unlock t.m;
+      ()
+    end
+    else begin
+      let j = Queue.pop t.queue in
+      Mutex.unlock t.m;
+      j.run ();
+      next ()
+    end
+  in
+  next ()
+
+let create ?(bound = 64) ?(workers = 2) () =
+  let t =
+    {
+      m = Mutex.create ();
+      wake = Condition.create ();
+      queue = Queue.create ();
+      bound = max 1 bound;
+      paused = false;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (max 1 workers) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t f =
+  let tk = { tm = Mutex.create (); tc = Condition.create (); result = None } in
+  let job () =
+    let r = try Ok (f ()) with e -> Error e in
+    Mutex.lock tk.tm;
+    tk.result <- Some r;
+    Condition.broadcast tk.tc;
+    Mutex.unlock tk.tm
+  in
+  Mutex.lock t.m;
+  if t.stopping || Queue.length t.queue >= t.bound then begin
+    Mutex.unlock t.m;
+    None
+  end
+  else begin
+    Queue.push { run = job } t.queue;
+    Condition.signal t.wake;
+    Mutex.unlock t.m;
+    Some tk
+  end
+
+let await tk =
+  Mutex.lock tk.tm;
+  let rec wait () =
+    match tk.result with
+    | None ->
+        Condition.wait tk.tc tk.tm;
+        wait ()
+    | Some r -> r
+  in
+  let r = wait () in
+  Mutex.unlock tk.tm;
+  match r with Ok v -> v | Error e -> raise e
+
+let pending t =
+  Mutex.lock t.m;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.m;
+  n
+
+let pause t =
+  Mutex.lock t.m;
+  t.paused <- true;
+  Mutex.unlock t.m
+
+let resume t =
+  Mutex.lock t.m;
+  t.paused <- false;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.m
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  t.paused <- false;
+  Condition.broadcast t.wake;
+  let ws = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.m;
+  (* Join so short-lived servers (every test) release their domains:
+     the runtime caps live domains, and unlike the global Pool these
+     executors are per-server, not a process-wide singleton. *)
+  List.iter Domain.join ws

@@ -1,0 +1,212 @@
+module Cache = Icfg_core.Cache
+module Trace = Icfg_core.Trace
+module Binfile = Icfg_obj.Binfile
+module Baseline = Icfg_baselines.Baseline
+module Rewriter = Icfg_core.Rewriter
+module Runner = Icfg_harness.Runner
+module Matrix = Icfg_harness.Matrix
+
+(* The [icfg serve] daemon.
+
+   Thread/domain layout: one accept sys-thread plus one sys-thread per
+   connection do the framing I/O (they never record traces, so sharing
+   the accept domain's DLS is harmless); request *bodies* run on the
+   scheduler's dedicated executor domains, each under a fresh
+   [Trace.with_current] — per-domain ambient traces are what keeps two
+   concurrent requests' counters from bleeding into each other. One
+   [Cache.t] is shared across every request for the life of the daemon:
+   cross-request reuse is the point of serving.
+
+   Crash containment: the request body catches everything and returns a
+   typed [Error] response; the accept loop and connection loops never
+   call [exit]. A malformed frame costs one [Error] response; a torn
+   connection costs that connection only. *)
+
+type t = {
+  sock_path : string;
+  listen_fd : Unix.file_descr;
+  sched : Scheduler.t;
+  srv_cache : Cache.t;
+  default_jobs : int;
+  cm : Mutex.t;
+  mutable conns : Unix.file_descr list;
+  mutable conn_threads : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  mutable stopping : bool;
+  n_requests : int Atomic.t;
+  n_overloaded : int Atomic.t;
+  n_errors : int Atomic.t;
+}
+
+type stats = { requests : int; overloaded : int; errors : int }
+
+let stats t =
+  {
+    requests = Atomic.get t.n_requests;
+    overloaded = Atomic.get t.n_overloaded;
+    errors = Atomic.get t.n_errors;
+  }
+
+let cache t = t.srv_cache
+let scheduler t = t.sched
+let sock_path t = t.sock_path
+
+(* Runs on an executor domain. Total: every failure becomes a typed
+   response, so the daemon keeps serving whatever a request throws at
+   it (the Matrix Crashed-cell contract, lifted to the wire). *)
+let run_request t (req : Protocol.request) : Protocol.response =
+  let jobs_of j = if j <= 0 then t.default_jobs else j in
+  let tr = Trace.create () in
+  try
+    Trace.with_current tr @@ fun () ->
+    match req with
+    | Protocol.Ping -> Protocol.Pong
+    | Protocol.Rewrite { approach; jobs; bin } -> (
+        let bin = Binfile.of_bytes (Bytes.of_string bin) in
+        match
+          Runner.drive ~approach ~jobs:(jobs_of jobs) ~cache:t.srv_cache bin
+        with
+        | None -> Protocol.Error ("unknown approach: " ^ approach)
+        | Some (Baseline.Rewritten rw) ->
+            Protocol.Rewritten
+              {
+                bin = Bytes.to_string (Binfile.to_bytes rw.Rewriter.rw_binary);
+                counters = Trace.counters tr;
+              }
+        | Some (Baseline.Refused reason) ->
+            Protocol.Refused { reason; counters = Trace.counters tr })
+    | Protocol.Classify { approach; jobs; bin } ->
+        let bin = Binfile.of_bytes (Bytes.of_string bin) in
+        let orig = Runner.run_original bin in
+        let ns, cls =
+          Matrix.eval_cell ~orig ~approach ~jobs:(jobs_of jobs)
+            ~cache:t.srv_cache bin
+        in
+        Protocol.Classified { cls; ns; counters = Trace.counters tr }
+  with e -> Protocol.Error (Printexc.to_string e)
+
+let conn_loop t fd =
+  let finally () =
+    (try Unix.close fd with _ -> ());
+    Mutex.lock t.cm;
+    t.conns <- List.filter (fun f -> f != fd) t.conns;
+    Mutex.unlock t.cm
+  in
+  Fun.protect ~finally @@ fun () ->
+  try
+    let rec loop () =
+      match Protocol.read_frame fd with
+      | None -> ()
+      | Some p ->
+          (match Protocol.request_of_payload p with
+          | Error m ->
+              Atomic.incr t.n_errors;
+              Protocol.write_frame fd
+                (Protocol.response_to_payload
+                   (Protocol.Error ("malformed request: " ^ m)))
+          | Ok Protocol.Ping ->
+              Protocol.write_frame fd (Protocol.response_to_payload Protocol.Pong)
+          | Ok req ->
+              let resp =
+                match Scheduler.submit t.sched (fun () -> run_request t req) with
+                | None ->
+                    Atomic.incr t.n_overloaded;
+                    Protocol.Overloaded
+                | Some tk ->
+                    let r = Scheduler.await tk in
+                    (match r with
+                    | Protocol.Error _ -> Atomic.incr t.n_errors
+                    | _ -> ());
+                    Atomic.incr t.n_requests;
+                    r
+              in
+              Protocol.write_frame fd (Protocol.response_to_payload resp));
+          loop ()
+    in
+    loop ()
+  with
+  | Protocol.Malformed _ | Unix.Unix_error _ | End_of_file ->
+      (* A torn or protocol-violating connection dies alone; the daemon
+         and its other connections keep serving. *)
+      ()
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        if t.stopping then (try Unix.close fd with _ -> ())
+        else begin
+          Mutex.lock t.cm;
+          t.conns <- fd :: t.conns;
+          let th = Thread.create (fun () -> conn_loop t fd) () in
+          t.conn_threads <- th :: t.conn_threads;
+          Mutex.unlock t.cm
+        end;
+        if t.stopping then () else loop ()
+    | exception Unix.Unix_error _ ->
+        if t.stopping then ()
+        else begin
+          (* Spurious accept failure: back off briefly, keep accepting. *)
+          Unix.sleepf 0.01;
+          loop ()
+        end
+  in
+  loop ()
+
+let start ~path ?(bound = 64) ?(workers = 2) ?(jobs = 1) ?cache () =
+  (try Unix.unlink path with _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX path);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with _ -> ());
+     raise e);
+  let t =
+    {
+      sock_path = path;
+      listen_fd;
+      sched = Scheduler.create ~bound ~workers ();
+      srv_cache = (match cache with Some c -> c | None -> Cache.create ());
+      default_jobs = max 1 jobs;
+      cm = Mutex.create ();
+      conns = [];
+      conn_threads = [];
+      accept_thread = None;
+      stopping = false;
+      n_requests = Atomic.make 0;
+      n_overloaded = Atomic.make 0;
+      n_errors = Atomic.make 0;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let stop t =
+  Mutex.lock t.cm;
+  let already = t.stopping in
+  t.stopping <- true;
+  Mutex.unlock t.cm;
+  if not already then begin
+    (* Wake the accept loop portably: a blocked [Unix.accept] is not
+       reliably interrupted by closing the fd from another thread, so
+       poke it with a throwaway connection, then close. *)
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_UNIX t.sock_path) with _ -> ());
+       Unix.close fd
+     with _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with _ -> ());
+    (* Drain queued requests so awaiting connections get their answers,
+       then stop and join the executor domains. *)
+    Scheduler.shutdown t.sched;
+    Mutex.lock t.cm;
+    let conns = t.conns and threads = t.conn_threads in
+    Mutex.unlock t.cm;
+    List.iter
+      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+      conns;
+    List.iter Thread.join threads;
+    (try Unix.unlink t.sock_path with _ -> ())
+  end

@@ -1,0 +1,49 @@
+(** The [icfg serve] daemon: a Unix-socket server speaking {!Protocol},
+    scheduling request bodies on {!Scheduler} executor domains, reusing
+    one {!Icfg_core.Cache.t} across every request it ever serves.
+
+    Isolation contract: each request body runs under a fresh per-domain
+    ambient trace ({!Icfg_core.Trace.with_current}), so two concurrent
+    requests' counter totals each equal their solo-run totals.
+    Backpressure contract: a request arriving while the scheduler queue
+    is at its bound gets a typed [Overloaded] response immediately —
+    the accept loop never blocks on a full queue. Crash containment:
+    request bodies catch everything ([Error] response), connection
+    failures kill only their connection, and no code path in the server
+    calls [exit]. *)
+
+type t
+
+val start :
+  path:string ->
+  ?bound:int ->
+  ?workers:int ->
+  ?jobs:int ->
+  ?cache:Icfg_core.Cache.t ->
+  unit ->
+  t
+(** Bind a Unix socket at [path] (an existing file is replaced), spawn
+    the accept thread and [workers] executor domains (default 2).
+    [bound] (default 64) is the request-queue bound. [jobs] (default 1)
+    is the per-request pipeline parallelism used when a request carries
+    [jobs <= 0]. [cache] (default: fresh) is the shared cross-request
+    cache. *)
+
+val stop : t -> unit
+(** Graceful shutdown, idempotent: stop accepting, drain queued requests
+    (their connections get answers), join executor domains and
+    connection threads, remove the socket file. *)
+
+type stats = {
+  requests : int;  (** work requests answered (rewritten/refused/classified/error) *)
+  overloaded : int;  (** typed backpressure refusals *)
+  errors : int;  (** [Error] responses (crashed drivers, malformed frames) *)
+}
+
+val stats : t -> stats
+val cache : t -> Icfg_core.Cache.t
+val scheduler : t -> Scheduler.t
+(** Exposed for the test battery ([pause]/[resume] make the
+    exact-[M]-refusals backpressure test deterministic). *)
+
+val sock_path : t -> string

@@ -1,0 +1,162 @@
+module Cache = Icfg_core.Cache
+module Baseline = Icfg_baselines.Baseline
+module Corpus = Icfg_workloads.Corpus
+module Matrix = Icfg_harness.Matrix
+
+(* Corpus sweep through a live daemon: the deployment-shaped twin of
+   [Matrix.run]. Every (binary, approach) cell travels the wire as a
+   [Classify] request and is evaluated in-daemon by the same
+   [Matrix.eval_cell] the in-process sweep uses, so the per-approach
+   classification rows must match [Matrix.run] exactly (times aside) —
+   [check] pins that, and CI gates it.
+
+   Client model: [clients] threads, each with its own connection,
+   pulling (entry, approach) work items off one shared index in corpus-
+   major order. Classifications are interleaving-independent because
+   cache hits are content-addressed (a hit returns exactly what a miss
+   would compute); only wall times and the hit/miss split vary. *)
+
+type result = {
+  sw_seed : int;
+  sw_count : int;
+  sw_clients : int;
+  sw_rows : Matrix.row list; (* roster order; cells in corpus order *)
+  sw_requests : int;
+  sw_overloaded : int;
+  sw_errors : int;
+  sw_cache : Cache.stats;
+  sw_hit_rate : float;
+  sw_wall_ns : float;
+  sw_rps : float;
+}
+
+let socket_counter = Atomic.make 0
+
+let fresh_socket_path () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "icfg-serve-%d-%d.sock" (Unix.getpid ())
+       (Atomic.fetch_and_add socket_counter 1))
+
+let run ?(seed = 7) ?(count = 48) ?(clients = 4) ?(jobs = 1) ?workers ?bound ()
+    =
+  let clients = max 1 clients in
+  let entries = Corpus.generate ~seed ~count in
+  (* Build once, serially: the daemon rewrites binaries, it does not
+     generate them, and building inside client threads would race the
+     wall clock the throughput number measures. *)
+  let bins = Array.of_list (List.map Corpus.build entries) in
+  let approaches = Array.of_list (List.map fst Baseline.approaches) in
+  let n_app = Array.length approaches in
+  let n_items = Array.length bins * n_app in
+  let cells = Array.make n_items (0., Matrix.Crashed "unvisited") in
+  let errors = Atomic.make 0 in
+  (* Connection threads block per in-flight request, so [clients] bounds
+     daemon concurrency; a bound of [clients] can therefore never refuse
+     — sweeps must be refusal-free or the equality gate would compare
+     incomplete rows. *)
+  let bound = match bound with Some b -> b | None -> max 64 clients in
+  let workers = match workers with Some w -> w | None -> min 4 clients in
+  let path = fresh_socket_path () in
+  let srv = Server.start ~path ~bound ~workers ~jobs () in
+  let next = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let client_body () =
+    Client.with_connection path @@ fun c ->
+    let rec pull () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n_items then begin
+        let bin = bins.(i / n_app) in
+        let approach = approaches.(i mod n_app) in
+        (match Client.classify c ~approach ~jobs bin with
+        | Ok (Protocol.Classified { cls; ns; _ }) -> cells.(i) <- (ns, cls)
+        | Ok (Protocol.Overloaded) ->
+            Atomic.incr errors;
+            cells.(i) <- (0., Matrix.Crashed "overloaded")
+        | Ok (Protocol.Error m) | Stdlib.Error m ->
+            Atomic.incr errors;
+            cells.(i) <- (0., Matrix.Crashed ("transport: " ^ m))
+        | Ok _ ->
+            Atomic.incr errors;
+            cells.(i) <- (0., Matrix.Crashed "unexpected response"));
+        pull ()
+      end
+    in
+    pull ()
+  in
+  let threads =
+    List.init clients (fun _ -> Thread.create client_body ())
+  in
+  List.iter Thread.join threads;
+  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let st = Server.stats srv in
+  let cstats = Cache.stats (Server.cache srv) in
+  Server.stop srv;
+  let rows =
+    List.mapi
+      (fun ai approach ->
+        let cells_of =
+          List.init (Array.length bins) (fun ei -> cells.((ei * n_app) + ai))
+        in
+        Matrix.row_of ~approach cells_of)
+      (Array.to_list approaches)
+  in
+  {
+    sw_seed = seed;
+    sw_count = count;
+    sw_clients = clients;
+    sw_rows = rows;
+    sw_requests = st.Server.requests;
+    sw_overloaded = st.Server.overloaded;
+    sw_errors = Atomic.get errors;
+    sw_cache = cstats;
+    sw_hit_rate = Cache.hit_rate cstats;
+    sw_wall_ns = wall_ns;
+    sw_rps =
+      (if wall_ns > 0. then float_of_int n_items /. (wall_ns /. 1e9) else 0.);
+  }
+
+(* Strip what legitimately varies (wall times) and keep what must not
+   (classification counts and refusal histograms, per approach). *)
+let strip_row (r : Matrix.row) =
+  { r with Matrix.row_p50_ns = 0.; row_p95_ns = 0. }
+
+let row_to_string (r : Matrix.row) =
+  Printf.sprintf "%-16s cells=%d verified=%d diverged=%d refused=%d crashed=%d%s"
+    r.Matrix.row_approach r.Matrix.row_cells r.Matrix.row_verified
+    r.Matrix.row_diverged r.Matrix.row_refused r.Matrix.row_crashed
+    (match r.Matrix.row_refusals with
+    | [] -> ""
+    | l ->
+        " refusals="
+        ^ String.concat ","
+            (List.map (fun (k, n) -> Printf.sprintf "%s:%d" k n) l))
+
+let check ?(seed = 7) ?(count = 48) ?(clients = 4) ?(jobs = 1) () =
+  let daemon = run ~seed ~count ~clients ~jobs () in
+  let inproc = Matrix.run ~seed ~count ~jobs () in
+  let d_rows = List.map strip_row daemon.sw_rows in
+  let m_rows = List.map strip_row inproc.Matrix.m_rows in
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "serve-check: seed %d, %d binaries, %d clients, jobs %d — %d requests, \
+     %d overloaded, %d transport errors, cache hit-rate %.1f%%, %.1f req/s\n"
+    seed count clients jobs daemon.sw_requests daemon.sw_overloaded
+    daemon.sw_errors
+    (100. *. daemon.sw_hit_rate)
+    daemon.sw_rps;
+  let ok = ref (daemon.sw_errors = 0 && daemon.sw_overloaded = 0) in
+  if not !ok then
+    Buffer.add_string b "  FAIL: sweep saw transport errors or refusals\n";
+  List.iter2
+    (fun (d : Matrix.row) (m : Matrix.row) ->
+      if d = m then
+        Printf.bprintf b "  ok    %s\n" (row_to_string d)
+      else begin
+        ok := false;
+        Printf.bprintf b "  FAIL  daemon     %s\n" (row_to_string d);
+        Printf.bprintf b "        in-process %s\n" (row_to_string m)
+      end)
+    d_rows m_rows;
+  if !ok then Buffer.add_string b "  daemon == in-process: PASS\n";
+  (!ok, Buffer.contents b, daemon)

@@ -1,0 +1,46 @@
+(** Corpus sweep through a live daemon — the deployment-shaped twin of
+    {!Icfg_harness.Matrix.run}: every (binary, approach) cell travels the
+    wire as a [Classify] request and is evaluated in-daemon by the same
+    [Matrix.eval_cell], so classification rows must equal the in-process
+    sweep's exactly (wall times aside). {!check} pins that equality and
+    the CI serve-smoke step gates it. *)
+
+type result = {
+  sw_seed : int;
+  sw_count : int;
+  sw_clients : int;
+  sw_rows : Icfg_harness.Matrix.row list;
+      (** roster order; cells aggregated in corpus order *)
+  sw_requests : int;  (** daemon-side answered work requests *)
+  sw_overloaded : int;  (** should be 0: the sweep bounds in-flight by clients *)
+  sw_errors : int;  (** client-observed transport/Error responses *)
+  sw_cache : Icfg_core.Cache.stats;  (** the daemon's cross-request cache *)
+  sw_hit_rate : float;
+  sw_wall_ns : float;
+  sw_rps : float;  (** cells per second through the daemon *)
+}
+
+val run :
+  ?seed:int ->
+  ?count:int ->
+  ?clients:int ->
+  ?jobs:int ->
+  ?workers:int ->
+  ?bound:int ->
+  unit ->
+  result
+(** Start a daemon on a fresh temp socket, drive the
+    [Corpus.generate ~seed ~count] × roster grid through it with
+    [clients] concurrent client threads (corpus-major item order), stop
+    the daemon. Binaries are prebuilt serially before the clock starts. *)
+
+val check :
+  ?seed:int ->
+  ?count:int ->
+  ?clients:int ->
+  ?jobs:int ->
+  unit ->
+  bool * string * result
+(** Run {!run} and {!Icfg_harness.Matrix.run} on the same slice and
+    compare per-approach classification rows with times stripped.
+    Returns (match?, printable report, daemon result). *)

@@ -277,6 +277,106 @@ let slot_battery () =
       Alcotest.(check (list string)) "corrupt slot file removed" []
         (slot_files dir))
 
+(* ------------------------------------------------------------------ *)
+(* Cross-request reuse through the serve daemon                        *)
+(* ------------------------------------------------------------------ *)
+
+module Corpus = Icfg_workloads.Corpus
+module Protocol = Icfg_service.Protocol
+module Server = Icfg_service.Server
+module Client = Icfg_service.Client
+
+let rewritten_counters ~what = function
+  | Ok (Protocol.Rewritten { counters; _ }) -> counters
+  | Ok _ -> Alcotest.failf "%s: unexpected response kind" what
+  | Error m -> Alcotest.failf "%s: transport error %s" what m
+
+(* The PR 6 twin entries, as separate daemon requests: the daemon's one
+   cross-request cache makes the twin's rewrite hit on every stage the
+   source stored — zero misses in any text stage (or anywhere else),
+   and exactly as many hits as the source had misses. This is the
+   cross-request payoff the serve mode exists for. *)
+let serve_twin_hits () =
+  let entries = Corpus.generate ~seed:7 ~count:10 in
+  let twin_entry = List.nth entries 9 in
+  let src_id =
+    match twin_entry.Corpus.e_twin_of with
+    | Some j -> j
+    | None -> Alcotest.fail "corpus entry 9 is expected to be a twin"
+  in
+  let src_bin = Corpus.build (List.nth entries src_id) in
+  let twin_bin = Corpus.build twin_entry in
+  Test_serve.with_server ~workers:1 () @@ fun _srv path ->
+  Client.with_connection path @@ fun c ->
+  let c_src =
+    rewritten_counters ~what:"source request"
+      (Client.rewrite c ~approach:"ours/jt" src_bin)
+  in
+  let c_twin =
+    rewritten_counters ~what:"twin request"
+      (Client.rewrite c ~approach:"ours/jt" twin_bin)
+  in
+  let get l n = Option.value ~default:0 (List.assoc_opt n l) in
+  Alcotest.(check bool) "source request ran cold" true
+    (get c_src "cache.miss" > 0 && get c_src "cache.hit" = 0);
+  List.iter
+    (fun stage ->
+      Alcotest.(check int)
+        (Printf.sprintf "twin request: zero misses in %s" stage)
+        0
+        (get c_twin ("cache.miss:" ^ stage)))
+    [
+      "parse/pass1"; "parse/fptr"; "parse/finalize"; "parse/fptr2";
+      "rewrite/relocate"; "rewrite/plan"; "encode";
+    ];
+  Alcotest.(check int) "twin request: zero misses anywhere" 0
+    (get c_twin "cache.miss");
+  Alcotest.(check int) "twin hits everything the source stored"
+    (get c_src "cache.miss") (get c_twin "cache.hit")
+
+(* The LRU disk bound holds while requests are in flight: concurrent
+   requests store through the daemon's shared disk-backed cache, and
+   when the dust settles the entry tier is within the bound with the
+   evictions counted — no request ever saw an error. *)
+let serve_lru_eviction () =
+  Test_parallel.with_temp_dir @@ fun dir ->
+  let bound = 64 * 1024 in
+  let cache = Cache.create ~dir ~max_disk_bytes:bound () in
+  let bins =
+    List.map
+      (fun arch ->
+        let b = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+        fst (Icfg_workloads.Spec_suite.compile arch b))
+      Icfg_isa.Arch.all
+  in
+  Test_serve.with_server ~workers:2 ~cache () @@ fun srv path ->
+  let threads =
+    List.map
+      (fun bin ->
+        Thread.create
+          (fun () ->
+            Client.with_connection path @@ fun c ->
+            ignore
+              (rewritten_counters ~what:"in-flight rewrite"
+                 (Client.rewrite c ~approach:"ours/jt" bin)))
+          ())
+      bins
+  in
+  List.iter Thread.join threads;
+  let st = Server.stats srv in
+  Alcotest.(check int) "no error responses" 0 st.Server.errors;
+  let cstats = Cache.stats (Server.cache srv) in
+  Alcotest.(check bool) "evictions happened under service" true
+    (cstats.Cache.c_evict_lru > 0);
+  let disk_bytes =
+    List.fold_left
+      (fun acc f -> acc + (Unix.stat f).Unix.st_size)
+      0 (Cache.entry_files cache)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "disk entry tier within bound (%d <= %d)" disk_bytes bound)
+    true (disk_bytes <= bound)
+
 let suite =
   [
     ( "cache",
@@ -296,5 +396,9 @@ let suite =
         Alcotest.test_case "disk: LRU hit refresh" `Quick disk_lru_refresh;
         Alcotest.test_case "slots: round-trip, clone, corruption" `Quick
           slot_battery;
+        Alcotest.test_case "serve: twin cross-request all-hits" `Slow
+          serve_twin_hits;
+        Alcotest.test_case "serve: LRU bound under in-flight requests" `Quick
+          serve_lru_eviction;
       ] );
   ]

@@ -1,0 +1,422 @@
+(* Concurrency/isolation battery for the [icfg serve] daemon.
+
+   Contracts under test (lib/service/*.mli):
+
+   (a) response equivalence — a binary rewritten through the daemon is
+       byte-identical to the one-shot in-process path, for every
+       mode x ISA;
+   (b) determinism — concurrent clients submitting a fixed corpus slice
+       get identical per-request classifications regardless of client
+       count, arrival interleaving, and jobs;
+   (c) backpressure — a queue bound of K with K+M in-flight requests
+       yields exactly M typed Overloaded refusals and zero crashes, and
+       the daemon keeps serving afterwards;
+   (d) isolation — two concurrent requests' trace counter totals each
+       equal their solo-run totals (per-domain ambient traces: no
+       cross-request bleed);
+   (e) crash containment — a request whose driver raises comes back as a
+       typed Error (or Crashed classification) frame and the daemon
+       lives; ditto malformed frames and unknown approaches. *)
+
+open Icfg_isa
+open Icfg_core
+module Runner = Icfg_harness.Runner
+module Matrix = Icfg_harness.Matrix
+module Corpus = Icfg_workloads.Corpus
+module Binfile = Icfg_obj.Binfile
+module Protocol = Icfg_service.Protocol
+module Scheduler = Icfg_service.Scheduler
+module Server = Icfg_service.Server
+module Client = Icfg_service.Client
+module Sweep = Icfg_service.Sweep
+
+let sock_counter = ref 0
+
+let with_server ?bound ?workers ?jobs ?cache () f =
+  incr sock_counter;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "icfg-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  let srv = Server.start ~path ?bound ?workers ?jobs ?cache () in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv path)
+
+let first_bench arch =
+  let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
+  fst (Icfg_workloads.Spec_suite.compile arch bench)
+
+let response_label = function
+  | Protocol.Pong -> "pong"
+  | Protocol.Rewritten _ -> "rewritten"
+  | Protocol.Refused _ -> "refused"
+  | Protocol.Classified _ -> "classified"
+  | Protocol.Error m -> "error: " ^ m
+  | Protocol.Overloaded -> "overloaded"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codec round-trips                                          *)
+(* ------------------------------------------------------------------ *)
+
+let codec_roundtrip () =
+  let reqs =
+    [
+      Protocol.Ping;
+      Protocol.Rewrite { approach = "ours/jt"; jobs = 4; bin = "\x00\xffbin" };
+      Protocol.Classify { approach = "srbi"; jobs = 0; bin = "" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.request_of_payload (Protocol.request_to_payload r) with
+      | Ok r' -> Alcotest.(check bool) "request round-trip" true (r = r')
+      | Error m -> Alcotest.failf "request decode failed: %s" m)
+    reqs;
+  let resps =
+    [
+      Protocol.Pong;
+      Protocol.Rewritten
+        { bin = String.make 64 '\x7f'; counters = [ ("a", 1); ("b", -2) ] };
+      Protocol.Refused { reason = "non-PIE"; counters = [] };
+      Protocol.Classified
+        {
+          cls = Matrix.Refused "feature/non-pie";
+          ns = 1234.5;
+          counters = [ ("cache.hit", 9) ];
+        };
+      Protocol.Classified
+        { cls = Matrix.Verified; ns = 0.; counters = [] };
+      Protocol.Error "boom";
+      Protocol.Overloaded;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.response_of_payload (Protocol.response_to_payload r) with
+      | Ok r' -> Alcotest.(check bool) "response round-trip" true (r = r')
+      | Error m -> Alcotest.failf "response decode failed: %s" m)
+    resps;
+  (* Malformed payloads decode to Error, never raise. *)
+  List.iter
+    (fun p ->
+      match Protocol.request_of_payload p with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "garbage accepted as request")
+    [ ""; "bogus"; "isrv1"; "isrv1\xff"; "isrv1\x02\x04\x00\x00\x00ab" ];
+  (* cls codec is total on the wire forms and rejects junk. *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        "cls round-trip" true
+        (Matrix.cls_of_string (Matrix.cls_to_string c) = Some c))
+    [
+      Matrix.Verified;
+      Matrix.Diverged;
+      Matrix.Refused "tramp/trap";
+      Matrix.Crashed "Not_encodable(\"x\")";
+    ];
+  Alcotest.(check bool)
+    "junk cls rejected" true
+    (Matrix.cls_of_string "meh" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: bound, pause/resume, shutdown drain                      *)
+(* ------------------------------------------------------------------ *)
+
+let scheduler_unit () =
+  let s = Scheduler.create ~bound:2 ~workers:1 () in
+  Scheduler.pause s;
+  let t1 = Scheduler.submit s (fun () -> 1) in
+  let t2 = Scheduler.submit s (fun () -> 2) in
+  let t3 = Scheduler.submit s (fun () -> 3) in
+  Alcotest.(check bool) "two accepted" true (t1 <> None && t2 <> None);
+  Alcotest.(check bool) "third refused at bound" true (t3 = None);
+  Alcotest.(check int) "pending counts queued" 2 (Scheduler.pending s);
+  Scheduler.resume s;
+  (match (t1, t2) with
+  | Some a, Some b ->
+      Alcotest.(check int) "first result" 1 (Scheduler.await a);
+      Alcotest.(check int) "second result" 2 (Scheduler.await b)
+  | _ -> Alcotest.fail "accepted tickets missing");
+  (* Shutdown drains accepted work and joins; later submits refuse. *)
+  Scheduler.pause s;
+  let t4 = Scheduler.submit s (fun () -> 4) in
+  Scheduler.shutdown s;
+  (match t4 with
+  | Some t -> Alcotest.(check int) "drained on shutdown" 4 (Scheduler.await t)
+  | None -> Alcotest.fail "submit before shutdown refused");
+  Alcotest.(check bool)
+    "submit after shutdown refused" true
+    (Scheduler.submit s (fun () -> 5) = None);
+  (* A raising job re-raises at await, not in the executor. *)
+  let s2 = Scheduler.create ~bound:2 ~workers:1 () in
+  (match Scheduler.submit s2 (fun () -> failwith "job boom") with
+  | Some t -> (
+      match Scheduler.await t with
+      | _ -> Alcotest.fail "raising job returned"
+      | exception Failure m -> Alcotest.(check string) "re-raised" "job boom" m)
+  | None -> Alcotest.fail "submit refused");
+  Scheduler.shutdown s2
+
+(* ------------------------------------------------------------------ *)
+(* (a) response equivalence: daemon == one-shot, every mode x ISA      *)
+(* ------------------------------------------------------------------ *)
+
+let response_equivalence () =
+  with_server ~workers:2 () @@ fun _srv path ->
+  Client.with_connection path @@ fun c ->
+  List.iter
+    (fun arch ->
+      let bin = first_bench arch in
+      List.iter
+        (fun mode ->
+          let what =
+            Printf.sprintf "%s/%s" (Arch.name arch) (Mode.name mode)
+          in
+          (* The daemon path: roster driver behind the wire protocol. *)
+          let daemon_bytes =
+            match Client.rewrite c ~approach:("ours/" ^ Mode.name mode) bin with
+            | Ok (Protocol.Rewritten { bin; _ }) -> bin
+            | Ok r -> Alcotest.failf "%s: daemon said %s" what (response_label r)
+            | Error m -> Alcotest.failf "%s: transport error %s" what m
+          in
+          (* The one-shot path: same options, no daemon, no cache. *)
+          let rw =
+            Runner.rewrite
+              ~options:{ Rewriter.default_options with Rewriter.mode }
+              ~jobs:1 bin
+          in
+          let oneshot_bytes =
+            Bytes.to_string (Binfile.to_bytes rw.Rewriter.rw_binary)
+          in
+          Alcotest.(check bool)
+            (what ^ ": daemon bytes == one-shot bytes")
+            true
+            (daemon_bytes = oneshot_bytes))
+        Mode.all)
+    Arch.all
+
+(* ------------------------------------------------------------------ *)
+(* (b) determinism under concurrent clients / jobs                     *)
+(* ------------------------------------------------------------------ *)
+
+let strip (r : Matrix.row) = { r with Matrix.row_p50_ns = 0.; row_p95_ns = 0. }
+
+let concurrent_determinism () =
+  let seed = 11 and count = 6 in
+  let d1 = Sweep.run ~seed ~count ~clients:1 ~jobs:1 () in
+  let d4 = Sweep.run ~seed ~count ~clients:4 ~jobs:2 () in
+  let m = Matrix.run ~seed ~count ~jobs:1 () in
+  Alcotest.(check int) "no transport errors (serial)" 0 d1.Sweep.sw_errors;
+  Alcotest.(check int) "no transport errors (concurrent)" 0 d4.Sweep.sw_errors;
+  Alcotest.(check int) "no refusals (serial)" 0 d1.Sweep.sw_overloaded;
+  Alcotest.(check int) "no refusals (concurrent)" 0 d4.Sweep.sw_overloaded;
+  let r1 = List.map strip d1.Sweep.sw_rows in
+  let r4 = List.map strip d4.Sweep.sw_rows in
+  let rm = List.map strip m.Matrix.m_rows in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: 1 client == 4 clients" a.Matrix.row_approach)
+        true (a = b))
+    r1 r4;
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: daemon == in-process" a.Matrix.row_approach)
+        true (a = b))
+    r4 rm
+
+(* ------------------------------------------------------------------ *)
+(* (c) backpressure: K-bounded queue, K+M in-flight, exactly M refused *)
+(* ------------------------------------------------------------------ *)
+
+let backpressure () =
+  let k = 3 and m = 2 in
+  let bin = first_bench Arch.X86_64 in
+  with_server ~bound:k ~workers:1 () @@ fun srv path ->
+  (* Park the executor so the queue fills deterministically: K requests
+     queue, the next M find the queue at its bound. *)
+  Scheduler.pause (Server.scheduler srv);
+  let results = Array.make (k + m) None in
+  let threads =
+    List.init (k + m) (fun i ->
+        Thread.create
+          (fun () ->
+            Client.with_connection path @@ fun c ->
+            results.(i) <- Some (Client.rewrite c ~approach:"ours/jt" bin))
+          ())
+  in
+  (* Wait until all K+M requests have reached the daemon: K parked in
+     the queue, M already refused. *)
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec settle () =
+    let st = Server.stats srv in
+    if
+      Scheduler.pending (Server.scheduler srv) = k
+      && st.Server.overloaded = m
+    then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "queue never settled: pending=%d overloaded=%d"
+        (Scheduler.pending (Server.scheduler srv))
+        (Server.stats srv).Server.overloaded
+    else begin
+      Thread.delay 0.01;
+      settle ()
+    end
+  in
+  settle ();
+  Scheduler.resume (Server.scheduler srv);
+  List.iter Thread.join threads;
+  let count pred = Array.fold_left (fun n r -> if pred r then n + 1 else n) 0 results in
+  Alcotest.(check int) "exactly M overloaded" m
+    (count (function Some (Ok Protocol.Overloaded) -> true | _ -> false));
+  Alcotest.(check int) "exactly K rewritten" k
+    (count (function Some (Ok (Protocol.Rewritten _)) -> true | _ -> false));
+  let st = Server.stats srv in
+  Alcotest.(check int) "zero error responses" 0 st.Server.errors;
+  Alcotest.(check int) "overloaded stat" m st.Server.overloaded;
+  (* The refusals cost nothing: the daemon is still serving. *)
+  Client.with_connection path @@ fun c ->
+  (match Client.ping c with
+  | Ok Protocol.Pong -> ()
+  | r ->
+      Alcotest.failf "daemon not serving after refusals: %s"
+        (match r with Ok x -> response_label x | Error m -> m));
+  match Client.rewrite c ~approach:"ours/jt" bin with
+  | Ok (Protocol.Rewritten _) -> ()
+  | r ->
+      Alcotest.failf "rewrite after refusals: %s"
+        (match r with Ok x -> response_label x | Error m -> m)
+
+(* ------------------------------------------------------------------ *)
+(* (d) isolation: concurrent requests' counters == solo totals         *)
+(* ------------------------------------------------------------------ *)
+
+let solo_counters bin =
+  let tr = Trace.create () in
+  let cache = Cache.create () in
+  Trace.with_current tr (fun () ->
+      ignore (Runner.drive ~approach:"ours/jt" ~jobs:1 ~cache bin));
+  Trace.counters tr
+
+let isolation () =
+  (* Two binaries with disjoint content: their cache keys are disjoint,
+     so sharing the daemon cache cannot change either request's hit/miss
+     counters — any difference from the solo totals is trace bleed. *)
+  let bin_a = first_bench Arch.X86_64 in
+  let bin_b = first_bench Arch.Aarch64 in
+  let solo_a = solo_counters bin_a and solo_b = solo_counters bin_b in
+  Alcotest.(check bool) "solo counters nonempty" true (solo_a <> []);
+  with_server ~workers:2 () @@ fun _srv path ->
+  let got = [| []; [] |] in
+  let request i bin =
+    Thread.create
+      (fun () ->
+        Client.with_connection path @@ fun c ->
+        match Client.rewrite c ~approach:"ours/jt" ~jobs:1 bin with
+        | Ok (Protocol.Rewritten { counters; _ }) -> got.(i) <- counters
+        | r ->
+            Alcotest.failf "request %d: %s" i
+              (match r with Ok x -> response_label x | Error m -> m))
+      ()
+  in
+  let ta = request 0 bin_a and tb = request 1 bin_b in
+  Thread.join ta;
+  Thread.join tb;
+  Alcotest.(check bool)
+    "request A counters == solo A totals" true (got.(0) = solo_a);
+  Alcotest.(check bool)
+    "request B counters == solo B totals" true (got.(1) = solo_b)
+
+(* ------------------------------------------------------------------ *)
+(* (e) crash containment: raising drivers, garbage frames, bad names   *)
+(* ------------------------------------------------------------------ *)
+
+let crash_containment () =
+  (* Corpus seed 7, entry 8 (c0008-huge-jt) defeats insn-patching's
+     encoder outright — self-validate that the driver still raises
+     in-process, so this test fails loudly if the corpus shifts. *)
+  let entries = Corpus.generate ~seed:7 ~count:9 in
+  let crasher = Corpus.build (List.nth entries 8) in
+  (match Runner.drive ~approach:"insn-patching" ~jobs:1 crasher with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "expected insn-patching to raise on c0008-huge-jt");
+  with_server ~workers:1 () @@ fun srv path ->
+  Client.with_connection path @@ fun c ->
+  (* A raising driver is a typed Error frame... *)
+  (match Client.rewrite c ~approach:"insn-patching" crasher with
+  | Ok (Protocol.Error _) -> ()
+  | r ->
+      Alcotest.failf "raising driver: %s"
+        (match r with Ok x -> response_label x | Error m -> m));
+  (* ...and through the Matrix machinery, a typed Crashed cell. *)
+  (match Client.classify c ~approach:"insn-patching" crasher with
+  | Ok (Protocol.Classified { cls = Matrix.Crashed _; _ }) -> ()
+  | r ->
+      Alcotest.failf "raising driver (classify): %s"
+        (match r with Ok x -> response_label x | Error m -> m));
+  (* Unknown approach: typed error, not a dead daemon. *)
+  (match Client.rewrite c ~approach:"no-such-rewriter" crasher with
+  | Ok (Protocol.Error _) -> ()
+  | r ->
+      Alcotest.failf "unknown approach: %s"
+        (match r with Ok x -> response_label x | Error m -> m));
+  (* Garbage binary bytes: typed error. *)
+  (match
+     Client.call c
+       (Protocol.Rewrite { approach = "ours/jt"; jobs = 1; bin = "not a binfile" })
+   with
+  | Ok (Protocol.Error _) -> ()
+  | r ->
+      Alcotest.failf "garbage binfile: %s"
+        (match r with Ok x -> response_label x | Error m -> m));
+  (* The daemon survived all of it and still rewrites. *)
+  (match Client.rewrite c ~approach:"ours/jt" crasher with
+  | Ok (Protocol.Rewritten _) -> ()
+  | r ->
+      Alcotest.failf "daemon not serving after crashes: %s"
+        (match r with Ok x -> response_label x | Error m -> m));
+  let st = Server.stats srv in
+  Alcotest.(check bool) "errors were counted" true (st.Server.errors >= 3)
+
+(* A garbage *frame* (valid length prefix, junk payload) gets a typed
+   error response and the connection keeps working. *)
+let malformed_frame () =
+  let bin = first_bench Arch.X86_64 in
+  with_server ~workers:1 () @@ fun _srv path ->
+  let c = Client.connect path in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let fd = Client.fd c in
+  Protocol.write_frame fd "complete nonsense";
+  (match Protocol.read_frame fd with
+  | Some p -> (
+      match Protocol.response_of_payload p with
+      | Ok (Protocol.Error _) -> ()
+      | Ok r -> Alcotest.failf "garbage frame: %s" (response_label r)
+      | Error m -> Alcotest.failf "garbage frame: bad response: %s" m)
+  | None -> Alcotest.fail "server closed connection on garbage frame");
+  match Client.rewrite c ~approach:"ours/jt" bin with
+  | Ok (Protocol.Rewritten _) -> ()
+  | r ->
+      Alcotest.failf "connection dead after garbage frame: %s"
+        (match r with Ok x -> response_label x | Error m -> m)
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "protocol codec round-trips" `Quick codec_roundtrip;
+        Alcotest.test_case "scheduler bound/pause/drain" `Quick scheduler_unit;
+        Alcotest.test_case "response equivalence (mode x ISA)" `Slow
+          response_equivalence;
+        Alcotest.test_case "concurrent-client determinism" `Slow
+          concurrent_determinism;
+        Alcotest.test_case "backpressure: exactly M refusals" `Quick
+          backpressure;
+        Alcotest.test_case "trace isolation across requests" `Quick isolation;
+        Alcotest.test_case "crash containment" `Slow crash_containment;
+        Alcotest.test_case "malformed frame containment" `Quick
+          malformed_frame;
+      ] );
+  ]
