@@ -167,6 +167,17 @@ let cache_rows : (string * float * (string * int) list) list ref = ref []
 (* (name, ns_per_request, counter bag) for the daemon throughput streams. *)
 let serve_rows : (string * float * (string * int) list) list ref = ref []
 
+(* (name, deterministic counters, ns times) distilled from each serve
+   stream's telemetry snapshot. The counters bag holds only values that
+   are deterministic functions of the served stream — request/outcome
+   totals, per-approach latency histogram observation counts, eviction
+   counters — never the cache hit/miss split (interleaving-dependent) or
+   stage.* span counts (span shapes vary with hits). The times bag holds
+   machine-varying ns sums, gated under the usual time policy. *)
+let metrics_rows : (string * (string * int) list * (string * int) list) list ref
+    =
+  ref []
+
 (* The corpus robustness matrix, when the "corpus" experiment ran. *)
 let corpus_result : Icfg_harness.Matrix.t option ref = ref None
 
@@ -248,6 +259,14 @@ let write_json path =
         (json_escape name) (json_float ns) (counters_json counters)
         (if i = List.length !serve_rows - 1 then "" else ","))
     !serve_rows;
+  out "  ],\n";
+  out "  \"metrics\": [\n";
+  List.iteri
+    (fun i (name, counters, times) ->
+      out "    {\"name\": \"%s\", \"counters\": {%s}, \"times\": {%s}}%s\n"
+        (json_escape name) (counters_json counters) (counters_json times)
+        (if i = List.length !metrics_rows - 1 then "" else ","))
+    !metrics_rows;
   out "  ],\n";
   (match !corpus_result with
   | Some m ->
@@ -585,13 +604,73 @@ let run_serve_micro () =
         ]
       in
       serve_rows := !serve_rows @ [ (name, ns_per_request, counters) ];
+      (* Distill the daemon's telemetry snapshot into the gateable
+         metrics row for this stream. *)
+      let module M = Icfg_core.Metrics in
+      let has_prefix p s =
+        String.length s >= String.length p
+        && String.sub s 0 (String.length p) = p
+      in
+      let snap = r.Sweep.sw_metrics in
+      (* Scalar allowlist counters are emitted even when the daemon never
+         touched them (absence == 0), so the document shape is stable and
+         a doctored zero is still sed-able by the CI self-check. *)
+      let scalar_allowlist =
+        [
+          "serve.requests"; "serve.overloaded"; "serve.errors";
+          "sched.jobs"; "cache.evict_corrupt"; "cache.evict_lru";
+        ]
+      in
+      let det_counters =
+        List.sort compare
+          (List.map
+             (fun k ->
+               ( k,
+                 match List.assoc_opt k snap.M.s_counters with
+                 | Some v -> v
+                 | None -> 0 ))
+             scalar_allowlist
+          @ List.filter
+              (fun (k, _) -> has_prefix "serve.responses:" k)
+              snap.M.s_counters)
+      in
+      let gateable k =
+        has_prefix "request.latency:" k || k = "sched.queue_wait"
+      in
+      let hist_counts =
+        List.filter_map
+          (fun (k, h) ->
+            if gateable k then Some (k ^ ":count", h.M.h_count) else None)
+          snap.M.s_histos
+      in
+      let times =
+        List.filter_map
+          (fun (k, h) ->
+            if gateable k then Some (k ^ ":sum_ns", h.M.h_sum) else None)
+          snap.M.s_histos
+      in
+      metrics_rows :=
+        !metrics_rows
+        @ [
+            ( Printf.sprintf "serve-metrics-c%d" clients,
+              det_counters @ hist_counts,
+              times );
+          ];
       Printf.printf
         "  %-18s %12.0f ns/request  %7.1f req/s  (%d requests, %d \
          overloaded, %d errors, cache %d/%d = %.1f%% hits)\n%!"
         name ns_per_request r.Sweep.sw_rps r.Sweep.sw_requests
         r.Sweep.sw_overloaded r.Sweep.sw_errors r.Sweep.sw_cache.Cache.c_hits
         (r.Sweep.sw_cache.Cache.c_hits + r.Sweep.sw_cache.Cache.c_misses)
-        (100. *. r.Sweep.sw_hit_rate))
+        (100. *. r.Sweep.sw_hit_rate);
+      List.iter
+        (fun (k, h) ->
+          if has_prefix "request.latency:" k then
+            Printf.printf "    %-44s %5d obs  mean %.2f ms\n%!"
+              (String.sub k 16 (String.length k - 16))
+              h.M.h_count
+              (M.histo_mean h /. 1e6))
+        snap.M.s_histos)
     [ 1; 4 ]
 
 let run_micro () =

@@ -375,7 +375,19 @@ let bench_cmd names =
    workloads: every failure past startup is a typed response frame (or a
    dropped connection), never a dead daemon. The [exit 1]s above all live
    in one-shot workload loading, which only the other subcommands call. *)
-let serve_cmd socket bound workers jobs cache_dir =
+let serve_stats_line tag srv =
+  let st = Icfg_service.Server.stats srv in
+  let cs = Icfg_core.Cache.stats (Icfg_service.Server.cache srv) in
+  Format.printf
+    "icfg serve: %s %d requests (%d overloaded, %d errors; %d queued, %d in \
+     flight); cross-request cache: %d hits, %d misses (%.1f%% hit rate)@."
+    tag st.Icfg_service.Server.requests st.Icfg_service.Server.overloaded
+    st.Icfg_service.Server.errors st.Icfg_service.Server.pending
+    st.Icfg_service.Server.in_flight cs.Icfg_core.Cache.c_hits
+    cs.Icfg_core.Cache.c_misses
+    (100. *. Icfg_core.Cache.hit_rate cs)
+
+let serve_cmd socket bound workers jobs cache_dir stats_interval =
   let jobs = resolve_jobs jobs in
   let cache = cache_of cache_dir in
   let srv =
@@ -385,26 +397,34 @@ let serve_cmd socket bound workers jobs cache_dir =
     "icfg serve: listening on %s (queue bound %d, %d executor domains, \
      default jobs %d)@."
     socket bound workers jobs;
-  Format.printf "press Ctrl-C to stop@.";
+  Format.printf
+    "press Ctrl-C to stop; SIGUSR1 or `icfg stats --socket %s` for live \
+     telemetry@."
+    socket;
   let stop = Atomic.make false in
+  let dump = Atomic.make false in
   let request_stop _ = Atomic.set stop true in
+  (* The handler only flips an atomic; the sleep loop below does the
+     printing — signal-handler context stays trivial. *)
+  let request_dump _ = Atomic.set dump true in
   (try Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
    with _ -> ());
   (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
    with _ -> ());
+  (try Sys.set_signal Sys.sigusr1 (Sys.Signal_handle request_dump)
+   with _ -> ());
+  let last = ref (Unix.gettimeofday ()) in
   while not (Atomic.get stop) do
-    Unix.sleepf 0.2
+    Unix.sleepf 0.2;
+    if Atomic.exchange dump false then serve_stats_line "live:" srv;
+    match stats_interval with
+    | Some iv when iv > 0. && Unix.gettimeofday () -. !last >= iv ->
+        last := Unix.gettimeofday ();
+        serve_stats_line "live:" srv
+    | _ -> ()
   done;
   Icfg_service.Server.stop srv;
-  let st = Icfg_service.Server.stats srv in
-  let cs = Icfg_core.Cache.stats (Icfg_service.Server.cache srv) in
-  Format.printf
-    "icfg serve: stopped after %d requests (%d overloaded, %d errors); \
-     cross-request cache: %d hits, %d misses (%.1f%% hit rate)@."
-    st.Icfg_service.Server.requests st.Icfg_service.Server.overloaded
-    st.Icfg_service.Server.errors cs.Icfg_core.Cache.c_hits
-    cs.Icfg_core.Cache.c_misses
-    (100. *. Icfg_core.Cache.hit_rate cs)
+  serve_stats_line "stopped after" srv
 
 let pp_counters counters =
   let get n = Option.value ~default:0 (List.assoc_opt n counters) in
@@ -443,15 +463,152 @@ let submit_cmd socket approach file jobs classify output =
   | Ok Icfg_service.Protocol.Overloaded ->
       Format.printf "overloaded: the daemon's request queue is full@.";
       exit 3
-  | Ok (Icfg_service.Protocol.Error m) ->
-      Format.printf "error: %s@." m;
+  | Ok (Icfg_service.Protocol.Error { message; counters }) ->
+      Format.printf "error: %s@." message;
+      pp_counters counters;
       exit 4
-  | Ok Icfg_service.Protocol.Pong ->
-      Format.printf "unexpected pong@.";
+  | Ok (Icfg_service.Protocol.Pong | Icfg_service.Protocol.StatsSnapshot _) ->
+      Format.printf "unexpected response@.";
       exit 4
   | Error m ->
       Format.printf "transport error: %s@." m;
       exit 4
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry clients: icfg stats and icfg top                          *)
+(* ------------------------------------------------------------------ *)
+
+let human_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+(* One glyph per occupied log₂ bucket, height scaled to the fullest
+   bucket: the whole latency distribution in a dozen columns. *)
+let spark (h : Icfg_core.Metrics.histo) =
+  match h.Icfg_core.Metrics.h_buckets with
+  | [] -> ""
+  | bs ->
+      let lo = fst (List.hd bs) in
+      let hi = fst (List.nth bs (List.length bs - 1)) in
+      let arr = Array.make (hi - lo + 1) 0 in
+      List.iter (fun (i, n) -> arr.(i - lo) <- n) bs;
+      let mx = Array.fold_left max 1 arr in
+      let glyphs = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |] in
+      String.concat ""
+        (Array.to_list
+           (Array.map
+              (fun n -> if n = 0 then " " else glyphs.(min 7 (n * 8 / mx)))
+              arr))
+
+let render_snapshot (snap : Icfg_core.Metrics.snapshot) =
+  let module M = Icfg_core.Metrics in
+  if snap.M.s_counters <> [] then begin
+    Format.printf "counters:@.";
+    List.iter
+      (fun (k, v) -> Format.printf "  %-44s %d@." k v)
+      snap.M.s_counters
+  end;
+  if snap.M.s_gauges <> [] then begin
+    Format.printf "gauges:@.";
+    List.iter
+      (fun (k, v) -> Format.printf "  %-44s %d@." k v)
+      snap.M.s_gauges
+  end;
+  if snap.M.s_histos <> [] then begin
+    Format.printf "histograms:%38s count       mean@." "";
+    List.iter
+      (fun (k, h) ->
+        Format.printf "  %-44s %-11d %-10s %s@." k h.M.h_count
+          (human_ns (M.histo_mean h))
+          (spark h))
+      snap.M.s_histos
+  end
+
+let scrape socket ~flight =
+  Icfg_service.Client.with_connection socket @@ fun c ->
+  Icfg_service.Client.stats c ~flight ()
+
+let stats_cmd socket json prom fl =
+  match scrape socket ~flight:fl with
+  | Ok (Icfg_service.Protocol.StatsSnapshot { snap; flight }) ->
+      if fl then
+        print_string (match flight with Some f -> f | None -> "{}\n")
+      else if json then print_string (Icfg_core.Metrics.to_json snap)
+      else if prom then print_string (Icfg_core.Metrics.to_prom snap)
+      else render_snapshot snap
+  | Ok _ ->
+      Format.printf "unexpected response@.";
+      exit 4
+  | Error m ->
+      Format.printf "transport error: %s@." m;
+      exit 4
+  | exception Unix.Unix_error (e, _, _) ->
+      Format.printf "cannot reach daemon at %s: %s@." socket
+        (Unix.error_message e);
+      exit 4
+
+let top_cmd socket interval iterations =
+  let module M = Icfg_core.Metrics in
+  let interval = if interval <= 0. then 2.0 else interval in
+  let get n snap = Option.value ~default:0 (M.find_counter snap n) in
+  let rec go i prev =
+    let snap =
+      match scrape socket ~flight:false with
+      | Ok (Icfg_service.Protocol.StatsSnapshot { snap; _ }) -> snap
+      | Ok _ | Error _ ->
+          Format.printf "icfg top: lost the daemon at %s@." socket;
+          exit 4
+      | exception Unix.Unix_error (e, _, _) ->
+          Format.printf "cannot reach daemon at %s: %s@." socket
+            (Unix.error_message e);
+          exit 4
+    in
+    (* Full refresh only when looping: a single-shot `top --iterations 1`
+       (CI smoke) should not spray clear-screen codes into a log. *)
+    if iterations <> 1 then Format.printf "\027[2J\027[H";
+    let requests = get "serve.requests" snap in
+    let d_req =
+      match prev with None -> 0 | Some p -> requests - get "serve.requests" p
+    in
+    Format.printf
+      "icfg top — %s   (refresh %.1fs)@.requests %d (+%d)   errors %d   \
+       overloaded %d   queue %d   in-flight %d@."
+      socket interval requests d_req (get "serve.errors" snap)
+      (get "serve.overloaded" snap)
+      (Option.value ~default:0 (M.find_gauge snap "sched.queue_depth"))
+      (Option.value ~default:0 (M.find_gauge snap "sched.in_flight"));
+    let hits = get "cache.hits" snap and misses = get "cache.misses" snap in
+    Format.printf "cache    %d hits / %d misses (%.1f%% hit rate)@." hits
+      misses
+      (if hits + misses = 0 then 0.
+       else 100. *. float_of_int hits /. float_of_int (hits + misses));
+    let latencies =
+      List.filter
+        (fun (k, _) -> String.length k >= 8 && String.sub k 0 8 = "request.")
+        snap.M.s_histos
+    in
+    if latencies <> [] then begin
+      Format.printf "@.%-46s %-9s %-10s@." "latency (approach:outcome)" "count"
+        "mean";
+      List.iter
+        (fun (k, h) ->
+          let label =
+            String.sub k 16 (String.length k - 16)
+            (* drop "request.latency:" *)
+          in
+          Format.printf "  %-44s %-9d %-10s %s@." label h.M.h_count
+            (human_ns (M.histo_mean h))
+            (spark h))
+        latencies
+    end;
+    if iterations = 0 || i < iterations then begin
+      Unix.sleepf interval;
+      go (i + 1) (Some snap)
+    end
+  in
+  go 1 None
 
 let cmd_inspect =
   Cmd.v (Cmd.info "inspect" ~doc:"Compile a workload and print its layout.")
@@ -569,7 +726,58 @@ let cmd_serve =
                 "Executor domains (each request body runs on its own domain: \
                  per-request trace isolation)."
               ~docv:"N")
-      $ jobs_t $ cache_t)
+      $ jobs_t $ cache_t
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "stats-interval" ]
+              ~doc:
+                "Print a live stats line every $(docv) seconds (SIGUSR1 \
+                 prints one on demand)."
+              ~docv:"SECS"))
+
+let cmd_stats =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Scrape a running icfg serve daemon's telemetry: counters, gauges \
+          and log2 latency histograms (human, --json for icfg-metrics/1, \
+          --prom for Prometheus text, --flight for the flight-recorder \
+          dump). Answered inline by the daemon — works while it is \
+          saturated, and never perturbs the request stream it reports on.")
+    Term.(
+      const stats_cmd $ socket_t
+      $ Arg.(
+          value & flag
+          & info [ "json" ] ~doc:"Emit the icfg-metrics/1 JSON document.")
+      $ Arg.(
+          value & flag
+          & info [ "prom" ] ~doc:"Emit the Prometheus text exposition.")
+      $ Arg.(
+          value & flag
+          & info [ "flight" ]
+              ~doc:
+                "Emit the icfg-flight/1 flight-recorder dump: recent request \
+                 summaries plus full traces of the slowest and every errored \
+                 request."))
+
+let cmd_top =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Refreshing terminal view of a running daemon: request/error \
+          totals, queue and in-flight gauges, cache hit rate, per-approach \
+          latency histograms with sparklines.")
+    Term.(
+      const top_cmd $ socket_t
+      $ Arg.(
+          value & opt float 2.0
+          & info [ "interval" ] ~doc:"Refresh period in seconds." ~docv:"SECS")
+      $ Arg.(
+          value & opt int 0
+          & info [ "iterations" ]
+              ~doc:"Stop after $(docv) refreshes (0: until interrupted)."
+              ~docv:"N"))
 
 let cmd_submit =
   Cmd.v
@@ -605,4 +813,4 @@ let () =
     Cmd.info "icfg" ~version:"1.0.0"
       ~doc:"Incremental CFG patching for binary rewriting (ASPLOS 2021)"
   in
-  exit (Cmd.eval (Cmd.group info [ cmd_inspect; cmd_analyze; cmd_rewrite; cmd_run; cmd_verify; cmd_report; cmd_source; cmd_disasm; cmd_dot; cmd_bench; cmd_serve; cmd_submit ]))
+  exit (Cmd.eval (Cmd.group info [ cmd_inspect; cmd_analyze; cmd_rewrite; cmd_run; cmd_verify; cmd_report; cmd_source; cmd_disasm; cmd_dot; cmd_bench; cmd_serve; cmd_submit; cmd_stats; cmd_top ]))

@@ -350,6 +350,49 @@ let diff ?gate old_json new_json =
               report Regression ("serve:" ^ k ^ ":hit-rate")
                 "cross-request cache saw zero hits on a twin-bearing stream"
           | _ -> ());
+      (* Telemetry rows (the daemon registry snapshot distilled after each
+         serve stream): every counter emitted here is by construction a
+         deterministic function of the served stream — request/outcome
+         totals, per-approach × per-outcome latency histogram observation
+         counts, eviction counters — so ANY drift, in either direction,
+         is a behavior change and gates exactly (a dropped count is a
+         lost request as surely as a risen error count is a new fault).
+         The "times" bag holds machine-varying ns sums and follows the
+         usual time policy (gated only with --gate on same-cores runs,
+         above the noise floor). *)
+      compare_rows ~section:"metrics"
+        ~key_of:(fun r -> str_member "name" r)
+        ~on_pair:(fun k orow nrow ->
+          let bag field r =
+            match member field r with Some (Obj l) -> l | _ -> []
+          in
+          let oc = bag "counters" orow and nc = bag "counters" nrow in
+          List.iter
+            (fun (name, ov) ->
+              let metric = Printf.sprintf "metrics:%s:%s" k name in
+              match (as_num ov, Option.bind (List.assoc_opt name nc) as_num) with
+              | Some o, Some nw when o <> nw ->
+                  report Regression metric
+                    (Printf.sprintf "deterministic counter %.0f -> %.0f" o nw)
+              | Some _, None ->
+                  report Regression metric "counter absent in NEW run"
+              | _ -> ())
+            oc;
+          List.iter
+            (fun (name, _) ->
+              if List.assoc_opt name oc = None then
+                report Added
+                  (Printf.sprintf "metrics:%s:%s" k name)
+                  "counter added in NEW (not in OLD)")
+            nc;
+          let ot = bag "times" orow and nt = bag "times" nrow in
+          List.iter
+            (fun (name, ov) ->
+              check_time
+                (Printf.sprintf "metrics:%s:%s" k name)
+                (as_num ov)
+                (Option.bind (List.assoc_opt name nt) as_num))
+            ot);
       (* Corpus robustness rows: classification is deterministic (serial
          cache probing, seeded corpus), so [pass_rate_pct] is compared
          exactly and a drop gates unconditionally — no noise floor, no

@@ -32,7 +32,15 @@
       populations and only the mismatch is reported. Refusal-histogram
       counts moving are informational, new refusal keys are
       {!severity.Added}, and the per-approach [p50_ns]/[p95_ns] wall
-      times follow the normal time policy above. *)
+      times follow the normal time policy above.
+    - Telemetry rows ([metrics] section, keyed by name) hold only
+      counters that are deterministic functions of the served stream
+      (request/outcome totals, per-approach × per-outcome latency
+      histogram observation counts, eviction counters), so any drift in
+      either direction is a regression — a dropped count is a lost
+      request as surely as a risen error count is a new fault. Counters
+      only NEW knows are {!severity.Added}; the ns sums in the row's
+      [times] bag follow the normal time policy. *)
 
 type json =
   | Null

@@ -35,3 +35,5 @@ let classify c ~approach ?(jobs = 0) bin =
   call c
     (Protocol.Classify
        { approach; jobs; bin = Bytes.to_string (Binfile.to_bytes bin) })
+
+let stats c ?(flight = false) () = call c (Protocol.Stats { flight })

@@ -38,3 +38,9 @@ val classify :
   Icfg_obj.Binary.t ->
   (Protocol.response, string) result
 (** Submit a full corpus-matrix cell evaluation. *)
+
+val stats : t -> ?flight:bool -> unit -> (Protocol.response, string) result
+(** Scrape the daemon's telemetry ([StatsSnapshot] on success). Answered
+    inline by the connection thread — works while the daemon is
+    saturated, and does not count as a served request. With [flight]
+    the snapshot also carries the [icfg-flight/1] recorder dump. *)

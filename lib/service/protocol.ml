@@ -1,4 +1,5 @@
 module Matrix = Icfg_harness.Matrix
+module Metrics = Icfg_core.Metrics
 
 (* Wire format (DESIGN §13):
 
@@ -10,18 +11,22 @@ module Matrix = Icfg_harness.Matrix
      i64  := 8 bytes LE
      f64  := IEEE-754 bits as i64
      ctrs := n:u32le (str i64)*n
+     hist := n:u32le (str i64:count i64:sum k:u32le (u32:idx i64:n)*k)*n
 
    Request tags (high bit clear):
      0x01 Ping
      0x02 Rewrite   body = str approach, u32 jobs, str bin (Binfile bytes)
      0x03 Classify  body = str approach, u32 jobs, str bin
+     0x04 Stats     body = u8 flight?
    Response tags (high bit set):
      0x81 Pong
-     0x82 Rewritten  body = str bin, ctrs
-     0x83 Refused    body = str reason, ctrs
-     0x84 Classified body = str cls (Matrix.cls_to_string), f64 ns, ctrs
-     0x85 Error      body = str message
+     0x82 Rewritten     body = str bin, ctrs
+     0x83 Refused       body = str reason, ctrs
+     0x84 Classified    body = str cls (Matrix.cls_to_string), f64 ns, ctrs
+     0x85 Error         body = str message, ctrs
      0x86 Overloaded
+     0x87 StatsSnapshot body = ctrs counters, ctrs gauges, hist,
+                               u8 has_flight, str flight (if has_flight)
 
    Decoding never raises across the module boundary: [request_of_payload]
    and [response_of_payload] return [Error _] on any malformed input, so a
@@ -34,6 +39,7 @@ type request =
   | Ping
   | Rewrite of { approach : string; jobs : int; bin : string }
   | Classify of { approach : string; jobs : int; bin : string }
+  | Stats of { flight : bool }
 
 type response =
   | Pong
@@ -44,8 +50,9 @@ type response =
       ns : float;
       counters : (string * int) list;
     }
-  | Error of string
+  | Error of { message : string; counters : (string * int) list }
   | Overloaded
+  | StatsSnapshot of { snap : Metrics.snapshot; flight : string option }
 
 (* ---------------- encoding ---------------- *)
 
@@ -91,6 +98,23 @@ let request_to_payload = function
              put_str b approach;
              put_u32 b jobs;
              put_str b bin))
+  | Stats { flight } ->
+      payload 0x04 (body (fun b -> Buffer.add_char b (if flight then '\x01' else '\x00')))
+
+let put_histos b histos =
+  put_u32 b (List.length histos);
+  List.iter
+    (fun (name, (h : Metrics.histo)) ->
+      put_str b name;
+      put_i64 b h.Metrics.h_count;
+      put_i64 b h.Metrics.h_sum;
+      put_u32 b (List.length h.Metrics.h_buckets);
+      List.iter
+        (fun (idx, n) ->
+          put_u32 b idx;
+          put_i64 b n)
+        h.Metrics.h_buckets)
+    histos
 
 let response_to_payload = function
   | Pong -> payload 0x81 ""
@@ -110,8 +134,23 @@ let response_to_payload = function
              put_str b (Matrix.cls_to_string cls);
              put_f64 b ns;
              put_ctrs b counters))
-  | Error msg -> payload 0x85 (body (fun b -> put_str b msg))
+  | Error { message; counters } ->
+      payload 0x85
+        (body (fun b ->
+             put_str b message;
+             put_ctrs b counters))
   | Overloaded -> payload 0x86 ""
+  | StatsSnapshot { snap; flight } ->
+      payload 0x87
+        (body (fun b ->
+             put_ctrs b snap.Metrics.s_counters;
+             put_ctrs b snap.Metrics.s_gauges;
+             put_histos b snap.Metrics.s_histos;
+             match flight with
+             | None -> Buffer.add_char b '\x00'
+             | Some f ->
+                 Buffer.add_char b '\x01';
+                 put_str b f))
 
 (* ---------------- decoding ---------------- *)
 
@@ -183,7 +222,29 @@ let request_of_payload =
           finish c
             (if tag = 0x02 then Rewrite { approach; jobs; bin }
              else Classify { approach; jobs; bin })
+      | 0x04 ->
+          need c 1;
+          let flight = c.s.[c.pos] <> '\x00' in
+          c.pos <- c.pos + 1;
+          finish c (Stats { flight })
       | t -> raise (Malformed (Printf.sprintf "unknown request tag 0x%02x" t)))
+
+let get_histos c =
+  let n = get_u32 c in
+  if n > String.length c.s then raise (Malformed "histogram count overflow");
+  List.init n (fun _ ->
+      let name = get_str c in
+      let h_count = get_i64 c in
+      let h_sum = get_i64 c in
+      let k = get_u32 c in
+      if k > String.length c.s then raise (Malformed "bucket count overflow");
+      let h_buckets =
+        List.init k (fun _ ->
+            let idx = get_u32 c in
+            let v = get_i64 c in
+            (idx, v))
+      in
+      (name, { Metrics.h_count; h_sum; h_buckets }))
 
 let response_of_payload =
   decode (fun s ->
@@ -208,8 +269,22 @@ let response_of_payload =
             | None -> raise (Malformed ("bad classification: " ^ cls_s))
           in
           finish c (Classified { cls; ns; counters })
-      | 0x85 -> finish c (Error (get_str c))
+      | 0x85 ->
+          let message = get_str c in
+          let counters = get_ctrs c in
+          finish c (Error { message; counters })
       | 0x86 -> finish c Overloaded
+      | 0x87 ->
+          let s_counters = get_ctrs c in
+          let s_gauges = get_ctrs c in
+          let s_histos = get_histos c in
+          need c 1;
+          let has_flight = c.s.[c.pos] <> '\x00' in
+          c.pos <- c.pos + 1;
+          let flight = if has_flight then Some (get_str c) else None in
+          finish c
+            (StatsSnapshot
+               { snap = { Metrics.s_counters; s_gauges; s_histos }; flight })
       | t -> raise (Malformed (Printf.sprintf "unknown response tag 0x%02x" t)))
 
 (* ---------------- framing over a fd ---------------- *)

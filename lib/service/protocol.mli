@@ -22,6 +22,11 @@ type request =
   | Classify of { approach : string; jobs : int; bin : string }
       (** run the full corpus-matrix cell (original run + rewrite + VM
           verification) in the daemon and return the classification *)
+  | Stats of { flight : bool }
+      (** telemetry scrape; answered inline by the connection thread
+          (like {!Ping}), so a saturated daemon still answers and a
+          scrape never perturbs the request queue it is observing. With
+          [flight] the response also carries the flight-recorder dump. *)
 
 type response =
   | Pong
@@ -35,11 +40,21 @@ type response =
       ns : float;
       counters : (string * int) list;
     }
-  | Error of string
-      (** typed crash containment: the driver raised; the daemon lives *)
+  | Error of { message : string; counters : (string * int) list }
+      (** typed crash containment: the driver raised; the daemon lives.
+          Carries the request's isolated counter snapshot up to the point
+          of the crash, same as the success paths — the counters nearest
+          the fault are exactly the ones worth having. *)
   | Overloaded
       (** typed backpressure: the request queue was at its bound when the
           request arrived; nothing was enqueued *)
+  | StatsSnapshot of {
+      snap : Icfg_core.Metrics.snapshot;
+      flight : string option;
+    }
+      (** structured registry snapshot (clients render JSON / Prometheus
+          text locally, tests compare totals structurally); [flight] is
+          the [icfg-flight/1] JSON dump when requested *)
 
 val request_to_payload : request -> string
 val response_to_payload : response -> string

@@ -1,3 +1,5 @@
+module Metrics = Icfg_core.Metrics
+
 (* Bounded request scheduler: a FIFO of thunks drained by N dedicated
    executor *domains*.
 
@@ -12,15 +14,30 @@
    typed Overloaded response; nothing blocks, nothing is dropped
    silently. [pause]/[resume] gate dequeueing (not submission), which
    gives tests a deterministic way to fill the queue and lets a server
-   drain gracefully. *)
+   drain gracefully.
 
-type job = { run : unit -> unit }
+   Telemetry (observation-only, optional): with [?metrics] the scheduler
+   keeps the [sched.queue_depth] and [sched.in_flight] gauges current at
+   every transition, counts executed jobs in [sched.jobs], and observes
+   each job's submit→dequeue wait in the [sched.queue_wait] histogram —
+   the saturation signals an Overloaded response should be correlated
+   with. *)
+
+(* [run] receives a [retire] thunk and must call it after computing its
+   result but *before* publishing it: once a caller can observe the
+   response, the telemetry gauges must already show the job gone — a
+   scrape racing right behind the last response of a stream reads
+   in-flight 0, not a transient 1. [retire] is idempotent; the worker
+   calls it again in a [finally] as a backstop. *)
+type job = { run : retire:(unit -> unit) -> unit; enq_ns : int64 }
 
 type t = {
   m : Mutex.t;
   wake : Condition.t; (* queue became non-empty / unpaused / stopping *)
   queue : job Queue.t;
   bound : int;
+  metrics : Metrics.t option;
+  in_flight : int Atomic.t; (* dequeued, still running *)
   mutable paused : bool;
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
@@ -31,6 +48,9 @@ type 'a ticket = {
   tc : Condition.t;
   mutable result : ('a, exn) result option;
 }
+
+let gauge t name v =
+  match t.metrics with Some m -> Metrics.set_gauge m name v | None -> ()
 
 let worker_loop t =
   let rec next () =
@@ -50,20 +70,39 @@ let worker_loop t =
     end
     else begin
       let j = Queue.pop t.queue in
+      gauge t "sched.queue_depth" (Queue.length t.queue);
       Mutex.unlock t.m;
-      j.run ();
+      Atomic.incr t.in_flight;
+      (match t.metrics with
+      | Some m ->
+          Metrics.set_gauge m "sched.in_flight" (Atomic.get t.in_flight);
+          Metrics.incr m "sched.jobs";
+          Metrics.observe m "sched.queue_wait"
+            (Int64.to_int (Int64.sub (Metrics.now_ns ()) j.enq_ns))
+      | None -> ());
+      let retired = ref false in
+      let retire () =
+        if not !retired then begin
+          retired := true;
+          Atomic.decr t.in_flight;
+          gauge t "sched.in_flight" (Atomic.get t.in_flight)
+        end
+      in
+      Fun.protect ~finally:retire (fun () -> j.run ~retire);
       next ()
     end
   in
   next ()
 
-let create ?(bound = 64) ?(workers = 2) () =
+let create ?(bound = 64) ?(workers = 2) ?metrics () =
   let t =
     {
       m = Mutex.create ();
       wake = Condition.create ();
       queue = Queue.create ();
       bound = max 1 bound;
+      metrics;
+      in_flight = Atomic.make 0;
       paused = false;
       stopping = false;
       workers = [];
@@ -75,8 +114,9 @@ let create ?(bound = 64) ?(workers = 2) () =
 
 let submit t f =
   let tk = { tm = Mutex.create (); tc = Condition.create (); result = None } in
-  let job () =
+  let job ~retire =
     let r = try Ok (f ()) with e -> Error e in
+    retire ();
     Mutex.lock tk.tm;
     tk.result <- Some r;
     Condition.broadcast tk.tc;
@@ -88,7 +128,8 @@ let submit t f =
     None
   end
   else begin
-    Queue.push { run = job } t.queue;
+    Queue.push { run = job; enq_ns = Metrics.now_ns () } t.queue;
+    gauge t "sched.queue_depth" (Queue.length t.queue);
     Condition.signal t.wake;
     Mutex.unlock t.m;
     Some tk
@@ -112,6 +153,8 @@ let pending t =
   let n = Queue.length t.queue in
   Mutex.unlock t.m;
   n
+
+let in_flight t = Atomic.get t.in_flight
 
 let pause t =
   Mutex.lock t.m;

@@ -12,9 +12,16 @@ type t
 type 'a ticket
 (** A one-shot mailbox for a submitted job's result. *)
 
-val create : ?bound:int -> ?workers:int -> unit -> t
+val create :
+  ?bound:int -> ?workers:int -> ?metrics:Icfg_core.Metrics.t -> unit -> t
 (** [bound] (default 64, min 1): max queued jobs. [workers] (default 2,
-    min 1): executor domains, spawned eagerly. *)
+    min 1): executor domains, spawned eagerly. With [metrics], the
+    scheduler exports the [sched.queue_depth]/[sched.in_flight] gauges
+    (updated at every enqueue/dequeue/completion), the [sched.jobs]
+    executed-jobs counter, and the [sched.queue_wait] histogram (ns each
+    job spent queued before an executor picked it up) — the saturation
+    picture behind any [Overloaded] refusal. Telemetry is
+    observation-only: scheduling decisions never read it. *)
 
 val submit : t -> (unit -> 'a) -> 'a ticket option
 (** Enqueue a job. [None] — and nothing enqueued — if the queue is at its
@@ -28,6 +35,12 @@ val await : 'a ticket -> 'a
 
 val pending : t -> int
 (** Jobs currently queued (excludes running). *)
+
+val in_flight : t -> int
+(** Jobs dequeued by an executor and still running. [pending] alone
+    understates saturation — a full complement of executors with an
+    empty queue is one submit away from refusing — so the server's
+    stats report both. *)
 
 val pause : t -> unit
 (** Stop dequeueing; submissions still accepted up to the bound. With the

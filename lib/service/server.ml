@@ -1,5 +1,6 @@
 module Cache = Icfg_core.Cache
 module Trace = Icfg_core.Trace
+module Metrics = Icfg_core.Metrics
 module Binfile = Icfg_obj.Binfile
 module Baseline = Icfg_baselines.Baseline
 module Rewriter = Icfg_core.Rewriter
@@ -20,13 +21,25 @@ module Matrix = Icfg_harness.Matrix
    Crash containment: the request body catches everything and returns a
    typed [Error] response; the accept loop and connection loops never
    call [exit]. A malformed frame costs one [Error] response; a torn
-   connection costs that connection only. *)
+   connection costs that connection only.
+
+   Telemetry: every completed request folds its isolated trace into the
+   daemon-lifetime [Metrics.t] registry (counter totals under [trace.*],
+   schedule-independent span times as [stage.*] histograms, body wall
+   time in a per-approach × per-outcome [request.latency:*] histogram)
+   and drops a summary into the [Flight] recorder — then the trace is
+   garbage; nothing per-request is kept alive. [Stats] requests are
+   answered inline on the connection thread, like [Ping]: a saturated
+   daemon still answers, and a scrape never touches the request queue,
+   the cache, or any per-request state it is observing. *)
 
 type t = {
   sock_path : string;
   listen_fd : Unix.file_descr;
   sched : Scheduler.t;
   srv_cache : Cache.t;
+  registry : Metrics.t;
+  fl : Flight.t;
   default_jobs : int;
   cm : Mutex.t;
   mutable conns : Unix.file_descr list;
@@ -38,18 +51,99 @@ type t = {
   n_errors : int Atomic.t;
 }
 
-type stats = { requests : int; overloaded : int; errors : int }
+type stats = {
+  requests : int;
+  overloaded : int;
+  errors : int;
+  pending : int;
+  in_flight : int;
+}
 
 let stats t =
   {
     requests = Atomic.get t.n_requests;
     overloaded = Atomic.get t.n_overloaded;
     errors = Atomic.get t.n_errors;
+    pending = Scheduler.pending t.sched;
+    in_flight = Scheduler.in_flight t.sched;
   }
 
 let cache t = t.srv_cache
 let scheduler t = t.sched
 let sock_path t = t.sock_path
+let metrics t = t.registry
+let flight t = t.fl
+
+(* Registry snapshot + the shared cache's lifetime counters (the cache
+   keeps its own stats; mirroring them per-lookup would double-count). *)
+let snapshot t =
+  let cs = Cache.stats t.srv_cache in
+  let cache_snap =
+    {
+      Metrics.empty with
+      Metrics.s_counters =
+        [
+          ("cache.bytes_reused", cs.Cache.c_bytes_reused);
+          ("cache.evict_corrupt", cs.Cache.c_evict_corrupt);
+          ("cache.evict_lru", cs.Cache.c_evict_lru);
+          ("cache.hits", cs.Cache.c_hits);
+          ("cache.misses", cs.Cache.c_misses);
+          ("cache.stores", cs.Cache.c_stores);
+        ];
+    }
+  in
+  Metrics.merge (Metrics.snapshot t.registry) cache_snap
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    i + m <= n && (String.sub s i m = sub || go (i + 1))
+  in
+  m > 0 && go 0
+
+(* Histogram names must be deterministic across runs: keep the approach
+   and the outcome *kind*, drop refusal keys / crash messages (those
+   stay in the flight recorder where per-request detail belongs). *)
+let outcome_label (resp : Protocol.response) =
+  match resp with
+  | Protocol.Pong -> "pong"
+  | Protocol.Rewritten _ -> "rewritten"
+  | Protocol.Refused _ -> "refused"
+  | Protocol.Classified { cls; _ } ->
+      let s = Matrix.cls_to_string cls in
+      let kind =
+        match String.index_opt s ':' with
+        | Some i -> String.sub s 0 i
+        | None -> s
+      in
+      "classified-" ^ kind
+  | Protocol.Error _ -> "error"
+  | Protocol.Overloaded -> "overloaded"
+  | Protocol.StatsSnapshot _ -> "stats"
+
+let approach_of (req : Protocol.request) =
+  match req with
+  | Protocol.Rewrite { approach; _ } | Protocol.Classify { approach; _ } ->
+      approach
+  | Protocol.Ping | Protocol.Stats _ -> "-"
+
+(* Fold one finished request into the lifetime telemetry. Counter totals
+   are jobs-independent by the Trace contract, so [trace.*] sums across
+   requests equal the sums of solo-run totals (pinned by the serve test
+   battery). Span *shapes* are schedule-dependent only below [lane-*]
+   forks — those rows are skipped; everything else lands in a [stage.*]
+   latency histogram. *)
+let fold_trace t tr ~approach ~outcome ~ns ~errored =
+  let m = t.registry in
+  Metrics.observe m ("request.latency:" ^ approach ^ ":" ^ outcome) ns;
+  List.iter (fun (k, v) -> Metrics.add m ("trace." ^ k) v) (Trace.counters tr);
+  List.iter
+    (fun (r : Trace.row) ->
+      if not (contains_sub r.Trace.r_path "lane-") then
+        Metrics.observe m ("stage." ^ r.Trace.r_path) r.Trace.r_ns)
+    (Trace.rows tr);
+  Flight.record t.fl ~approach ~outcome ~ns ~errored
+    ~trace_json:(Trace.to_json tr)
 
 (* Runs on an executor domain. Total: every failure becomes a typed
    response, so the daemon keeps serving whatever a request throws at
@@ -57,33 +151,62 @@ let sock_path t = t.sock_path
 let run_request t (req : Protocol.request) : Protocol.response =
   let jobs_of j = if j <= 0 then t.default_jobs else j in
   let tr = Trace.create () in
-  try
-    Trace.with_current tr @@ fun () ->
-    match req with
-    | Protocol.Ping -> Protocol.Pong
-    | Protocol.Rewrite { approach; jobs; bin } -> (
-        let bin = Binfile.of_bytes (Bytes.of_string bin) in
-        match
-          Runner.drive ~approach ~jobs:(jobs_of jobs) ~cache:t.srv_cache bin
-        with
-        | None -> Protocol.Error ("unknown approach: " ^ approach)
-        | Some (Baseline.Rewritten rw) ->
-            Protocol.Rewritten
-              {
-                bin = Bytes.to_string (Binfile.to_bytes rw.Rewriter.rw_binary);
-                counters = Trace.counters tr;
-              }
-        | Some (Baseline.Refused reason) ->
-            Protocol.Refused { reason; counters = Trace.counters tr })
-    | Protocol.Classify { approach; jobs; bin } ->
-        let bin = Binfile.of_bytes (Bytes.of_string bin) in
-        let orig = Runner.run_original bin in
-        let ns, cls =
-          Matrix.eval_cell ~orig ~approach ~jobs:(jobs_of jobs)
-            ~cache:t.srv_cache bin
-        in
-        Protocol.Classified { cls; ns; counters = Trace.counters tr }
-  with e -> Protocol.Error (Printexc.to_string e)
+  let t0 = Metrics.now_ns () in
+  let resp =
+    try
+      Trace.with_current tr @@ fun () ->
+      match req with
+      | Protocol.Ping -> Protocol.Pong
+      | Protocol.Stats { flight } ->
+          (* Normally intercepted inline by the connection loop; kept
+             total here so a future scheduling path cannot crash it. *)
+          let fl =
+            if flight then Some (Flight.to_json (Flight.snapshot t.fl))
+            else None
+          in
+          Protocol.StatsSnapshot { snap = snapshot t; flight = fl }
+      | Protocol.Rewrite { approach; jobs; bin } -> (
+          let bin = Binfile.of_bytes (Bytes.of_string bin) in
+          match
+            Runner.drive ~approach ~jobs:(jobs_of jobs) ~cache:t.srv_cache bin
+          with
+          | None ->
+              Protocol.Error
+                {
+                  message = "unknown approach: " ^ approach;
+                  counters = Trace.counters tr;
+                }
+          | Some (Baseline.Rewritten rw) ->
+              Protocol.Rewritten
+                {
+                  bin =
+                    Bytes.to_string (Binfile.to_bytes rw.Rewriter.rw_binary);
+                  counters = Trace.counters tr;
+                }
+          | Some (Baseline.Refused reason) ->
+              Protocol.Refused { reason; counters = Trace.counters tr })
+      | Protocol.Classify { approach; jobs; bin } ->
+          let bin = Binfile.of_bytes (Bytes.of_string bin) in
+          let orig = Runner.run_original bin in
+          let ns, cls =
+            Matrix.eval_cell ~orig ~approach ~jobs:(jobs_of jobs)
+              ~cache:t.srv_cache bin
+          in
+          Protocol.Classified { cls; ns; counters = Trace.counters tr }
+    with e ->
+      (* [tr] was created before [with_current], so the counters the
+         request accumulated up to the crash are still readable — the
+         Error frame carries them like every success frame does. *)
+      Protocol.Error
+        { message = Printexc.to_string e; counters = Trace.counters tr }
+  in
+  let ns = Int64.to_int (Int64.sub (Metrics.now_ns ()) t0) in
+  let errored = match resp with Protocol.Error _ -> true | _ -> false in
+  fold_trace t tr
+    ~approach:(approach_of req)
+    ~outcome:(outcome_label resp)
+    ~ns ~errored;
+  resp
 
 let conn_loop t fd =
   let finally () =
@@ -101,23 +224,41 @@ let conn_loop t fd =
           (match Protocol.request_of_payload p with
           | Error m ->
               Atomic.incr t.n_errors;
+              Metrics.incr t.registry "serve.errors";
               Protocol.write_frame fd
                 (Protocol.response_to_payload
-                   (Protocol.Error ("malformed request: " ^ m)))
+                   (Protocol.Error
+                      { message = "malformed request: " ^ m; counters = [] }))
           | Ok Protocol.Ping ->
               Protocol.write_frame fd (Protocol.response_to_payload Protocol.Pong)
+          | Ok (Protocol.Stats { flight }) ->
+              (* Inline, like Ping: scrapes must work under saturation
+                 and must not count as served requests — a scrape is a
+                 reading of the instruments, not a flight. *)
+              let fl =
+                if flight then Some (Flight.to_json (Flight.snapshot t.fl))
+                else None
+              in
+              Protocol.write_frame fd
+                (Protocol.response_to_payload
+                   (Protocol.StatsSnapshot { snap = snapshot t; flight = fl }))
           | Ok req ->
               let resp =
                 match Scheduler.submit t.sched (fun () -> run_request t req) with
                 | None ->
                     Atomic.incr t.n_overloaded;
+                    Metrics.incr t.registry "serve.overloaded";
                     Protocol.Overloaded
                 | Some tk ->
                     let r = Scheduler.await tk in
                     (match r with
-                    | Protocol.Error _ -> Atomic.incr t.n_errors
+                    | Protocol.Error _ ->
+                        Atomic.incr t.n_errors;
+                        Metrics.incr t.registry "serve.errors"
                     | _ -> ());
                     Atomic.incr t.n_requests;
+                    Metrics.incr t.registry "serve.requests";
+                    Metrics.incr t.registry ("serve.responses:" ^ outcome_label r);
                     r
               in
               Protocol.write_frame fd (Protocol.response_to_payload resp));
@@ -153,7 +294,7 @@ let accept_loop t =
   in
   loop ()
 
-let start ~path ?(bound = 64) ?(workers = 2) ?(jobs = 1) ?cache () =
+let start ~path ?(bound = 64) ?(workers = 2) ?(jobs = 1) ?cache ?flight () =
   (try Unix.unlink path with _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
@@ -162,12 +303,15 @@ let start ~path ?(bound = 64) ?(workers = 2) ?(jobs = 1) ?cache () =
    with e ->
      (try Unix.close listen_fd with _ -> ());
      raise e);
+  let registry = Metrics.create () in
   let t =
     {
       sock_path = path;
       listen_fd;
-      sched = Scheduler.create ~bound ~workers ();
+      sched = Scheduler.create ~bound ~workers ~metrics:registry ();
       srv_cache = (match cache with Some c -> c | None -> Cache.create ());
+      registry;
+      fl = (match flight with Some f -> f | None -> Flight.create ());
       default_jobs = max 1 jobs;
       cm = Mutex.create ();
       conns = [];

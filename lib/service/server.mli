@@ -10,7 +10,20 @@
     the accept loop never blocks on a full queue. Crash containment:
     request bodies catch everything ([Error] response), connection
     failures kill only their connection, and no code path in the server
-    calls [exit]. *)
+    calls [exit].
+
+    Telemetry contract: every completed request is folded into a
+    daemon-lifetime {!Icfg_core.Metrics.t} registry (its trace counter
+    totals under [trace.*], schedule-independent stage times as
+    [stage.*] histograms, and body wall time in a per-approach ×
+    per-outcome [request.latency:<approach>:<outcome>] histogram) and
+    summarized into a bounded {!Flight} recorder — after which the
+    request's trace is dropped; memory use does not grow with requests
+    served. Telemetry is observation-only: serving with and without a
+    scraper attached produces byte-identical responses (pinned by the
+    serve test battery), and a [Stats] request is answered inline on its
+    connection thread, never scheduled, so a saturated daemon still
+    answers and a scrape never perturbs the queue it reports on. *)
 
 type t
 
@@ -20,6 +33,7 @@ val start :
   ?workers:int ->
   ?jobs:int ->
   ?cache:Icfg_core.Cache.t ->
+  ?flight:Flight.t ->
   unit ->
   t
 (** Bind a Unix socket at [path] (an existing file is replaced), spawn
@@ -27,7 +41,8 @@ val start :
     [bound] (default 64) is the request-queue bound. [jobs] (default 1)
     is the per-request pipeline parallelism used when a request carries
     [jobs <= 0]. [cache] (default: fresh) is the shared cross-request
-    cache. *)
+    cache. [flight] (default: fresh with default bounds) is the flight
+    recorder — injectable so tests can shrink the bounds. *)
 
 val stop : t -> unit
 (** Graceful shutdown, idempotent: stop accepting, drain queued requests
@@ -38,6 +53,11 @@ type stats = {
   requests : int;  (** work requests answered (rewritten/refused/classified/error) *)
   overloaded : int;  (** typed backpressure refusals *)
   errors : int;  (** [Error] responses (crashed drivers, malformed frames) *)
+  pending : int;  (** scheduler jobs queued, not yet picked up *)
+  in_flight : int;
+      (** scheduler jobs running on executors right now. [pending] alone
+          understates saturation — a full executor complement with an
+          empty queue is one submit away from [Overloaded]. *)
 }
 
 val stats : t -> stats
@@ -47,3 +67,15 @@ val scheduler : t -> Scheduler.t
     exact-[M]-refusals backpressure test deterministic). *)
 
 val sock_path : t -> string
+
+val metrics : t -> Icfg_core.Metrics.t
+(** The daemon-lifetime registry (scheduler gauges, [serve.*] totals,
+    [trace.*] folds, [request.latency:*]/[stage.*] histograms). *)
+
+val flight : t -> Flight.t
+
+val snapshot : t -> Icfg_core.Metrics.snapshot
+(** What a [Stats] frame answers: the registry snapshot merged with the
+    shared cache's lifetime counters ([cache.hits], [cache.misses],
+    [cache.stores], [cache.bytes_reused], [cache.evict_corrupt],
+    [cache.evict_lru]). *)

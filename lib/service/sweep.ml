@@ -28,6 +28,7 @@ type result = {
   sw_hit_rate : float;
   sw_wall_ns : float;
   sw_rps : float;
+  sw_metrics : Icfg_core.Metrics.snapshot;
 }
 
 let socket_counter = Atomic.make 0
@@ -73,7 +74,7 @@ let run ?(seed = 7) ?(count = 48) ?(clients = 4) ?(jobs = 1) ?workers ?bound ()
         | Ok (Protocol.Overloaded) ->
             Atomic.incr errors;
             cells.(i) <- (0., Matrix.Crashed "overloaded")
-        | Ok (Protocol.Error m) | Stdlib.Error m ->
+        | Ok (Protocol.Error { message = m; _ }) | Stdlib.Error m ->
             Atomic.incr errors;
             cells.(i) <- (0., Matrix.Crashed ("transport: " ^ m))
         | Ok _ ->
@@ -91,6 +92,8 @@ let run ?(seed = 7) ?(count = 48) ?(clients = 4) ?(jobs = 1) ?workers ?bound ()
   let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
   let st = Server.stats srv in
   let cstats = Cache.stats (Server.cache srv) in
+  (* Snapshot before stop: same merged view a live [Stats] frame gets. *)
+  let msnap = Server.snapshot srv in
   Server.stop srv;
   let rows =
     List.mapi
@@ -114,6 +117,7 @@ let run ?(seed = 7) ?(count = 48) ?(clients = 4) ?(jobs = 1) ?workers ?bound ()
     sw_wall_ns = wall_ns;
     sw_rps =
       (if wall_ns > 0. then float_of_int n_items /. (wall_ns /. 1e9) else 0.);
+    sw_metrics = msnap;
   }
 
 (* Strip what legitimately varies (wall times) and keep what must not

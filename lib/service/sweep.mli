@@ -18,6 +18,9 @@ type result = {
   sw_hit_rate : float;
   sw_wall_ns : float;
   sw_rps : float;  (** cells per second through the daemon *)
+  sw_metrics : Icfg_core.Metrics.snapshot;
+      (** the daemon's merged telemetry snapshot taken just before stop —
+          exactly what a live [Stats] frame would have answered *)
 }
 
 val run :

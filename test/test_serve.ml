@@ -29,30 +29,37 @@ module Scheduler = Icfg_service.Scheduler
 module Server = Icfg_service.Server
 module Client = Icfg_service.Client
 module Sweep = Icfg_service.Sweep
+module Flight = Icfg_service.Flight
 
 let sock_counter = ref 0
 
-let with_server ?bound ?workers ?jobs ?cache () f =
+let with_server ?bound ?workers ?jobs ?cache ?flight () f =
   incr sock_counter;
   let path =
     Filename.concat
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "icfg-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
   in
-  let srv = Server.start ~path ?bound ?workers ?jobs ?cache () in
+  let srv = Server.start ~path ?bound ?workers ?jobs ?cache ?flight () in
   Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv path)
 
 let first_bench arch =
   let bench = List.hd (Icfg_workloads.Spec_suite.benchmarks arch) in
   fst (Icfg_workloads.Spec_suite.compile arch bench)
 
+let astr_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 let response_label = function
   | Protocol.Pong -> "pong"
   | Protocol.Rewritten _ -> "rewritten"
   | Protocol.Refused _ -> "refused"
   | Protocol.Classified _ -> "classified"
-  | Protocol.Error m -> "error: " ^ m
+  | Protocol.Error { message; _ } -> "error: " ^ message
   | Protocol.Overloaded -> "overloaded"
+  | Protocol.StatsSnapshot _ -> "stats-snapshot"
 
 (* ------------------------------------------------------------------ *)
 (* Protocol codec round-trips                                          *)
@@ -64,6 +71,8 @@ let codec_roundtrip () =
       Protocol.Ping;
       Protocol.Rewrite { approach = "ours/jt"; jobs = 4; bin = "\x00\xffbin" };
       Protocol.Classify { approach = "srbi"; jobs = 0; bin = "" };
+      Protocol.Stats { flight = false };
+      Protocol.Stats { flight = true };
     ]
   in
   List.iter
@@ -86,8 +95,29 @@ let codec_roundtrip () =
         };
       Protocol.Classified
         { cls = Matrix.Verified; ns = 0.; counters = [] };
-      Protocol.Error "boom";
+      Protocol.Error
+        { message = "boom"; counters = [ ("parse.bytes", 12) ] };
+      Protocol.Error { message = ""; counters = [] };
       Protocol.Overloaded;
+      Protocol.StatsSnapshot { snap = Metrics.empty; flight = None };
+      Protocol.StatsSnapshot
+        {
+          snap =
+            {
+              Metrics.s_counters = [ ("serve.requests", 7) ];
+              s_gauges = [ ("sched.queue_depth", 2) ];
+              s_histos =
+                [
+                  ( "request.latency:ours/jt:rewritten",
+                    {
+                      Metrics.h_count = 3;
+                      h_sum = 4096;
+                      h_buckets = [ (0, 1); (10, 2) ];
+                    } );
+                ];
+            };
+          flight = Some "{\"schema\": \"icfg-flight/1\"}";
+        };
     ]
   in
   List.iter
@@ -402,6 +432,215 @@ let malformed_frame () =
       Alcotest.failf "connection dead after garbage frame: %s"
         (match r with Ok x -> response_label x | Error m -> m)
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry: Stats totals == served stream, flight recorder, and the  *)
+(* observation-only contract                                           *)
+(* ------------------------------------------------------------------ *)
+
+let scrape ?(flight = false) path =
+  Client.with_connection path @@ fun c ->
+  match Client.stats c ~flight () with
+  | Ok (Protocol.StatsSnapshot { snap; flight }) -> (snap, flight)
+  | r ->
+      Alcotest.failf "stats scrape: %s"
+        (match r with Ok x -> response_label x | Error m -> m)
+
+let counter snap name =
+  Option.value ~default:0 (Metrics.find_counter snap name)
+
+(* The daemon's aggregated totals must exactly equal the served stream:
+   serve.requests and the per-approach × per-outcome latency histogram
+   counts are pinned against the requests we just sent, and the trace.*
+   counter totals against the sum of the per-request counter snapshots
+   the responses themselves carried. Scrapes must not show up anywhere:
+   a scrape is a reading of the instruments, not a flight. *)
+let stats_totals () =
+  let bin_a = first_bench Arch.X86_64 in
+  let bin_b = first_bench Arch.Aarch64 in
+  with_server ~workers:2 () @@ fun _srv path ->
+  let snap0, _ = scrape path in
+  Alcotest.(check int) "fresh daemon: no requests" 0
+    (counter snap0 "serve.requests");
+  Client.with_connection path @@ fun c ->
+  let sum = Hashtbl.create 32 in
+  let fold counters =
+    List.iter
+      (fun (k, v) ->
+        Hashtbl.replace sum k (v + Option.value ~default:0 (Hashtbl.find_opt sum k)))
+      counters
+  in
+  let rewrite bin =
+    match Client.rewrite c ~approach:"ours/jt" ~jobs:1 bin with
+    | Ok (Protocol.Rewritten { counters; _ }) -> fold counters
+    | r ->
+        Alcotest.failf "rewrite: %s"
+          (match r with Ok x -> response_label x | Error m -> m)
+  in
+  (* Three rewrites (the repeat hits the shared cache — its counters
+     differ from the first's, which is exactly why we sum what each
+     response reported rather than 3 × solo). *)
+  rewrite bin_a;
+  rewrite bin_b;
+  rewrite bin_a;
+  let cls =
+    match Client.classify c ~approach:"ours/jt" ~jobs:1 bin_a with
+    | Ok (Protocol.Classified { cls; counters; _ }) ->
+        fold counters;
+        cls
+    | r ->
+        Alcotest.failf "classify: %s"
+          (match r with Ok x -> response_label x | Error m -> m)
+  in
+  let snap, _ = scrape path in
+  Alcotest.(check int) "serve.requests == served stream" 4
+    (counter snap "serve.requests");
+  Alcotest.(check int) "no errors" 0 (counter snap "serve.errors");
+  Alcotest.(check int) "rewritten outcomes" 3
+    (counter snap "serve.responses:rewritten");
+  (match Metrics.find_histo snap "request.latency:ours/jt:rewritten" with
+  | Some h ->
+      Alcotest.(check int) "rewrite latency histogram count" 3
+        h.Metrics.h_count;
+      Alcotest.(check int) "bucket counts sum to h_count" h.Metrics.h_count
+        (List.fold_left (fun a (_, n) -> a + n) 0 h.Metrics.h_buckets)
+  | None -> Alcotest.fail "missing rewrite latency histogram");
+  let cls_kind =
+    match Matrix.cls_to_string cls with
+    | s -> (
+        match String.index_opt s ':' with
+        | Some i -> String.sub s 0 i
+        | None -> s)
+  in
+  (match
+     Metrics.find_histo snap
+       ("request.latency:ours/jt:classified-" ^ cls_kind)
+   with
+  | Some h ->
+      Alcotest.(check int) "classify latency histogram count" 1
+        h.Metrics.h_count
+  | None -> Alcotest.fail "missing classify latency histogram");
+  (* trace.* totals == sum of the per-request counters the responses
+     carried: the registry aggregated exactly the served stream. *)
+  Hashtbl.iter
+    (fun k v ->
+      Alcotest.(check int)
+        (Printf.sprintf "trace.%s == sum of response counters" k)
+        v
+        (counter snap ("trace." ^ k)))
+    sum;
+  Alcotest.(check bool) "stream recorded some counters" true
+    (Hashtbl.length sum > 0);
+  (* Scheduler telemetry saw the four scheduled jobs, and nothing is
+     left queued or running after the last response. *)
+  Alcotest.(check int) "sched.jobs == scheduled requests" 4
+    (counter snap "sched.jobs");
+  (match Metrics.find_histo snap "sched.queue_wait" with
+  | Some h -> Alcotest.(check int) "queue-wait observations" 4 h.Metrics.h_count
+  | None -> Alcotest.fail "missing queue-wait histogram");
+  Alcotest.(check int) "drained: queue_depth gauge" 0
+    (Option.value ~default:0 (Metrics.find_gauge snap "sched.queue_depth"));
+  Alcotest.(check int) "drained: in_flight gauge" 0
+    (Option.value ~default:0 (Metrics.find_gauge snap "sched.in_flight"));
+  (* Scrapes are invisible: this is the third scrape and the registry
+     still reports the same served stream. *)
+  let snap', _ = scrape path in
+  Alcotest.(check int) "scrapes don't count as requests" 4
+    (counter snap' "serve.requests");
+  Alcotest.(check int) "scrapes don't error" 0 (counter snap' "serve.errors")
+
+(* The flight recorder retains the full trace of exactly the errored
+   request, ranks the slowest, and keeps its ring bounded. *)
+let flight_recorder () =
+  let entries = Corpus.generate ~seed:7 ~count:9 in
+  let crasher = Corpus.build (List.nth entries 8) in
+  let bin = first_bench Arch.X86_64 in
+  let fl = Flight.create ~ring:4 ~slowest:2 ~errors:4 () in
+  with_server ~workers:1 ~flight:fl () @@ fun srv path ->
+  Client.with_connection path @@ fun c ->
+  let rewrite approach b =
+    match Client.rewrite c ~approach ~jobs:1 b with r -> r
+  in
+  (match rewrite "ours/jt" bin with
+  | Ok (Protocol.Rewritten _) -> ()
+  | r ->
+      Alcotest.failf "warmup rewrite: %s"
+        (match r with Ok x -> response_label x | Error m -> m));
+  (* Satellite: the Error frame carries the request's counter snapshot
+     up to the crash, like every success frame. *)
+  (match rewrite "insn-patching" crasher with
+  | Ok (Protocol.Error { counters; _ }) ->
+      Alcotest.(check bool) "Error response carries counters" true
+        (counters <> [])
+  | r ->
+      Alcotest.failf "crasher: %s"
+        (match r with Ok x -> response_label x | Error m -> m));
+  List.iter
+    (fun _ ->
+      match rewrite "ours/jt" bin with
+      | Ok (Protocol.Rewritten _) -> ()
+      | r ->
+          Alcotest.failf "filler rewrite: %s"
+            (match r with Ok x -> response_label x | Error m -> m))
+    [ (); (); (); () ];
+  let snap = Flight.snapshot (Server.flight srv) in
+  Alcotest.(check int) "all requests recorded" 6 snap.Flight.fl_recorded;
+  Alcotest.(check int) "ring stays bounded" 4
+    (List.length snap.Flight.fl_recent);
+  Alcotest.(check bool) "slowest stays bounded" true
+    (List.length snap.Flight.fl_slowest <= 2);
+  (match snap.Flight.fl_errors with
+  | [ (s, trace) ] ->
+      Alcotest.(check string) "errored approach" "insn-patching"
+        s.Flight.fs_approach;
+      Alcotest.(check string) "errored outcome" "error" s.Flight.fs_outcome;
+      Alcotest.(check bool) "errored flag" true s.Flight.fs_errored;
+      Alcotest.(check bool) "full trace retained" true
+        (String.length trace > 0
+        && String.sub trace 0 1 = "{"
+        (* the retained document is the request's icfg-trace/1 dump *)
+        && astr_contains trace "icfg-trace/1")
+  | l ->
+      Alcotest.failf "expected exactly the errored request, got %d"
+        (List.length l));
+  (* The same dump travels the wire on Stats{flight=true}. *)
+  let _, fljson = scrape ~flight:true path in
+  match fljson with
+  | Some f ->
+      Alcotest.(check bool) "wire dump is icfg-flight/1" true
+        (astr_contains f "icfg-flight/1");
+      Alcotest.(check bool) "wire dump names the errored approach" true
+        (astr_contains f "insn-patching")
+  | None -> Alcotest.fail "Stats{flight=true} carried no dump"
+
+(* Observation-only: the responses a client sees are byte-identical
+   whether or not anyone is scraping the daemon. *)
+let observation_only () =
+  let bin_a = first_bench Arch.X86_64 in
+  let bin_b = first_bench Arch.Aarch64 in
+  let serve_stream ~scraped =
+    with_server ~workers:1 () @@ fun _srv path ->
+    Client.with_connection path @@ fun c ->
+    List.map
+      (fun b ->
+        if scraped then ignore (scrape ~flight:true path);
+        let r =
+          match Client.rewrite c ~approach:"ours/jt" ~jobs:1 b with
+          | Ok r -> Protocol.response_to_payload r
+          | Error m -> Alcotest.failf "transport: %s" m
+        in
+        if scraped then ignore (scrape path);
+        r)
+      [ bin_a; bin_b; bin_a ]
+  in
+  let quiet = serve_stream ~scraped:false in
+  let watched = serve_stream ~scraped:true in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "response %d byte-identical under scraping" i)
+        true (a = b))
+    (List.combine quiet watched)
+
 let suite =
   [
     ( "serve",
@@ -418,5 +657,10 @@ let suite =
         Alcotest.test_case "crash containment" `Slow crash_containment;
         Alcotest.test_case "malformed frame containment" `Quick
           malformed_frame;
+        Alcotest.test_case "stats totals == served stream" `Quick
+          stats_totals;
+        Alcotest.test_case "flight recorder retention" `Quick flight_recorder;
+        Alcotest.test_case "telemetry is observation-only" `Quick
+          observation_only;
       ] );
   ]
