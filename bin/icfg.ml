@@ -431,48 +431,136 @@ let pp_counters counters =
   Format.printf "request counters: %d cache hits, %d misses@." (get "cache.hit")
     (get "cache.miss")
 
-let submit_cmd socket approach file jobs classify output =
-  let bin = Icfg_obj.Binfile.load file in
-  Icfg_service.Client.with_connection socket @@ fun c ->
-  let resp =
-    if classify then
-      Icfg_service.Client.classify c ~approach ~jobs:(resolve_jobs jobs) bin
-    else Icfg_service.Client.rewrite c ~approach ~jobs:(resolve_jobs jobs) bin
+let load_binfile_bytes path =
+  Icfg_obj.Binfile.to_string (Icfg_obj.Binfile.load path)
+
+(* Exit codes: 2 refused/rejected, 3 overloaded, 4 transport/usage/error,
+   5 unrecoverable NeedFull (a [--ref] with no FILE to fall back to). *)
+let submit_cmd socket approach file jobs classify output register ref_digest
+    patch_against =
+  let module P = Icfg_service.Protocol in
+  let module C = Icfg_service.Client in
+  let need_file ctx =
+    match file with
+    | Some f -> f
+    | None ->
+        Format.printf "submit: FILE is required%s@." ctx;
+        exit 4
   in
-  match resp with
-  | Ok (Icfg_service.Protocol.Rewritten { bin = out_bytes; counters }) -> (
-      Format.printf "rewritten: %d bytes on the wire@."
-        (String.length out_bytes);
-      pp_counters counters;
-      match output with
-      | Some path ->
-          let oc = open_out_bin path in
-          output_string oc out_bytes;
-          close_out oc;
-          Format.printf "wrote %s@." path
-      | None -> ())
-  | Ok (Icfg_service.Protocol.Refused { reason; counters }) ->
-      Format.printf "refused: %s@." reason;
-      pp_counters counters;
-      exit 2
-  | Ok (Icfg_service.Protocol.Classified { cls; ns; counters }) ->
-      Format.printf "classified: %s (%.2f ms)@."
-        (Icfg_harness.Matrix.cls_to_string cls)
-        (ns /. 1e6);
-      pp_counters counters
-  | Ok Icfg_service.Protocol.Overloaded ->
-      Format.printf "overloaded: the daemon's request queue is full@.";
-      exit 3
-  | Ok (Icfg_service.Protocol.Error { message; counters }) ->
-      Format.printf "error: %s@." message;
-      pp_counters counters;
-      exit 4
-  | Ok (Icfg_service.Protocol.Pong | Icfg_service.Protocol.StatsSnapshot _) ->
-      Format.printf "unexpected response@.";
-      exit 4
-  | Error m ->
-      Format.printf "transport error: %s@." m;
-      exit 4
+  C.with_connection socket @@ fun c ->
+  if register then begin
+    let s = load_binfile_bytes (need_file " with --register") in
+    match C.register_bytes c s with
+    | Ok (P.Registered { digest }) ->
+        Format.printf "registered: %s (%d bytes)@." digest (String.length s)
+    | Ok (P.Rejected { reason }) ->
+        Format.printf "rejected: %s@." reason;
+        exit 2
+    | Ok _ ->
+        Format.printf "unexpected response@.";
+        exit 4
+    | Error m ->
+        Format.printf "transport error: %s@." m;
+        exit 4
+  end
+  else begin
+    let jobs = resolve_jobs jobs in
+    let submit payload =
+      if classify then C.classify_payload c ~approach ~jobs payload
+      else C.rewrite_payload c ~approach ~jobs payload
+    in
+    let resp =
+      match (ref_digest, patch_against) with
+      | Some _, Some _ ->
+          Format.printf "submit: --ref and --patch-against are exclusive@.";
+          exit 4
+      | Some d, None -> (
+          match submit (P.Ref d) with
+          | Ok (P.NeedFull _) when file <> None ->
+              (* The daemon lost (or never saw) the base; FILE doubles as
+                 the full-upload fallback, which also re-registers it. *)
+              let f = Option.get file in
+              Format.printf
+                "need-full: daemon does not hold %s; re-uploading %s@." d f;
+              submit (P.Full (load_binfile_bytes f))
+          | Ok (P.NeedFull { digest }) ->
+              Format.printf
+                "need-full: the daemon does not hold %s (evicted or never \
+                 registered); pass FILE to fall back to a full upload@."
+                digest;
+              exit 5
+          | r -> r)
+      | None, Some base_path -> (
+          let target = load_binfile_bytes (need_file " with --patch-against") in
+          let base = load_binfile_bytes base_path in
+          let bd = Icfg_service.Store.digest base in
+          let ranges = P.diff_ranges ~base target in
+          let patch =
+            P.Patch { base = bd; total_len = String.length target; ranges }
+          in
+          let delta =
+            List.fold_left (fun a (_, b) -> a + String.length b) 0 ranges
+          in
+          Format.printf
+            "patch: %d ranges, %d delta bytes against base %s (%d bytes \
+             full)@."
+            (List.length ranges) delta bd (String.length target);
+          match submit patch with
+          | Ok (P.NeedFull _) -> (
+              (* Base unknown to the daemon: register it and retry the
+                 same patch once; if that still misses (capacity churn),
+                 give up the incremental path for this submission. *)
+              Format.printf "need-full: registering base %s and retrying@." bd;
+              match C.register_bytes c base with
+              | Ok (P.Registered _) -> (
+                  match submit patch with
+                  | Ok (P.NeedFull _) -> submit (P.Full target)
+                  | r -> r)
+              | _ -> submit (P.Full target))
+          | r -> r)
+      | None, None -> submit (P.Full (load_binfile_bytes (need_file "")))
+    in
+    match resp with
+    | Ok (P.Rewritten { bin = out_bytes; digest; counters }) -> (
+        Format.printf "rewritten: %d bytes on the wire, digest %s@."
+          (String.length out_bytes) digest;
+        pp_counters counters;
+        match output with
+        | Some path ->
+            let oc = open_out_bin path in
+            output_string oc out_bytes;
+            close_out oc;
+            Format.printf "wrote %s@." path
+        | None -> ())
+    | Ok (P.Refused { reason; digest; counters }) ->
+        Format.printf "refused: %s (input digest %s)@." reason digest;
+        pp_counters counters;
+        exit 2
+    | Ok (P.Rejected { reason }) ->
+        Format.printf "rejected: %s@." reason;
+        exit 2
+    | Ok (P.Classified { cls; ns; digest; counters }) ->
+        Format.printf "classified: %s (%.2f ms, input digest %s)@."
+          (Icfg_harness.Matrix.cls_to_string cls)
+          (ns /. 1e6) digest;
+        pp_counters counters
+    | Ok P.Overloaded ->
+        Format.printf "overloaded: the daemon's request queue is full@.";
+        exit 3
+    | Ok (P.Error { message; counters }) ->
+        Format.printf "error: %s@." message;
+        pp_counters counters;
+        exit 4
+    | Ok (P.NeedFull { digest }) ->
+        Format.printf "need-full: the daemon does not hold %s@." digest;
+        exit 5
+    | Ok (P.Pong | P.StatsSnapshot _ | P.Registered _) ->
+        Format.printf "unexpected response@.";
+        exit 4
+    | Error m ->
+        Format.printf "transport error: %s@." m;
+        exit 4
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry clients: icfg stats and icfg top                          *)
@@ -784,7 +872,12 @@ let cmd_submit =
     (Cmd.info "submit"
        ~doc:
          "Submit one binary (an icfg Binfile, e.g. from rewrite --output) to \
-          a running icfg serve daemon.")
+          a running icfg serve daemon. Besides full uploads, the incremental \
+          protocol can upload once ($(b,--register)), then name the binary \
+          by digest ($(b,--ref)) or ship only a sparse byte-delta against a \
+          registered base ($(b,--patch-against)). Exit codes: 2 \
+          refused/rejected, 3 overloaded, 4 error, 5 unrecoverable \
+          need-full.")
     Term.(
       const submit_cmd $ socket_t
       $ Arg.(
@@ -795,9 +888,13 @@ let cmd_submit =
                  dyn-translation | ours/dir | ours/jt | ours/func-ptr."
               ~docv:"NAME")
       $ Arg.(
-          required
+          value
           & pos 0 (some string) None
-          & info [] ~docv:"FILE" ~doc:"Binfile to submit.")
+          & info [] ~docv:"FILE"
+              ~doc:
+                "Binfile to submit. Optional with --ref (where it serves \
+                 only as the full-upload fallback if the daemon no longer \
+                 holds the digest); required otherwise.")
       $ jobs_t
       $ Arg.(
           value & flag
@@ -806,7 +903,32 @@ let cmd_submit =
                 "Run the full corpus-matrix cell in the daemon (original run \
                  + rewrite + VM verification) instead of returning the \
                  rewritten bytes.")
-      $ output_t)
+      $ output_t
+      $ Arg.(
+          value & flag
+          & info [ "register" ]
+              ~doc:
+                "Upload FILE into the daemon's content-addressed store and \
+                 print its digest; later submits can use --ref/--patch-against \
+                 instead of re-uploading.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "ref" ]
+              ~doc:
+                "Submit a registered binary by digest (32 wire bytes instead \
+                 of the binary). If the daemon answers NeedFull and FILE was \
+                 given, falls back to a full upload; without FILE, exits 5."
+              ~docv:"DIGEST")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "patch-against" ]
+              ~doc:
+                "Ship FILE as a sparse byte-delta against base Binfile \
+                 $(docv) (which must have been registered — on NeedFull the \
+                 base is registered and the patch retried automatically)."
+              ~docv:"BASEFILE"))
 
 let () =
   let info =

@@ -194,7 +194,8 @@ let counter_worse_higher name =
   List.exists
     (fun sub -> contains ~sub name)
     [ "trampolines:trap"; "/traps"; "size-growth"; "icache-misses";
-      "evict_corrupt"; "overloaded"; "errors" ]
+      "evict_corrupt"; "overloaded"; "errors"; "needfull"; "mismatch";
+      "pipeline_misses"; "rejected" ]
 
 (* A [lane-<k>] path segment marks a schedule-dependent span: lanes exist
    only when the domain pool actually spawns, so their presence varies
@@ -350,6 +351,133 @@ let diff ?gate old_json new_json =
               report Regression ("serve:" ^ k ^ ":hit-rate")
                 "cross-request cache saw zero hits on a twin-bearing stream"
           | _ -> ());
+      (* Incremental-protocol invariants, checked within the NEW run only
+         (like the corpus pass-rate, these are absolute claims the run
+         itself must satisfy, not old-vs-new comparisons). Gates fire
+         whenever the named serve rows exist, and pass/fail lines are
+         both emitted so the ratios stay visible in reports. *)
+      let serve_new =
+        as_list (Option.value ~default:(List []) (member "serve" new_json))
+      in
+      let serve_row name =
+        List.find_opt (fun r -> str_member "name" r = Some name) serve_new
+      in
+      let serve_counter r name =
+        Option.bind (member "counters" r) (num_member name)
+      in
+      (* Replay speedup: a byte-identical second pass must be answered by
+         the response memo in O(1), so per-request time must beat the
+         cold single-client stream by 10x. Unconditional — no --gate, no
+         same-cores requirement: both rows come from the same NEW run on
+         the same machine, and the margin is orders of magnitude. *)
+      (match (serve_row "serve-replay-stream", serve_row "serve-stream-c1") with
+      | Some replay, Some full -> (
+          match
+            ( num_member "ns_per_request" replay,
+              num_member "ns_per_request" full )
+          with
+          | Some rns, Some fns when rns > 0. && fns > 0. ->
+              let speedup = fns /. rns in
+              if speedup < 10. then
+                report Regression "serve:replay:speedup"
+                  (Printf.sprintf
+                     "memoized replay only %.1fx faster per request than \
+                      serve-stream-c1 (want >= 10x)"
+                     speedup)
+              else
+                report Info "serve:replay:speedup"
+                  (Printf.sprintf
+                     "memoized replay %.1fx faster per request than \
+                      serve-stream-c1 (gate: >= 10x)"
+                     speedup)
+          | _ ->
+              report Regression "serve:replay:speedup"
+                "replay/full rows lack usable ns_per_request values")
+      | Some _, None ->
+          report Regression "serve:replay:speedup"
+            "serve-replay-stream present but serve-stream-c1 row missing"
+      | None, _ -> ());
+      (match serve_row "serve-replay-stream" with
+      | None -> ()
+      | Some replay ->
+          (match serve_counter replay "response_hit_rate_pct" with
+          | Some p when p <> 100. ->
+              report Regression "serve:replay:response-hit-rate"
+                (Printf.sprintf
+                   "only %.0f%% of replayed requests hit the response memo \
+                    (want 100%%)"
+                   p)
+          | Some _ ->
+              report Info "serve:replay:response-hit-rate"
+                "every replayed request answered from the response memo"
+          | None ->
+              report Regression "serve:replay:response-hit-rate"
+                "replay row lacks a response_hit_rate_pct counter");
+          (match serve_counter replay "pipeline_misses" with
+          | Some m when m <> 0. ->
+              report Regression "serve:replay:pipeline-misses"
+                (Printf.sprintf
+                   "%.0f replayed requests re-entered the pipeline (want 0)" m)
+          | Some _ -> ()
+          | None ->
+              report Regression "serve:replay:pipeline-misses"
+                "replay row lacks a pipeline_misses counter");
+          (match serve_counter replay "mismatches" with
+          | Some m when m <> 0. ->
+              report Regression "serve:replay:mismatches"
+                (Printf.sprintf
+                   "%.0f memoized responses were not byte-identical to the \
+                    first pass (want 0)"
+                   m)
+          | Some _ -> ()
+          | None ->
+              report Regression "serve:replay:mismatches"
+                "replay row lacks a mismatches counter"));
+      (* Patch wire economy: a one-function edit shipped as a sparse
+         [Patch] must cost at most 10% of the full upload it replaces,
+         and must neither fall back ([needfull]) nor diverge from the
+         full-upload rewrite ([mismatches]). *)
+      (match serve_row "serve-patch-stream" with
+      | None -> ()
+      | Some patch ->
+          (match
+             ( serve_counter patch "wire_bytes_per_request",
+               serve_counter patch "full_upload_bytes_per_request" )
+           with
+          | Some w, Some f when f > 0. ->
+              let pct = 100. *. w /. f in
+              if w *. 10. > f then
+                report Regression "serve:patch:wire-bytes"
+                  (Printf.sprintf
+                     "patch requests ship %.1f%% of the full-upload bytes \
+                      (want <= 10%%)"
+                     pct)
+              else
+                report Info "serve:patch:wire-bytes"
+                  (Printf.sprintf
+                     "patch requests ship %.1f%% of the full-upload bytes \
+                      (gate: <= 10%%)"
+                     pct)
+          | _ ->
+              report Regression "serve:patch:wire-bytes"
+                "patch row lacks wire/full byte counters");
+          (match serve_counter patch "needfull" with
+          | Some m when m <> 0. ->
+              report Regression "serve:patch:needfull"
+                (Printf.sprintf
+                   "%.0f patch requests fell back to full upload (want 0)" m)
+          | _ -> ());
+          (match serve_counter patch "mismatches" with
+          | Some m when m <> 0. ->
+              report Regression "serve:patch:mismatches"
+                (Printf.sprintf
+                   "%.0f patched rewrites diverged from the full-upload \
+                    result (want 0)"
+                   m)
+          | Some _ -> ()
+          | None ->
+              report Regression "serve:patch:mismatches"
+                "patch row lacks a mismatches counter"));
       (* Telemetry rows (the daemon registry snapshot distilled after each
          serve stream): every counter emitted here is by construction a
          deterministic function of the served stream — request/outcome

@@ -47,7 +47,7 @@ let lang_of_tag = function
   | 4 -> Binary.Go
   | n -> invalid_arg (Printf.sprintf "Binfile: bad language tag %d" n)
 
-let to_bytes (bin : Binary.t) =
+let to_buffer (bin : Binary.t) =
   let b = Buffer.create 4096 in
   Buffer.add_string b magic;
   wstr b bin.Binary.name;
@@ -118,7 +118,14 @@ let to_bytes (bin : Binary.t) =
           w64 b h)
         f.Ehframe.landing_pads)
     (Ehframe.fdes bin.Binary.eh_frame);
-  Buffer.to_bytes b
+  b
+
+let to_bytes bin = Buffer.to_bytes (to_buffer bin)
+
+(* [Buffer.contents] is the one copy an immutable result needs; callers
+   shipping container bytes over a wire (the serve daemon) avoid the
+   extra [Bytes.to_string] round-trip [to_bytes] would force. *)
+let to_string bin = Buffer.contents (to_buffer bin)
 
 (* ------------------------------------------------------------------ *)
 (* Reader                                                              *)
@@ -254,6 +261,12 @@ let of_bytes buf =
   in
   Binary.make ~pie ~relocs ~link_relocs ~eh_frame:(Ehframe.of_fdes fdes)
     ~toc_base ~dynsyms ~features ~name ~arch ~entry ~symbols sections
+
+(* Zero-copy decode from an immutable string: the reader above only ever
+   reads ([need]/[Bytes.get*]/[Bytes.sub_string]), so viewing the string
+   as bytes without copying is safe — and saves one whole-binary copy per
+   request on the serve hot path. *)
+let of_string s = of_bytes (Bytes.unsafe_of_string s)
 
 (* ------------------------------------------------------------------ *)
 (* Files                                                               *)

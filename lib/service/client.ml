@@ -25,15 +25,35 @@ let call c req =
   | exception Protocol.Malformed m -> Stdlib.Error m
 
 let ping c = call c Protocol.Ping
+let register_bytes c bin = call c (Protocol.Register { bin })
+let register c bin = register_bytes c (Binfile.to_string bin)
+
+(* NeedFull fallback: re-send with the full bytes when we have them
+   ([fallback]), which also re-registers the base — the store heals and
+   the next Ref/Patch round-trip is incremental again. One retry only:
+   a Full payload cannot itself draw NeedFull. *)
+let call_payload c make ~fallback payload =
+  match call c (make payload) with
+  | Ok (Protocol.NeedFull _) when fallback <> None -> (
+      match fallback with
+      | Some bin -> call c (make (Protocol.Full bin))
+      | None -> assert false)
+  | r -> r
+
+let rewrite_payload c ~approach ?(jobs = 0) ?fallback payload =
+  call_payload c
+    (fun payload -> Protocol.Rewrite { approach; jobs; payload })
+    ~fallback payload
+
+let classify_payload c ~approach ?(jobs = 0) ?fallback payload =
+  call_payload c
+    (fun payload -> Protocol.Classify { approach; jobs; payload })
+    ~fallback payload
 
 let rewrite c ~approach ?(jobs = 0) bin =
-  call c
-    (Protocol.Rewrite
-       { approach; jobs; bin = Bytes.to_string (Binfile.to_bytes bin) })
+  rewrite_payload c ~approach ~jobs (Protocol.Full (Binfile.to_string bin))
 
 let classify c ~approach ?(jobs = 0) bin =
-  call c
-    (Protocol.Classify
-       { approach; jobs; bin = Bytes.to_string (Binfile.to_bytes bin) })
+  classify_payload c ~approach ~jobs (Protocol.Full (Binfile.to_string bin))
 
 let stats c ?(flight = false) () = call c (Protocol.Stats { flight })

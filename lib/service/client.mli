@@ -22,6 +22,37 @@ val call : t -> Protocol.request -> (Protocol.response, string) result
 
 val ping : t -> (Protocol.response, string) result
 
+val register :
+  t -> Icfg_obj.Binary.t -> (Protocol.response, string) result
+(** Upload a binary into the daemon's content-addressed store once
+    ([Registered] with its digest on success, [Rejected] if the daemon
+    will not hold it); later requests can ship [Ref]/[Patch] payloads
+    against the digest instead of the binary. *)
+
+val register_bytes : t -> string -> (Protocol.response, string) result
+(** [register] for already-serialized {!Icfg_obj.Binfile} bytes. *)
+
+val rewrite_payload :
+  t ->
+  approach:string ->
+  ?jobs:int ->
+  ?fallback:string ->
+  Protocol.payload ->
+  (Protocol.response, string) result
+(** Submit a rewrite with an explicit payload (full bytes, [Ref digest],
+    or a sparse [Patch]). With [fallback] (the full Binfile bytes), a
+    typed [NeedFull] — the referenced base was evicted or never seen —
+    is transparently retried as a full upload, which also re-registers
+    the bytes so the incremental path heals for subsequent requests. *)
+
+val classify_payload :
+  t ->
+  approach:string ->
+  ?jobs:int ->
+  ?fallback:string ->
+  Protocol.payload ->
+  (Protocol.response, string) result
+
 val rewrite :
   t ->
   approach:string ->
@@ -29,7 +60,7 @@ val rewrite :
   Icfg_obj.Binary.t ->
   (Protocol.response, string) result
 (** Submit [bin] for rewriting by the named roster approach ([jobs <= 0]
-    or omitted: the daemon's default). *)
+    or omitted: the daemon's default). Ships a [Full] payload. *)
 
 val classify :
   t ->
@@ -37,7 +68,8 @@ val classify :
   ?jobs:int ->
   Icfg_obj.Binary.t ->
   (Protocol.response, string) result
-(** Submit a full corpus-matrix cell evaluation. *)
+(** Submit a full corpus-matrix cell evaluation. Ships a [Full]
+    payload. *)
 
 val stats : t -> ?flight:bool -> unit -> (Protocol.response, string) result
 (** Scrape the daemon's telemetry ([StatsSnapshot] on success). Answered

@@ -31,13 +31,31 @@ module Matrix = Icfg_harness.Matrix
    garbage; nothing per-request is kept alive. [Stats] requests are
    answered inline on the connection thread, like [Ping]: a saturated
    daemon still answers, and a scrape never touches the request queue,
-   the cache, or any per-request state it is observing. *)
+   the cache, or any per-request state it is observing.
+
+   Incremental protocol (DESIGN §15): two bounded [Store.t]s make the
+   service boundary incremental. The *binary store* holds registered
+   Binfile bytes content-addressed by digest, so [Ref]/[Patch] payloads
+   ship a handle or a sparse delta instead of the binary; payload
+   resolution happens on the connection thread (pure byte work, no
+   pipeline state). The *response memo* maps (kind, approach, normalized
+   jobs, input digest) to the encoded response payload of the first run,
+   so a byte-identical replay is answered in O(1) on the connection
+   thread without touching the scheduler — and, being the stored bytes
+   of a real pipeline response, is byte-identical to what the pipeline
+   would produce (pinned by the serve test battery). Memo hits fold no
+   [trace.*]/[stage.*] telemetry — there was no pipeline run to
+   observe — but still count as served requests and land in the flight
+   recorder. *)
 
 type t = {
   sock_path : string;
   listen_fd : Unix.file_descr;
   sched : Scheduler.t;
   srv_cache : Cache.t;
+  store : Store.t;
+  memo : Store.t;
+  max_req : int;
   registry : Metrics.t;
   fl : Flight.t;
   default_jobs : int;
@@ -73,11 +91,15 @@ let scheduler t = t.sched
 let sock_path t = t.sock_path
 let metrics t = t.registry
 let flight t = t.fl
+let store t = t.store
+let response_memo t = t.memo
 
-(* Registry snapshot + the shared cache's lifetime counters (the cache
+(* Registry snapshot + the shared cache's/stores' lifetime counters (each
    keeps its own stats; mirroring them per-lookup would double-count). *)
 let snapshot t =
   let cs = Cache.stats t.srv_cache in
+  let ss = Store.stats t.store in
+  let ms = Store.stats t.memo in
   let cache_snap =
     {
       Metrics.empty with
@@ -89,6 +111,22 @@ let snapshot t =
           ("cache.hits", cs.Cache.c_hits);
           ("cache.misses", cs.Cache.c_misses);
           ("cache.stores", cs.Cache.c_stores);
+          ("response_cache.evict_lru", ms.Store.st_evictions);
+          ("response_cache.hit", ms.Store.st_hits);
+          ("response_cache.miss", ms.Store.st_misses);
+          ("response_cache.stores", ms.Store.st_stores);
+          ("store.evict_lru", ss.Store.st_evictions);
+          ("store.hits", ss.Store.st_hits);
+          ("store.misses", ss.Store.st_misses);
+          ("store.rejected", ss.Store.st_rejected);
+          ("store.stores", ss.Store.st_stores);
+        ];
+      Metrics.s_gauges =
+        [
+          ("response_cache.bytes", ms.Store.st_bytes);
+          ("response_cache.entries", ms.Store.st_entries);
+          ("store.bytes", ss.Store.st_bytes);
+          ("store.entries", ss.Store.st_entries);
         ];
     }
   in
@@ -120,12 +158,9 @@ let outcome_label (resp : Protocol.response) =
   | Protocol.Error _ -> "error"
   | Protocol.Overloaded -> "overloaded"
   | Protocol.StatsSnapshot _ -> "stats"
-
-let approach_of (req : Protocol.request) =
-  match req with
-  | Protocol.Rewrite { approach; _ } | Protocol.Classify { approach; _ } ->
-      approach
-  | Protocol.Ping | Protocol.Stats _ -> "-"
+  | Protocol.Registered _ -> "registered"
+  | Protocol.NeedFull _ -> "needfull"
+  | Protocol.Rejected _ -> "rejected"
 
 (* Fold one finished request into the lifetime telemetry. Counter totals
    are jobs-independent by the Trace contract, so [trace.*] sums across
@@ -145,54 +180,64 @@ let fold_trace t tr ~approach ~outcome ~ns ~errored =
   Flight.record t.fl ~approach ~outcome ~ns ~errored
     ~trace_json:(Trace.to_json tr)
 
+(* A fully resolved unit of scheduled work: the connection thread has
+   already turned the payload (Full/Ref/Patch) into container bytes and
+   their digest; executor domains only ever see bytes. *)
+type work = {
+  wk_kind : [ `Rewrite | `Classify ];
+  wk_approach : string;
+  wk_jobs : int;  (* normalized: the memo key needs one canonical value *)
+  wk_bin : string;  (* resolved Binfile container bytes *)
+  wk_digest : string;
+}
+
 (* Runs on an executor domain. Total: every failure becomes a typed
    response, so the daemon keeps serving whatever a request throws at
    it (the Matrix Crashed-cell contract, lifted to the wire). *)
-let run_request t (req : Protocol.request) : Protocol.response =
-  let jobs_of j = if j <= 0 then t.default_jobs else j in
+let run_request t (w : work) : Protocol.response =
   let tr = Trace.create () in
   let t0 = Metrics.now_ns () in
   let resp =
     try
       Trace.with_current tr @@ fun () ->
-      match req with
-      | Protocol.Ping -> Protocol.Pong
-      | Protocol.Stats { flight } ->
-          (* Normally intercepted inline by the connection loop; kept
-             total here so a future scheduling path cannot crash it. *)
-          let fl =
-            if flight then Some (Flight.to_json (Flight.snapshot t.fl))
-            else None
-          in
-          Protocol.StatsSnapshot { snap = snapshot t; flight = fl }
-      | Protocol.Rewrite { approach; jobs; bin } -> (
-          let bin = Binfile.of_bytes (Bytes.of_string bin) in
+      (* Decoding straight from the wire string (no [Bytes.of_string]
+         round-trip) saves one whole-binary copy per request; the saved
+         bytes are counted so the win shows up in [trace.*]. *)
+      Trace.add "serve.bin_bytes_zero_copy" (String.length w.wk_bin);
+      let bin = Binfile.of_string w.wk_bin in
+      match w.wk_kind with
+      | `Rewrite -> (
           match
-            Runner.drive ~approach ~jobs:(jobs_of jobs) ~cache:t.srv_cache bin
+            Runner.drive ~approach:w.wk_approach ~jobs:w.wk_jobs
+              ~cache:t.srv_cache bin
           with
           | None ->
               Protocol.Error
                 {
-                  message = "unknown approach: " ^ approach;
+                  message = "unknown approach: " ^ w.wk_approach;
                   counters = Trace.counters tr;
                 }
           | Some (Baseline.Rewritten rw) ->
+              let out = Binfile.to_string rw.Rewriter.rw_binary in
+              Trace.add "serve.bin_bytes_zero_copy" (String.length out);
+              (* Register the result so the editor loop can chain its
+                 next [Patch] against the digest we return. *)
+              let digest = Store.digest out in
+              ignore (Store.add t.store ~key:digest out);
               Protocol.Rewritten
-                {
-                  bin =
-                    Bytes.to_string (Binfile.to_bytes rw.Rewriter.rw_binary);
-                  counters = Trace.counters tr;
-                }
+                { bin = out; digest; counters = Trace.counters tr }
           | Some (Baseline.Refused reason) ->
-              Protocol.Refused { reason; counters = Trace.counters tr })
-      | Protocol.Classify { approach; jobs; bin } ->
-          let bin = Binfile.of_bytes (Bytes.of_string bin) in
+              Protocol.Refused
+                { reason; digest = w.wk_digest; counters = Trace.counters tr }
+          )
+      | `Classify ->
           let orig = Runner.run_original bin in
           let ns, cls =
-            Matrix.eval_cell ~orig ~approach ~jobs:(jobs_of jobs)
+            Matrix.eval_cell ~orig ~approach:w.wk_approach ~jobs:w.wk_jobs
               ~cache:t.srv_cache bin
           in
-          Protocol.Classified { cls; ns; counters = Trace.counters tr }
+          Protocol.Classified
+            { cls; ns; digest = w.wk_digest; counters = Trace.counters tr }
     with e ->
       (* [tr] was created before [with_current], so the counters the
          request accumulated up to the crash are still readable — the
@@ -202,11 +247,53 @@ let run_request t (req : Protocol.request) : Protocol.response =
   in
   let ns = Int64.to_int (Int64.sub (Metrics.now_ns ()) t0) in
   let errored = match resp with Protocol.Error _ -> true | _ -> false in
-  fold_trace t tr
-    ~approach:(approach_of req)
+  fold_trace t tr ~approach:w.wk_approach
     ~outcome:(outcome_label resp)
     ~ns ~errored;
   resp
+
+(* Turn a request payload into container bytes + digest, registering
+   full uploads and patch results along the way (a reconstructed binary
+   is as referenceable as an uploaded one). Pure byte work — runs on the
+   connection thread, never the executors. *)
+let resolve_payload t = function
+  | Protocol.Full bin ->
+      let digest = Store.digest bin in
+      (* Opportunistic: a binary too large for the store still rewrites
+         fine, it just can't be referenced later. *)
+      ignore (Store.add t.store ~key:digest bin);
+      Ok (bin, digest)
+  | Protocol.Ref digest -> (
+      match Store.find t.store digest with
+      | Some bin -> Ok (bin, digest)
+      | None -> Error (`Need_full digest))
+  | Protocol.Patch { base; total_len; ranges } -> (
+      match Store.find t.store base with
+      | None -> Error (`Need_full base)
+      | Some base_bytes -> (
+          match Protocol.apply_patch ~base:base_bytes ~total_len ranges with
+          | Ok bin ->
+              let digest = Store.digest bin in
+              ignore (Store.add t.store ~key:digest bin);
+              Ok (bin, digest)
+          | Error m -> Error (`Bad m)))
+
+(* The response memo entry is the already-encoded response payload of
+   the first (pipeline-computed) run, prefixed by its outcome label, so
+   a replay answers with byte-identical wire bytes and still books the
+   right serve.responses:* / error totals. *)
+let memo_key (w : work) =
+  (match w.wk_kind with `Rewrite -> "R:" | `Classify -> "C:")
+  ^ w.wk_approach ^ ":"
+  ^ string_of_int w.wk_jobs
+  ^ ":" ^ w.wk_digest
+
+let memo_pack ~outcome payload =
+  String.make 1 (Char.chr (String.length outcome land 0xff)) ^ outcome ^ payload
+
+let memo_unpack entry =
+  let n = Char.code entry.[0] in
+  (String.sub entry 1 n, String.sub entry (1 + n) (String.length entry - 1 - n))
 
 let conn_loop t fd =
   let finally () =
@@ -216,21 +303,115 @@ let conn_loop t fd =
     Mutex.unlock t.cm
   in
   Fun.protect ~finally @@ fun () ->
+  let write_resp resp =
+    Protocol.write_frame fd (Protocol.response_to_payload resp)
+  in
+  let error_resp m =
+    Atomic.incr t.n_errors;
+    Metrics.incr t.registry "serve.errors";
+    write_resp (Protocol.Error { message = m; counters = [] })
+  in
+  (* Run (or replay) one resolved unit of work. The memo is consulted
+     first: a byte-identical re-request answers with the stored payload
+     of its first pipeline run — same wire bytes, same serve.* booking,
+     a flight-recorder entry, and no scheduler traffic at all. *)
+  let run_work w =
+    let key = memo_key w in
+    match Store.find t.memo key with
+    | Some entry ->
+        let t0 = Metrics.now_ns () in
+        let outcome, payload = memo_unpack entry in
+        let errored = String.equal outcome "error" in
+        if errored then begin
+          Atomic.incr t.n_errors;
+          Metrics.incr t.registry "serve.errors"
+        end;
+        Atomic.incr t.n_requests;
+        Metrics.incr t.registry "serve.requests";
+        Metrics.incr t.registry ("serve.responses:" ^ outcome);
+        let ns = Int64.to_int (Int64.sub (Metrics.now_ns ()) t0) in
+        Metrics.observe t.registry
+          ("request.latency:" ^ w.wk_approach ^ ":" ^ outcome)
+          ns;
+        Flight.record t.fl ~approach:w.wk_approach ~outcome ~ns ~errored
+          ~trace_json:"{}";
+        Protocol.write_frame fd payload
+    | None ->
+        let resp =
+          match Scheduler.submit t.sched (fun () -> run_request t w) with
+          | None ->
+              Atomic.incr t.n_overloaded;
+              Metrics.incr t.registry "serve.overloaded";
+              Protocol.Overloaded
+          | Some tk ->
+              let r = Scheduler.await tk in
+              (match r with
+              | Protocol.Error _ ->
+                  Atomic.incr t.n_errors;
+                  Metrics.incr t.registry "serve.errors"
+              | _ -> ());
+              Atomic.incr t.n_requests;
+              Metrics.incr t.registry "serve.requests";
+              Metrics.incr t.registry ("serve.responses:" ^ outcome_label r);
+              (match r with
+              | Protocol.Rewritten _ | Protocol.Refused _
+              | Protocol.Classified _ | Protocol.Error _ ->
+                  ignore
+                    (Store.add t.memo ~key
+                       (memo_pack ~outcome:(outcome_label r)
+                          (Protocol.response_to_payload r)))
+              | _ -> ());
+              r
+        in
+        write_resp resp
+  in
+  let handle kind ~approach ~jobs payload =
+    match resolve_payload t payload with
+    | Ok (bin, digest) ->
+        run_work
+          {
+            wk_kind = kind;
+            wk_approach = approach;
+            wk_jobs = (if jobs <= 0 then t.default_jobs else jobs);
+            wk_bin = bin;
+            wk_digest = digest;
+          }
+    | Error (`Need_full digest) ->
+        (* Typed miss, not an error: the base was evicted or never seen.
+           Clients fall back to a full upload (which re-registers). *)
+        Metrics.incr t.registry "serve.needfull";
+        Metrics.incr t.registry "serve.responses:needfull";
+        write_resp (Protocol.NeedFull { digest })
+    | Error (`Bad m) -> error_resp m
+  in
   try
     let rec loop () =
-      match Protocol.read_frame fd with
-      | None -> ()
-      | Some p ->
+      match
+        match Protocol.read_frame ~max:t.max_req fd with
+        | frame -> `Frame frame
+        | exception Protocol.Oversized n -> `Oversized n
+      with
+      | `Oversized n ->
+          (* The payload was drained: refuse in-band, keep serving. *)
+          Metrics.incr t.registry "serve.rejected";
+          Metrics.incr t.registry "serve.responses:rejected";
+          write_resp
+            (Protocol.Rejected
+               {
+                 reason =
+                   Printf.sprintf "frame of %d bytes over limit %d" n t.max_req;
+               });
+          loop ()
+      | `Frame None -> ()
+      | `Frame (Some p) ->
           (match Protocol.request_of_payload p with
           | Error m ->
               Atomic.incr t.n_errors;
               Metrics.incr t.registry "serve.errors";
-              Protocol.write_frame fd
-                (Protocol.response_to_payload
-                   (Protocol.Error
-                      { message = "malformed request: " ^ m; counters = [] }))
-          | Ok Protocol.Ping ->
-              Protocol.write_frame fd (Protocol.response_to_payload Protocol.Pong)
+              write_resp
+                (Protocol.Error
+                   { message = "malformed request: " ^ m; counters = [] })
+          | Ok Protocol.Ping -> write_resp Protocol.Pong
           | Ok (Protocol.Stats { flight }) ->
               (* Inline, like Ping: scrapes must work under saturation
                  and must not count as served requests — a scrape is a
@@ -239,29 +420,35 @@ let conn_loop t fd =
                 if flight then Some (Flight.to_json (Flight.snapshot t.fl))
                 else None
               in
-              Protocol.write_frame fd
-                (Protocol.response_to_payload
-                   (Protocol.StatsSnapshot { snap = snapshot t; flight = fl }))
-          | Ok req ->
-              let resp =
-                match Scheduler.submit t.sched (fun () -> run_request t req) with
-                | None ->
-                    Atomic.incr t.n_overloaded;
-                    Metrics.incr t.registry "serve.overloaded";
-                    Protocol.Overloaded
-                | Some tk ->
-                    let r = Scheduler.await tk in
-                    (match r with
-                    | Protocol.Error _ ->
-                        Atomic.incr t.n_errors;
-                        Metrics.incr t.registry "serve.errors"
-                    | _ -> ());
-                    Atomic.incr t.n_requests;
-                    Metrics.incr t.registry "serve.requests";
-                    Metrics.incr t.registry ("serve.responses:" ^ outcome_label r);
-                    r
-              in
-              Protocol.write_frame fd (Protocol.response_to_payload resp));
+              write_resp
+                (Protocol.StatsSnapshot { snap = snapshot t; flight = fl })
+          | Ok (Protocol.Register { bin }) ->
+              (* Inline: pure store work, no pipeline state. A binary
+                 larger than the whole store gets a typed refusal — the
+                 connection (and daemon) keep going. *)
+              let digest = Store.digest bin in
+              if Store.add t.store ~key:digest bin then begin
+                Metrics.incr t.registry "serve.registered";
+                Metrics.incr t.registry "serve.responses:registered";
+                write_resp (Protocol.Registered { digest })
+              end
+              else begin
+                Metrics.incr t.registry "serve.rejected";
+                Metrics.incr t.registry "serve.responses:rejected";
+                write_resp
+                  (Protocol.Rejected
+                     {
+                       reason =
+                         Printf.sprintf
+                           "binary of %d bytes exceeds store capacity %d"
+                           (String.length bin)
+                           (Store.max_bytes t.store);
+                     })
+              end
+          | Ok (Protocol.Rewrite { approach; jobs; payload }) ->
+              handle `Rewrite ~approach ~jobs payload
+          | Ok (Protocol.Classify { approach; jobs; payload }) ->
+              handle `Classify ~approach ~jobs payload);
           loop ()
     in
     loop ()
@@ -294,7 +481,8 @@ let accept_loop t =
   in
   loop ()
 
-let start ~path ?(bound = 64) ?(workers = 2) ?(jobs = 1) ?cache ?flight () =
+let start ~path ?(bound = 64) ?(workers = 2) ?(jobs = 1) ?cache ?flight
+    ?max_frame ?store_bytes ?memo_bytes () =
   (try Unix.unlink path with _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
@@ -310,6 +498,12 @@ let start ~path ?(bound = 64) ?(workers = 2) ?(jobs = 1) ?cache ?flight () =
       listen_fd;
       sched = Scheduler.create ~bound ~workers ~metrics:registry ();
       srv_cache = (match cache with Some c -> c | None -> Cache.create ());
+      store = Store.create ?max_bytes:store_bytes ();
+      memo = Store.create ?max_bytes:memo_bytes ();
+      max_req =
+        (match max_frame with
+        | Some m -> max 1 (min m Protocol.max_frame)
+        | None -> Protocol.max_frame);
       registry;
       fl = (match flight with Some f -> f | None -> Flight.create ());
       default_jobs = max 1 jobs;

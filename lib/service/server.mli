@@ -34,6 +34,9 @@ val start :
   ?jobs:int ->
   ?cache:Icfg_core.Cache.t ->
   ?flight:Flight.t ->
+  ?max_frame:int ->
+  ?store_bytes:int ->
+  ?memo_bytes:int ->
   unit ->
   t
 (** Bind a Unix socket at [path] (an existing file is replaced), spawn
@@ -42,7 +45,15 @@ val start :
     is the per-request pipeline parallelism used when a request carries
     [jobs <= 0]. [cache] (default: fresh) is the shared cross-request
     cache. [flight] (default: fresh with default bounds) is the flight
-    recorder — injectable so tests can shrink the bounds. *)
+    recorder — injectable so tests can shrink the bounds.
+
+    Incremental-protocol knobs: [max_frame] (default
+    {!Protocol.max_frame}, clamped to it) bounds accepted request
+    frames — an over-limit frame is drained and answered with a typed
+    [Rejected], not a dropped connection. [store_bytes] / [memo_bytes]
+    (default 1 GiB each) bound the content-addressed binary store and
+    the whole-response memo; both evict LRU, and an evicted base turns
+    later [Ref]/[Patch] requests into typed [NeedFull] responses. *)
 
 val stop : t -> unit
 (** Graceful shutdown, idempotent: stop accepting, drain queued requests
@@ -74,8 +85,24 @@ val metrics : t -> Icfg_core.Metrics.t
 
 val flight : t -> Flight.t
 
+val store : t -> Store.t
+(** The content-addressed binary store behind [Register]/[Ref]/[Patch]. *)
+
+val response_memo : t -> Store.t
+(** The whole-response memo: (kind, approach, normalized jobs, input
+    digest) → first pipeline response's encoded payload. Replays answer
+    from here on the connection thread, byte-identical, without entering
+    the scheduler. Memo hits count as served requests and reach the
+    flight recorder, but fold no [trace.*]/[stage.*] telemetry — there
+    was no pipeline run to observe. *)
+
 val snapshot : t -> Icfg_core.Metrics.snapshot
 (** What a [Stats] frame answers: the registry snapshot merged with the
     shared cache's lifetime counters ([cache.hits], [cache.misses],
     [cache.stores], [cache.bytes_reused], [cache.evict_corrupt],
-    [cache.evict_lru]). *)
+    [cache.evict_lru]), the binary store's ([store.hits], [store.misses],
+    [store.stores], [store.evict_lru], [store.rejected] + [store.bytes]
+    / [store.entries] gauges) and the response memo's, mirrored as
+    [response_cache.hit], [response_cache.miss], [response_cache.stores],
+    [response_cache.evict_lru] + [response_cache.bytes] /
+    [response_cache.entries] gauges. *)

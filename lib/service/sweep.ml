@@ -16,6 +16,8 @@ module Matrix = Icfg_harness.Matrix
    cache hits are content-addressed (a hit returns exactly what a miss
    would compute); only wall times and the hit/miss split vary. *)
 
+type payload_mode = Full_upload | By_ref
+
 type result = {
   sw_seed : int;
   sw_count : int;
@@ -29,7 +31,25 @@ type result = {
   sw_wall_ns : float;
   sw_rps : float;
   sw_metrics : Icfg_core.Metrics.snapshot;
+  sw_wire_req_bytes : int;
+  sw_full_req_bytes : int;
+  sw_register_bytes : int;
+  sw_needfull : int;
 }
+
+(* Request wire cost, computed arithmetically from the frame grammar
+   (DESIGN §15) rather than by instrumenting the socket: deterministic,
+   and exactly what [write_frame] ships. *)
+let req_overhead ~approach =
+  4 (* frame len *) + String.length Protocol.magic + 1 (* tag *)
+  + 4 + String.length approach
+  + 4 (* jobs *)
+
+let full_bpay_len bin_len = 1 + 4 + bin_len
+let ref_bpay_len = 1 + 4 + 32 (* hex MD5 digest *)
+
+let register_wire_bytes bin_len =
+  4 + String.length Protocol.magic + 1 + 4 + bin_len
 
 let socket_counter = Atomic.make 0
 
@@ -39,19 +59,27 @@ let fresh_socket_path () =
     (Printf.sprintf "icfg-serve-%d-%d.sock" (Unix.getpid ())
        (Atomic.fetch_and_add socket_counter 1))
 
-let run ?(seed = 7) ?(count = 48) ?(clients = 4) ?(jobs = 1) ?workers ?bound ()
-    =
+let run ?(seed = 7) ?(count = 48) ?(clients = 4) ?(jobs = 1) ?workers ?bound
+    ?(payload_mode = Full_upload) () =
   let clients = max 1 clients in
   let entries = Corpus.generate ~seed ~count in
   (* Build once, serially: the daemon rewrites binaries, it does not
      generate them, and building inside client threads would race the
      wall clock the throughput number measures. *)
   let bins = Array.of_list (List.map Corpus.build entries) in
+  (* Serialize once too: both payload modes need the container bytes
+     (the wire body in Full_upload, the registration upload + NeedFull
+     fallback in By_ref), and serializing inside client threads would
+     also race the clock. *)
+  let bin_strs = Array.map Icfg_obj.Binfile.to_string bins in
+  let digests = Array.map Store.digest bin_strs in
   let approaches = Array.of_list (List.map fst Baseline.approaches) in
   let n_app = Array.length approaches in
   let n_items = Array.length bins * n_app in
   let cells = Array.make n_items (0., Matrix.Crashed "unvisited") in
   let errors = Atomic.make 0 in
+  let needfull = Atomic.make 0 in
+  let retry_bytes = Atomic.make 0 in
   (* Connection threads block per in-flight request, so [clients] bounds
      daemon concurrency; a bound of [clients] can therefore never refuse
      — sweeps must be refusal-free or the equality gate would compare
@@ -60,6 +88,22 @@ let run ?(seed = 7) ?(count = 48) ?(clients = 4) ?(jobs = 1) ?workers ?bound ()
   let workers = match workers with Some w -> w | None -> min 4 clients in
   let path = fresh_socket_path () in
   let srv = Server.start ~path ~bound ~workers ~jobs () in
+  (* By_ref: one setup connection uploads every binary once, before the
+     clock starts — the steady-state stream then ships 32-byte handles.
+     Registration cost is reported separately ([sw_register_bytes]). *)
+  let register_bytes =
+    match payload_mode with
+    | Full_upload -> 0
+    | By_ref ->
+        Client.with_connection path (fun c ->
+            Array.fold_left
+              (fun acc s ->
+                (match Client.register_bytes c s with
+                | Ok (Protocol.Registered _) -> ()
+                | _ -> Atomic.incr errors);
+                acc + register_wire_bytes (String.length s))
+              0 bin_strs)
+  in
   let next = Atomic.make 0 in
   let t0 = Unix.gettimeofday () in
   let client_body () =
@@ -67,9 +111,31 @@ let run ?(seed = 7) ?(count = 48) ?(clients = 4) ?(jobs = 1) ?workers ?bound ()
     let rec pull () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n_items then begin
-        let bin = bins.(i / n_app) in
+        let ei = i / n_app in
         let approach = approaches.(i mod n_app) in
-        (match Client.classify c ~approach ~jobs bin with
+        let resp =
+          match payload_mode with
+          | Full_upload ->
+              Client.classify_payload c ~approach ~jobs
+                (Protocol.Full bin_strs.(ei))
+          | By_ref -> (
+              match
+                Client.classify_payload c ~approach ~jobs
+                  (Protocol.Ref digests.(ei))
+              with
+              | Ok (Protocol.NeedFull _) ->
+                  (* Evicted or unseen base: fall back to a full upload
+                     (re-registering it), and book the extra wire. *)
+                  Atomic.incr needfull;
+                  let b = bin_strs.(ei) in
+                  Atomic.fetch_and_add retry_bytes
+                    (req_overhead ~approach
+                    + full_bpay_len (String.length b))
+                  |> ignore;
+                  Client.classify_payload c ~approach ~jobs (Protocol.Full b)
+              | r -> r)
+        in
+        (match resp with
         | Ok (Protocol.Classified { cls; ns; _ }) -> cells.(i) <- (ns, cls)
         | Ok (Protocol.Overloaded) ->
             Atomic.incr errors;
@@ -104,6 +170,28 @@ let run ?(seed = 7) ?(count = 48) ?(clients = 4) ?(jobs = 1) ?workers ?bound ()
         Matrix.row_of ~approach cells_of)
       (Array.to_list approaches)
   in
+  (* What every cell would cost as a full upload vs what this mode
+     actually shipped — the per-request wire saving the serve-ref bench
+     row reports. *)
+  let per_item_full ai ei =
+    req_overhead ~approach:approaches.(ai)
+    + full_bpay_len (String.length bin_strs.(ei))
+  in
+  let full_req_bytes = ref 0 in
+  for i = 0 to n_items - 1 do
+    full_req_bytes := !full_req_bytes + per_item_full (i mod n_app) (i / n_app)
+  done;
+  let wire_req_bytes =
+    match payload_mode with
+    | Full_upload -> !full_req_bytes
+    | By_ref ->
+        let base = ref 0 in
+        for i = 0 to n_items - 1 do
+          base := !base + req_overhead ~approach:approaches.(i mod n_app)
+                  + ref_bpay_len
+        done;
+        !base + Atomic.get retry_bytes
+  in
   {
     sw_seed = seed;
     sw_count = count;
@@ -118,6 +206,10 @@ let run ?(seed = 7) ?(count = 48) ?(clients = 4) ?(jobs = 1) ?workers ?bound ()
     sw_rps =
       (if wall_ns > 0. then float_of_int n_items /. (wall_ns /. 1e9) else 0.);
     sw_metrics = msnap;
+    sw_wire_req_bytes = wire_req_bytes;
+    sw_full_req_bytes = !full_req_bytes;
+    sw_register_bytes = register_bytes;
+    sw_needfull = Atomic.get needfull;
   }
 
 (* Strip what legitimately varies (wall times) and keep what must not

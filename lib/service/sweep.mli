@@ -5,6 +5,13 @@
     sweep's exactly (wall times aside). {!check} pins that equality and
     the CI serve-smoke step gates it. *)
 
+type payload_mode =
+  | Full_upload  (** every request ships the whole Binfile (the default) *)
+  | By_ref
+      (** register every binary once up front, then ship 32-byte [Ref]
+          digests; a [NeedFull] (evicted base) falls back to a full
+          upload, which re-registers *)
+
 type result = {
   sw_seed : int;
   sw_count : int;
@@ -21,6 +28,13 @@ type result = {
   sw_metrics : Icfg_core.Metrics.snapshot;
       (** the daemon's merged telemetry snapshot taken just before stop —
           exactly what a live [Stats] frame would have answered *)
+  sw_wire_req_bytes : int;
+      (** request wire bytes actually shipped during the timed stream
+          (computed from the frame grammar; excludes registration) *)
+  sw_full_req_bytes : int;
+      (** what the same stream would have shipped as all-[Full] uploads *)
+  sw_register_bytes : int;  (** one-time [Register] upload bytes (By_ref) *)
+  sw_needfull : int;  (** typed [NeedFull] fallbacks taken *)
 }
 
 val run :
@@ -30,12 +44,14 @@ val run :
   ?jobs:int ->
   ?workers:int ->
   ?bound:int ->
+  ?payload_mode:payload_mode ->
   unit ->
   result
 (** Start a daemon on a fresh temp socket, drive the
     [Corpus.generate ~seed ~count] × roster grid through it with
     [clients] concurrent client threads (corpus-major item order), stop
-    the daemon. Binaries are prebuilt serially before the clock starts. *)
+    the daemon. Binaries are prebuilt (and serialized) serially before
+    the clock starts; [By_ref] registration also happens off the clock. *)
 
 val check :
   ?seed:int ->

@@ -312,9 +312,15 @@ let serve_twin_hits () =
     rewritten_counters ~what:"source request"
       (Client.rewrite c ~approach:"ours/jt" src_bin)
   in
+  (* The twin is byte-identical to the source, so at equal jobs the
+     daemon would answer it from the whole-response memo without running
+     anything — correct service behavior, but this test pins the *stage*
+     cache. jobs=2 changes the memo key (never the counters: totals are
+     jobs-independent), forcing a real pipeline run over the shared
+     cache. *)
   let c_twin =
     rewritten_counters ~what:"twin request"
-      (Client.rewrite c ~approach:"ours/jt" twin_bin)
+      (Client.rewrite c ~approach:"ours/jt" ~jobs:2 twin_bin)
   in
   let get l n = Option.value ~default:0 (List.assoc_opt n l) in
   Alcotest.(check bool) "source request ran cold" true

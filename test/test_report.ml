@@ -600,7 +600,9 @@ let bench_diff_corpus_section () =
     (List.exists (fun x -> x.Bench_diff.f_severity = Bench_diff.Added) f)
 
 (* The real harness output must parse and self-diff clean — guards the
-   bench/main.ml writer and this parser against drifting apart. *)
+   bench/main.ml writer and this parser against drifting apart. The
+   within-run serve gates report their passing ratios as [Info] lines
+   even when OLD = NEW, so "clean" means no findings above [Info]. *)
 let bench_diff_real_baseline () =
   let path = "bench/baseline/BENCH_micro.json" in
   if Sys.file_exists path then (
@@ -609,8 +611,20 @@ let bench_diff_real_baseline () =
       | Ok f -> f
       | Error e -> Alcotest.failf "baseline self-diff failed: %s" e
     in
+    let gating =
+      List.filter (fun x -> x.Bench_diff.f_severity <> Bench_diff.Info) findings
+    in
     Alcotest.(check int) "committed baseline self-diffs clean" 0
-      (List.length findings))
+      (List.length gating);
+    (* The three serve gates must actually have run against this
+       baseline — a silent skip (missing rows) would void the claim. *)
+    let has name =
+      List.exists (fun x -> x.Bench_diff.f_metric = name) findings
+    in
+    Alcotest.(check bool) "replay speedup gate ran" true
+      (has "serve:replay:speedup");
+    Alcotest.(check bool) "patch wire gate ran" true
+      (has "serve:patch:wire-bytes"))
 
 (* ------------------------------------------------------------------ *)
 (* 5. Failure-path observability                                       *)

@@ -33,14 +33,18 @@ module Flight = Icfg_service.Flight
 
 let sock_counter = ref 0
 
-let with_server ?bound ?workers ?jobs ?cache ?flight () f =
+let with_server ?bound ?workers ?jobs ?cache ?flight ?max_frame ?store_bytes
+    ?memo_bytes () f =
   incr sock_counter;
   let path =
     Filename.concat
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "icfg-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
   in
-  let srv = Server.start ~path ?bound ?workers ?jobs ?cache ?flight () in
+  let srv =
+    Server.start ~path ?bound ?workers ?jobs ?cache ?flight ?max_frame
+      ?store_bytes ?memo_bytes ()
+  in
   Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv path)
 
 let first_bench arch =
@@ -60,6 +64,9 @@ let response_label = function
   | Protocol.Error { message; _ } -> "error: " ^ message
   | Protocol.Overloaded -> "overloaded"
   | Protocol.StatsSnapshot _ -> "stats-snapshot"
+  | Protocol.Registered _ -> "registered"
+  | Protocol.NeedFull _ -> "need-full"
+  | Protocol.Rejected { reason } -> "rejected: " ^ reason
 
 (* ------------------------------------------------------------------ *)
 (* Protocol codec round-trips                                          *)
@@ -69,8 +76,35 @@ let codec_roundtrip () =
   let reqs =
     [
       Protocol.Ping;
-      Protocol.Rewrite { approach = "ours/jt"; jobs = 4; bin = "\x00\xffbin" };
-      Protocol.Classify { approach = "srbi"; jobs = 0; bin = "" };
+      Protocol.Rewrite
+        { approach = "ours/jt"; jobs = 4; payload = Protocol.Full "\x00\xffbin" };
+      Protocol.Classify
+        { approach = "srbi"; jobs = 0; payload = Protocol.Full "" };
+      Protocol.Rewrite
+        {
+          approach = "ours/dir";
+          jobs = 1;
+          payload = Protocol.Ref (String.make 32 'a');
+        };
+      Protocol.Classify
+        {
+          approach = "ours/jt";
+          jobs = 2;
+          payload =
+            Protocol.Patch
+              {
+                base = String.make 32 'b';
+                total_len = 10;
+                ranges = [ (0, "ab"); (5, "\x00\xff") ];
+              };
+        };
+      Protocol.Rewrite
+        {
+          approach = "x";
+          jobs = 0;
+          payload = Protocol.Patch { base = ""; total_len = 0; ranges = [] };
+        };
+      Protocol.Register { bin = "container bytes" };
       Protocol.Stats { flight = false };
       Protocol.Stats { flight = true };
     ]
@@ -85,16 +119,24 @@ let codec_roundtrip () =
     [
       Protocol.Pong;
       Protocol.Rewritten
-        { bin = String.make 64 '\x7f'; counters = [ ("a", 1); ("b", -2) ] };
-      Protocol.Refused { reason = "non-PIE"; counters = [] };
+        {
+          bin = String.make 64 '\x7f';
+          digest = String.make 32 'c';
+          counters = [ ("a", 1); ("b", -2) ];
+        };
+      Protocol.Refused { reason = "non-PIE"; digest = ""; counters = [] };
       Protocol.Classified
         {
           cls = Matrix.Refused "feature/non-pie";
           ns = 1234.5;
+          digest = String.make 32 'd';
           counters = [ ("cache.hit", 9) ];
         };
       Protocol.Classified
-        { cls = Matrix.Verified; ns = 0.; counters = [] };
+        { cls = Matrix.Verified; ns = 0.; digest = ""; counters = [] };
+      Protocol.Registered { digest = String.make 32 'e' };
+      Protocol.NeedFull { digest = String.make 32 'f' };
+      Protocol.Rejected { reason = "frame of 9 bytes over limit 8" };
       Protocol.Error
         { message = "boom"; counters = [ ("parse.bytes", 12) ] };
       Protocol.Error { message = ""; counters = [] };
@@ -133,6 +175,20 @@ let codec_roundtrip () =
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "garbage accepted as request")
     [ ""; "bogus"; "isrv1"; "isrv1\xff"; "isrv1\x02\x04\x00\x00\x00ab" ];
+  (* A payload kind byte the grammar doesn't know decodes to Error, not a
+     crash: corrupt the kind byte of an otherwise valid Rewrite frame. *)
+  (let p =
+     Protocol.request_to_payload
+       (Protocol.Rewrite
+          { approach = "x"; jobs = 1; payload = Protocol.Full "y" })
+   in
+   let b = Bytes.of_string p in
+   let kind_pos = String.length Protocol.magic + 1 + (4 + 1) + 4 in
+   Alcotest.(check char) "kind byte located" '\x00' (Bytes.get b kind_pos);
+   Bytes.set b kind_pos '\x07';
+   match Protocol.request_of_payload (Bytes.to_string b) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown payload kind accepted");
   (* cls codec is total on the wire forms and rejects junk. *)
   List.iter
     (fun c ->
@@ -354,10 +410,17 @@ let isolation () =
   let ta = request 0 bin_a and tb = request 1 bin_b in
   Thread.join ta;
   Thread.join tb;
+  (* The daemon adds its own [serve.*] trace counters (wire-copy savings)
+     on top of the pipeline's; strip them before comparing to the solo
+     in-process totals. *)
+  let strip_serve =
+    List.filter (fun (k, _) ->
+        not (String.length k >= 6 && String.sub k 0 6 = "serve."))
+  in
   Alcotest.(check bool)
-    "request A counters == solo A totals" true (got.(0) = solo_a);
+    "request A counters == solo A totals" true (strip_serve got.(0) = solo_a);
   Alcotest.(check bool)
-    "request B counters == solo B totals" true (got.(1) = solo_b)
+    "request B counters == solo B totals" true (strip_serve got.(1) = solo_b)
 
 (* ------------------------------------------------------------------ *)
 (* (e) crash containment: raising drivers, garbage frames, bad names   *)
@@ -395,7 +458,12 @@ let crash_containment () =
   (* Garbage binary bytes: typed error. *)
   (match
      Client.call c
-       (Protocol.Rewrite { approach = "ours/jt"; jobs = 1; bin = "not a binfile" })
+       (Protocol.Rewrite
+          {
+            approach = "ours/jt";
+            jobs = 1;
+            payload = Protocol.Full "not a binfile";
+          })
    with
   | Ok (Protocol.Error _) -> ()
   | r ->
@@ -469,8 +537,8 @@ let stats_totals () =
         Hashtbl.replace sum k (v + Option.value ~default:0 (Hashtbl.find_opt sum k)))
       counters
   in
-  let rewrite bin =
-    match Client.rewrite c ~approach:"ours/jt" ~jobs:1 bin with
+  let rewrite ?(jobs = 1) bin =
+    match Client.rewrite c ~approach:"ours/jt" ~jobs bin with
     | Ok (Protocol.Rewritten { counters; _ }) -> fold counters
     | r ->
         Alcotest.failf "rewrite: %s"
@@ -478,10 +546,14 @@ let stats_totals () =
   in
   (* Three rewrites (the repeat hits the shared cache — its counters
      differ from the first's, which is exactly why we sum what each
-     response reported rather than 3 × solo). *)
+     response reported rather than 3 × solo). The repeat runs at jobs=2
+     so its memo key differs from the first's: this test pins the
+     telemetry of *scheduled* requests; the memo fast path (which folds
+     no trace) has its own test. Counter totals are jobs-independent,
+     so the sum-of-responses check is unaffected. *)
   rewrite bin_a;
   rewrite bin_b;
-  rewrite bin_a;
+  rewrite ~jobs:2 bin_a;
   let cls =
     match Client.classify c ~approach:"ours/jt" ~jobs:1 bin_a with
     | Ok (Protocol.Classified { cls; counters; _ }) ->
@@ -641,6 +713,278 @@ let observation_only () =
         true (a = b))
     (List.combine quiet watched)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental protocol: sparse patches, the binary store, the memo    *)
+(* ------------------------------------------------------------------ *)
+
+(* Pure codec-level edge cases for [apply_patch]/[diff_ranges]: empty
+   deltas, truncation/extension via total_len alone, out-of-bounds and
+   overlapping ranges as typed Errors, and the round-trip law. *)
+let patch_codec () =
+  let base = "hello, world of binaries" in
+  let apply ~base ~total_len ranges =
+    Protocol.apply_patch ~base ~total_len ranges
+  in
+  let expect_ok what = function
+    | Stdlib.Ok s -> s
+    | Stdlib.Error m -> Alcotest.failf "%s: unexpected Error %s" what m
+  in
+  let expect_err what = function
+    | Stdlib.Ok _ -> Alcotest.failf "%s: bad patch accepted" what
+    | Stdlib.Error _ -> ()
+  in
+  Alcotest.(check string) "empty delta is identity" base
+    (expect_ok "identity" (apply ~base ~total_len:(String.length base) []));
+  Alcotest.(check string) "total_len truncates" "hello"
+    (expect_ok "truncate" (apply ~base ~total_len:5 []));
+  Alcotest.(check string) "total_len zero-extends" "ab\x00\x00"
+    (expect_ok "extend" (apply ~base:"ab" ~total_len:4 []));
+  Alcotest.(check string) "in-range blit" "HELLO, world of binaries"
+    (expect_ok "blit"
+       (apply ~base ~total_len:(String.length base) [ (0, "HELLO") ]));
+  expect_err "negative offset" (apply ~base ~total_len:5 [ (-1, "x") ]);
+  expect_err "range past total_len" (apply ~base ~total_len:5 [ (4, "xy") ]);
+  expect_err "overlapping ranges"
+    (apply ~base ~total_len:10 [ (0, "abc"); (2, "def") ]);
+  expect_err "negative total_len" (apply ~base ~total_len:(-1) []);
+  Alcotest.(check bool) "identical strings diff to empty" true
+    (Protocol.diff_ranges ~base "hello, world of binaries" = []);
+  (* Round-trip law: apply (diff base target) base == target, including
+     pure truncations/extensions and disjoint multi-site edits. *)
+  List.iter
+    (fun (b, target) ->
+      let ranges = Protocol.diff_ranges ~base:b target in
+      let got =
+        expect_ok "round-trip"
+          (apply ~base:b ~total_len:(String.length target) ranges)
+      in
+      Alcotest.(check string) "diff/apply round-trip" target got)
+    [
+      ("", "");
+      ("", "abc");
+      ("abc", "");
+      ("abcdef", "abcdef");
+      ("abcdef", "abcdeX");
+      ("abcdef", "Xbcdef");
+      ("short", "a much longer replacement string");
+      ("a much longer base string than the target", "tiny");
+      ( String.make 400 'a',
+        String.make 100 'a' ^ "EDIT" ^ String.make 196 'a' ^ "TAIL"
+        ^ String.make 100 'a' );
+    ]
+
+(* The daemon-side incremental protocol: Ref before registration is a
+   typed NeedFull; after registration Ref and Patch rewrites are
+   byte-identical to full uploads; an unreconstructible patch is a typed
+   Error; eviction turns Refs into NeedFull and the client-side fallback
+   heals the store — and through all of it the daemon keeps serving. *)
+let incremental_protocol () =
+  let bin_a = first_bench Arch.X86_64 in
+  let str_a = Binfile.to_string bin_a in
+  let dig_a = Icfg_service.Store.digest str_a in
+  let edited =
+    match Runner.perturb_function (Runner.parse bin_a) with
+    | Some (b, _fname) -> b
+    | None -> Alcotest.fail "no perturbable function in first bench"
+  in
+  let str_e = Binfile.to_string edited in
+  with_server ~workers:1 () @@ fun _srv path ->
+  Client.with_connection path @@ fun c ->
+  (* Ref before any upload: typed NeedFull naming the digest. *)
+  (match Client.rewrite_payload c ~approach:"ours/jt" (Protocol.Ref dig_a) with
+  | Ok (Protocol.NeedFull { digest }) ->
+      Alcotest.(check string) "NeedFull names the digest" dig_a digest
+  | r ->
+      Alcotest.failf "unregistered ref: %s"
+        (match r with Ok x -> response_label x | Error m -> m));
+  (match Client.register_bytes c str_a with
+  | Ok (Protocol.Registered { digest }) ->
+      Alcotest.(check string) "Registered echoes the digest" dig_a digest
+  | r ->
+      Alcotest.failf "register: %s"
+        (match r with Ok x -> response_label x | Error m -> m));
+  let rewritten what = function
+    | Ok (Protocol.Rewritten { bin; _ }) -> bin
+    | r ->
+        Alcotest.failf "%s: %s" what
+          (match r with Ok x -> response_label x | Error m -> m)
+  in
+  let by_ref =
+    rewritten "by-ref rewrite"
+      (Client.rewrite_payload c ~approach:"ours/jt" (Protocol.Ref dig_a))
+  in
+  let full =
+    rewritten "full rewrite" (Client.rewrite c ~approach:"ours/jt" bin_a)
+  in
+  Alcotest.(check bool) "ref rewrite == full rewrite bytes" true
+    (by_ref = full);
+  (* A sparse patch of a one-function edit reconstructs and rewrites
+     byte-identically to uploading the edited binary whole. *)
+  let patch =
+    Protocol.Patch
+      {
+        base = dig_a;
+        total_len = String.length str_e;
+        ranges = Protocol.diff_ranges ~base:str_a str_e;
+      }
+  in
+  let by_patch =
+    rewritten "patched rewrite"
+      (Client.rewrite_payload c ~approach:"ours/jt" patch)
+  in
+  let full_e =
+    rewritten "full edited rewrite"
+      (Client.rewrite c ~approach:"ours/jt" edited)
+  in
+  Alcotest.(check bool) "patched rewrite == full edited rewrite" true
+    (by_patch = full_e);
+  (* An unreconstructible patch (overlap, OOB) is a typed Error — and the
+     connection keeps working afterwards. *)
+  List.iter
+    (fun (what, ranges) ->
+      match
+        Client.rewrite_payload c ~approach:"ours/jt"
+          (Protocol.Patch { base = dig_a; total_len = 16; ranges })
+      with
+      | Ok (Protocol.Error _) -> ()
+      | r ->
+          Alcotest.failf "%s: %s" what
+            (match r with Ok x -> response_label x | Error m -> m))
+    [
+      ("overlapping patch", [ (0, "abc"); (1, "xyz") ]);
+      ("out-of-bounds patch", [ (12, "abcdefgh") ]);
+    ];
+  (match Client.ping c with
+  | Ok Protocol.Pong -> ()
+  | _ -> Alcotest.fail "daemon dead after bad patches")
+
+(* Eviction: a store sized for one binary forgets the older of two
+   registrations; the client-side [~fallback] turns the NeedFull into a
+   full upload that re-registers the bytes, healing later Refs. *)
+let eviction_needfull_heals () =
+  let bin_a = first_bench Arch.X86_64 in
+  let bin_b = first_bench Arch.Aarch64 in
+  let str_a = Binfile.to_string bin_a in
+  let str_b = Binfile.to_string bin_b in
+  let dig_a = Icfg_service.Store.digest str_a in
+  let store_bytes = max (String.length str_a) (String.length str_b) in
+  with_server ~workers:1 ~store_bytes () @@ fun srv path ->
+  Client.with_connection path @@ fun c ->
+  let registered what r =
+    match r with
+    | Ok (Protocol.Registered _) -> ()
+    | r ->
+        Alcotest.failf "%s: %s" what
+          (match r with Ok x -> response_label x | Error m -> m)
+  in
+  registered "register A" (Client.register_bytes c str_a);
+  registered "register B (evicts A)" (Client.register_bytes c str_b);
+  (match
+     Client.classify_payload c ~approach:"ours/jt" ~jobs:1 (Protocol.Ref dig_a)
+   with
+  | Ok (Protocol.NeedFull { digest }) ->
+      Alcotest.(check string) "evicted base answers NeedFull" dig_a digest
+  | r ->
+      Alcotest.failf "evicted ref: %s"
+        (match r with Ok x -> response_label x | Error m -> m));
+  (* The transparent fallback: same Ref, now with the bytes on hand. *)
+  (match
+     Client.classify_payload c ~approach:"ours/jt" ~jobs:1 ~fallback:str_a
+       (Protocol.Ref dig_a)
+   with
+  | Ok (Protocol.Classified _) -> ()
+  | r ->
+      Alcotest.failf "fallback classify: %s"
+        (match r with Ok x -> response_label x | Error m -> m));
+  (* The fallback's full upload re-registered A: the same Ref now works
+     without any bytes on hand. *)
+  (match
+     Client.classify_payload c ~approach:"ours/jt" ~jobs:1 (Protocol.Ref dig_a)
+   with
+  | Ok (Protocol.Classified _) -> ()
+  | r ->
+      Alcotest.failf "healed ref: %s"
+        (match r with Ok x -> response_label x | Error m -> m));
+  let snap = Server.snapshot srv in
+  Alcotest.(check int) "two NeedFull responses booked" 2
+    (counter snap "serve.needfull");
+  Alcotest.(check bool) "store eviction booked" true
+    (counter snap "store.evict_lru" >= 1)
+
+(* Bounds: an over-limit frame and an over-capacity Register both get
+   typed [Rejected] responses — the connection survives both. *)
+let bounds_rejection () =
+  let bin = first_bench Arch.X86_64 in
+  let str = Binfile.to_string bin in
+  (* A daemon whose frame limit is far below the binary. *)
+  with_server ~workers:1 ~max_frame:1024 () (fun _srv path ->
+      Client.with_connection path @@ fun c ->
+      Alcotest.(check bool) "test binary is over the frame limit" true
+        (String.length str > 1024);
+      (match Client.rewrite c ~approach:"ours/jt" bin with
+      | Ok (Protocol.Rejected { reason }) ->
+          Alcotest.(check bool) "rejection names the limit" true
+            (astr_contains reason "1024")
+      | r ->
+          Alcotest.failf "oversized frame: %s"
+            (match r with Ok x -> response_label x | Error m -> m));
+      match Client.ping c with
+      | Ok Protocol.Pong -> ()
+      | _ -> Alcotest.fail "connection dead after oversized frame");
+  (* A daemon whose whole store is smaller than the upload. *)
+  with_server ~workers:1 ~store_bytes:100 () (fun srv path ->
+      Client.with_connection path @@ fun c ->
+      (match Client.register_bytes c str with
+      | Ok (Protocol.Rejected { reason }) ->
+          Alcotest.(check bool) "rejection names the capacity" true
+            (astr_contains reason "store capacity")
+      | r ->
+          Alcotest.failf "over-capacity register: %s"
+            (match r with Ok x -> response_label x | Error m -> m));
+      (match Client.ping c with
+      | Ok Protocol.Pong -> ()
+      | _ -> Alcotest.fail "connection dead after rejected register");
+      let snap = Server.snapshot srv in
+      Alcotest.(check int) "store.rejected booked" 1
+        (counter snap "store.rejected");
+      Alcotest.(check bool) "serve.rejected booked" true
+        (counter snap "serve.rejected" >= 1))
+
+(* Whole-response memoization: a byte-identical replay answers with the
+   stored bytes of the first pipeline run — same wire bytes, no
+   scheduler traffic — and equals what a fresh pipeline would produce. *)
+let response_memo () =
+  let bin = first_bench Arch.X86_64 in
+  let first_payload path =
+    Client.with_connection path @@ fun c ->
+    match Client.rewrite c ~approach:"ours/jt" ~jobs:1 bin with
+    | Ok r -> Protocol.response_to_payload r
+    | Error m -> Alcotest.failf "transport: %s" m
+  in
+  with_server ~workers:1 () @@ fun srv path ->
+  let p1 = first_payload path in
+  let snap1 = Server.snapshot srv in
+  let p2 = first_payload path in
+  let snap2 = Server.snapshot srv in
+  Alcotest.(check bool) "replay is byte-identical" true (p1 = p2);
+  Alcotest.(check int) "first request missed the memo" 0
+    (counter snap1 "response_cache.hit");
+  Alcotest.(check int) "replay hit the memo" 1
+    (counter snap2 "response_cache.hit");
+  Alcotest.(check int) "replay never entered the scheduler"
+    (counter snap1 "sched.jobs")
+    (counter snap2 "sched.jobs");
+  Alcotest.(check int) "both count as served requests" 2
+    (counter snap2 "serve.requests");
+  Alcotest.(check int) "both book the rewritten outcome" 2
+    (counter snap2 "serve.responses:rewritten");
+  (* Observation-only: a fresh daemon's pipeline-computed response equals
+     the memoized replay byte-for-byte (fresh cache both times, so the
+     per-request counters the payload embeds agree too). *)
+  let p3 = with_server ~workers:1 () (fun _srv2 path2 -> first_payload path2) in
+  Alcotest.(check bool) "memoized replay == fresh pipeline response" true
+    (p2 = p3)
+
 let suite =
   [
     ( "serve",
@@ -662,5 +1006,13 @@ let suite =
         Alcotest.test_case "flight recorder retention" `Quick flight_recorder;
         Alcotest.test_case "telemetry is observation-only" `Quick
           observation_only;
+        Alcotest.test_case "patch codec edge cases" `Quick patch_codec;
+        Alcotest.test_case "incremental protocol (ref/patch)" `Slow
+          incremental_protocol;
+        Alcotest.test_case "eviction -> NeedFull -> fallback heals" `Slow
+          eviction_needfull_heals;
+        Alcotest.test_case "bounds: typed Rejected refusals" `Quick
+          bounds_rejection;
+        Alcotest.test_case "whole-response memoization" `Quick response_memo;
       ] );
   ]
